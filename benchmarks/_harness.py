@@ -1,0 +1,187 @@
+"""Shared evaluation harness for the Table/Figure benchmarks.
+
+Trains one TM per dataset at a scaled-down Table II configuration (the
+paper's clause budgets divided by SCALE so the full five-dataset
+evaluation runs in minutes on a laptop), generates and implements the
+MATADOR accelerator, and trains the FINN baseline for the accuracy
+column.  Results are cached per pytest session.
+
+Scaling note: clause count scales resources roughly linearly and barely
+moves the bandwidth-driven throughput (II = packets/datapoint), so the
+Table I *shape* — who wins which column — is preserved; EXPERIMENTS.md
+records both the paper numbers and these measurements.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.accelerator import AcceleratorConfig, generate_accelerator
+from repro.baselines import QuantMLP, estimate_finn, finn_topology, matador_spec
+from repro.data import load_dataset
+from repro.simulator import AcceleratorSimulator
+from repro.synthesis import implement_design
+from repro.tsetlin import TsetlinMachine
+
+SCALE = 5  # clause budgets = Table II / SCALE
+DATASETS = ("mnist", "kws6", "cifar2", "fmnist", "kmnist")
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_DATA_SIZES = {
+    "mnist": (700, 300),
+    "kws6": (500, 250),
+    "cifar2": (600, 300),
+    "fmnist": (700, 300),
+    "kmnist": (700, 300),
+}
+_EPOCHS = {"mnist": 8, "kws6": 6, "cifar2": 6, "fmnist": 8, "kmnist": 8}
+
+_cache = {}
+
+
+def scaled_clauses(dataset):
+    spec = matador_spec(dataset)
+    clauses = max(4, spec.clauses_per_class // SCALE)
+    return clauses + clauses % 2
+
+
+def get_dataset(name):
+    key = ("data", name)
+    if key not in _cache:
+        n_train, n_test = _DATA_SIZES[name]
+        _cache[key] = load_dataset(name, n_train=n_train, n_test=n_test, seed=0)
+    return _cache[key]
+
+
+def get_trained_model(name):
+    """Scaled-Table-II TM, trained once per session."""
+    key = ("model", name)
+    if key not in _cache:
+        ds = get_dataset(name)
+        spec = matador_spec(name)
+        tm = TsetlinMachine(
+            n_classes=ds.n_classes,
+            n_features=ds.n_features,
+            n_clauses=scaled_clauses(name),
+            T=max(4, spec.T // 2),
+            s=spec.s,
+            seed=42,
+        )
+        t0 = time.perf_counter()
+        tm.fit(ds.X_train, ds.y_train, epochs=_EPOCHS[name])
+        model = tm.export_model(f"matador_{name}")
+        _cache[key] = {
+            "model": model,
+            "accuracy": model.evaluate(ds.X_test, ds.y_test),
+            "train_seconds": time.perf_counter() - t0,
+        }
+    return _cache[key]
+
+
+def get_matador_design(name, **config_overrides):
+    cfg_key = tuple(sorted(config_overrides.items()))
+    key = ("design", name, cfg_key)
+    if key not in _cache:
+        model = get_trained_model(name)["model"]
+        config = AcceleratorConfig(name=f"matador_{name}", **config_overrides)
+        _cache[key] = generate_accelerator(model, config)
+    return _cache[key]
+
+
+def get_matador_impl(name, **config_overrides):
+    cfg_key = tuple(sorted(config_overrides.items()))
+    key = ("impl", name, cfg_key)
+    if key not in _cache:
+        _cache[key] = implement_design(get_matador_design(name, **config_overrides))
+    return _cache[key]
+
+
+def verify_equivalence(name, n_samples=48):
+    """Spot-check hardware == software on test vectors (returns bool)."""
+    design = get_matador_design(name)
+    ds = get_dataset(name)
+    X = ds.X_test[:n_samples]
+    sim = AcceleratorSimulator(design, batch=len(X))
+    report = sim.run_batch(X)
+    return bool(np.array_equal(report.predictions, design.model.predict(X)))
+
+
+def get_finn_baseline(name):
+    """FINN estimate + trained QNN accuracy for the Table I row."""
+    key = ("finn", name)
+    if key not in _cache:
+        ds = get_dataset(name)
+        topo = finn_topology(name)
+        est = estimate_finn(topo)
+        net = QuantMLP(
+            list(topo.layer_sizes),
+            weight_bits=topo.weight_bits,
+            act_bits=topo.act_bits,
+            seed=0,
+        )
+        net.fit(ds.X_train, ds.y_train, epochs=20, lr=5e-3)
+        _cache[key] = {
+            "estimate": est,
+            "accuracy": net.evaluate(ds.X_test, ds.y_test),
+        }
+    return _cache[key]
+
+
+def matador_row(name):
+    """One complete MATADOR Table I row (measured)."""
+    trained = get_trained_model(name)
+    design = get_matador_design(name)
+    impl = get_matador_impl(name)
+    clock = impl.clock_mhz
+    lat = design.latency
+    row = impl.table_row()
+    row.update(
+        {
+            "Model": "MATADOR",
+            "Dataset": name,
+            "Test Acc (%)": round(100 * trained["accuracy"], 2),
+            "Latency (us)": round(lat.latency_us(clock), 3),
+            "Throughput (inf/s)": int(lat.throughput_inf_per_s(clock)),
+        }
+    )
+    return row
+
+
+def finn_row(name):
+    """One complete FINN Table I row (modelled + trained accuracy)."""
+    data = get_finn_baseline(name)
+    est = data["estimate"]
+    row = est.table_row()
+    row.update(
+        {
+            "Model": "FINN",
+            "Dataset": name,
+            "Test Acc (%)": round(100 * data["accuracy"], 2),
+            "Latency (us)": round(est.latency_us, 3),
+            "Throughput (inf/s)": int(est.throughput_inf_per_s),
+        }
+    )
+    return row
+
+
+def save_results(filename, payload):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / filename
+    path.write_text(json.dumps(payload, indent=1, default=str), encoding="utf-8")
+    return path
+
+
+def format_table(rows, columns):
+    """Plain-text table used by the bench printouts."""
+    widths = {
+        c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows)) for c in columns
+    }
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append("  ".join(str(r.get(c, "")).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)

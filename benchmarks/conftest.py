@@ -1,0 +1,6 @@
+"""Benchmark-suite configuration: make the harness importable."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,68 @@
+"""Ablation: channel bandwidth sweep.
+
+The design methodology is bandwidth-driven: the initiation interval (and
+hence throughput) is set by packets/datapoint = ceil(features / W).  This
+sweep regenerates the KWS6 accelerator at 8/16/32/64-bit channels and
+confirms II halves as the bus doubles while the HCB count tracks the
+packet count, with resources roughly flat (the same include terms are
+just distributed differently).
+"""
+
+import numpy as np
+
+from _harness import format_table, get_dataset, get_trained_model, save_results
+from repro.accelerator import AcceleratorConfig, generate_accelerator
+from repro.simulator import AcceleratorSimulator
+from repro.synthesis import implement_design
+
+WIDTHS = (8, 16, 32, 64)
+
+
+def test_ablation_bus_width(benchmark):
+    model = get_trained_model("kws6")["model"]
+    ds = get_dataset("kws6")
+    X = ds.X_test[:16]
+
+    rows = []
+    designs = {}
+    for width in WIDTHS:
+        config = AcceleratorConfig(bus_width=width, name=f"bw{width}")
+        design = generate_accelerator(model, config)
+        designs[width] = design
+        impl = implement_design(design)
+        sim = AcceleratorSimulator(design, batch=len(X))
+        rep = sim.run_batch(X)
+        assert np.array_equal(rep.predictions, model.predict(X))
+        clock = impl.clock_mhz
+        rows.append(
+            {
+                "bus (bits)": width,
+                "packets": design.n_packets,
+                "II (cycles)": design.latency.initiation_interval,
+                "latency (cycles)": design.latency.latency_cycles,
+                "LUTs": impl.resources.luts,
+                "registers": impl.resources.registers,
+                "fmax (MHz)": round(impl.timing.fmax_mhz, 1),
+                "throughput @fmax (inf/s)": int(
+                    design.latency.throughput_inf_per_s(clock)
+                ),
+            }
+        )
+
+    # Doubling the bus halves the packet count (up to the ceil).
+    for prev, cur in zip(rows, rows[1:]):
+        assert cur["packets"] <= prev["packets"]
+        assert cur["II (cycles)"] < prev["II (cycles)"]
+    # 377 features: 48 packets at 8b, 6 packets at 64b.
+    assert rows[0]["packets"] == 48
+    assert rows[-1]["packets"] == 6
+
+    print()
+    print(format_table(rows, list(rows[0])))
+    save_results("ablation_buswidth.json", rows)
+
+    benchmark(
+        lambda: generate_accelerator(
+            model, AcceleratorConfig(bus_width=32, name="bw_bench")
+        )
+    )

@@ -1,0 +1,60 @@
+"""Ablation: clause budget sweep — accuracy vs resources.
+
+The central design-space exploration the MATADOR GUI guides users
+through: more clauses per class buy accuracy at a linear-ish LUT cost
+while throughput stays fixed (bandwidth-driven, independent of model
+size).  Swept on KWS6.
+"""
+
+from _harness import format_table, get_dataset, save_results
+from repro.accelerator import AcceleratorConfig, generate_accelerator
+from repro.baselines import matador_spec
+from repro.synthesis import implement_design
+from repro.tsetlin import TsetlinMachine
+
+BUDGETS = (8, 16, 32, 64)
+
+
+def test_ablation_clause_budget(benchmark):
+    ds = get_dataset("kws6")
+    spec = matador_spec("kws6")
+    rows = []
+    luts = []
+    for budget in BUDGETS:
+        tm = TsetlinMachine(
+            ds.n_classes, ds.n_features, n_clauses=budget,
+            T=max(4, budget // 2), s=spec.s, seed=3,
+        )
+        tm.fit(ds.X_train, ds.y_train, epochs=5)
+        model = tm.export_model(f"kws6_c{budget}")
+        design = generate_accelerator(model, AcceleratorConfig(name=f"c{budget}"))
+        impl = implement_design(design)
+        luts.append(impl.resources.luts)
+        rows.append(
+            {
+                "clauses/class": budget,
+                "accuracy (%)": round(100 * model.evaluate(ds.X_test, ds.y_test), 2),
+                "includes": int(model.include.sum()),
+                "LUTs": impl.resources.luts,
+                "registers": impl.resources.registers,
+                "II (cycles)": design.latency.initiation_interval,
+                "fmax (MHz)": round(impl.timing.fmax_mhz, 1),
+            }
+        )
+
+    # Resources grow with the clause budget; throughput (II) does not move.
+    assert luts == sorted(luts)
+    assert len({r["II (cycles)"] for r in rows}) == 1
+    # The biggest model should be at least as accurate as the smallest.
+    assert rows[-1]["accuracy (%)"] >= rows[0]["accuracy (%)"] - 2.0
+
+    print()
+    print(format_table(rows, list(rows[0])))
+    save_results("ablation_clauses.json", rows)
+
+    ds_small = ds.subset(n_train=150)
+    benchmark(
+        lambda: TsetlinMachine(
+            ds.n_classes, ds.n_features, n_clauses=8, T=6, s=spec.s, seed=0
+        ).fit(ds_small.X_train, ds_small.y_train, epochs=1)
+    )

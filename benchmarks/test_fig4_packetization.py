@@ -1,0 +1,64 @@
+"""Fig. 4: packetization of an MNIST datapoint + clause expression snippet.
+
+(a) A 784-bit binary MNIST datapoint over a 64-bit channel needs 13
+packets; the packetizer orders features LSB-first and zero-pads the final
+packet's top 48 bits.  (b) A snippet of the trained model's clause
+expression array ``[classes][clauses]``.
+"""
+
+import numpy as np
+
+from _harness import get_dataset, get_trained_model, save_results
+from repro.accelerator.packetizer import PacketSchedule, depacketize, packetize
+from repro.model.expressions import model_snippet
+
+
+def test_fig4a_packetization(benchmark):
+    ds = get_dataset("mnist")
+    schedule = PacketSchedule(n_features=784, bus_width=64)
+
+    # The figure's arithmetic.
+    assert schedule.n_packets == 13
+    assert schedule.padding_bits == 48
+    assert schedule.feature_range(12) == (768, 784)
+
+    X = ds.X_test[:1]
+    packets = benchmark(lambda: packetize(X, schedule))
+    assert packets.shape == (1, 13)
+
+    # LSB-first: feature 0 rides bit 0 of packet 0.
+    lone = np.zeros((1, 784), dtype=np.uint8)
+    lone[0, 0] = 1
+    assert packetize(lone, schedule)[0, 0] == 1
+
+    # Zero padding: the last packet's upper 48 bits are always clear.
+    all_ones = np.ones((1, 784), dtype=np.uint8)
+    last = int(packetize(all_ones, schedule)[0, 12])
+    assert last == (1 << 16) - 1  # only 16 valid feature bits set
+
+    # Round trip.
+    assert np.array_equal(depacketize(packets, schedule), X)
+
+    print()
+    print(f"packets per datapoint: {schedule.n_packets}")
+    print(f"padding bits in packet 13: {schedule.padding_bits}")
+    print("packet words for one test digit:")
+    print("  " + " ".join(f"{int(w):016x}" for w in packets[0]))
+    save_results(
+        "fig4_packetization.json",
+        {
+            "n_packets": schedule.n_packets,
+            "padding_bits": schedule.padding_bits,
+            "example_packets_hex": [f"{int(w):016x}" for w in packets[0]],
+        },
+    )
+
+
+def test_fig4b_clause_snippet(benchmark):
+    model = get_trained_model("mnist")["model"]
+    snippet = benchmark(lambda: model_snippet(model, n_classes=2, n_clauses=3))
+    print()
+    print(snippet)
+    assert "C[0][0] (+)" in snippet
+    assert "C[1][" in snippet
+    save_results("fig4b_snippet.json", {"snippet": snippet})

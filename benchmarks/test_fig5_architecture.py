@@ -1,0 +1,64 @@
+"""Fig. 5: the generated accelerator architecture.
+
+Generates the MNIST accelerator and checks the structural properties the
+block diagram shows: one HCB per packet, clause-state registers loaded by
+one-hot packet enables, polarity-split class-sum adders (2 accumulators
+per class), an argmax comparison tree padded to a power of two, and a
+dedicated control unit.  Benchmarks design generation (the boolean-to-
+silicon step itself).
+"""
+
+import math
+
+from _harness import format_table, get_matador_design, get_trained_model, save_results
+from repro.accelerator import AcceleratorConfig, generate_accelerator
+
+
+def test_fig5_architecture(benchmark):
+    model = get_trained_model("mnist")["model"]
+    design = benchmark(
+        lambda: generate_accelerator(model, AcceleratorConfig(name="fig5"))
+    )
+
+    # One HCB per packet (13 for 784 bits over 64-bit channel).
+    assert len(design.hcb_infos) == design.schedule.n_packets == 13
+
+    # Registers exist only for clauses with includes in the HCB's packet
+    # (pass-through pruning); identical clauses share one register, so the
+    # count is bounded by — and usually close to — the active clause count.
+    for info in design.hcb_infos:
+        assert 0 < info.n_registers <= info.n_active_clauses
+
+    # Class sum: signed width covers +/- half the clauses per class.
+    half = model.n_clauses // 2
+    assert (1 << (design.sum_width - 1)) - 1 >= half
+
+    # Argmax: a 2^ceil(log2(classes)) comparison tree -> index width.
+    assert design.index_width == math.ceil(math.log2(model.n_classes))
+
+    # Blocks present, as drawn in the figure.
+    blocks = design.netlist.blocks()
+    assert "ctrl" in blocks
+    assert "class_sum" in blocks
+    assert "argmax" in blocks
+    assert sum(1 for b in blocks if b.startswith("hcb")) == 13
+
+    rows = []
+    per_block = design.structure_report()
+    for info in design.hcb_infos:
+        entry = per_block.get(info.block_label, {"gates": 0, "registers": 0})
+        rows.append(
+            {
+                "HCB": info.index,
+                "features": f"[{info.feature_lo}:{info.feature_hi})",
+                "active clauses": info.n_active_clauses,
+                "pass-through": info.n_passthrough_clauses,
+                "include terms": info.n_include_terms,
+                "gates": entry["gates"],
+                "registers": entry["registers"],
+            }
+        )
+    print()
+    print(design.summary())
+    print(format_table(rows, list(rows[0])))
+    save_results("fig5_architecture.json", rows)

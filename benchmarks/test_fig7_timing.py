@@ -1,0 +1,103 @@
+"""Fig. 7: timing diagram — packet routing, initiation interval, pipelining.
+
+Streams datapoints back-to-back through the cycle-accurate simulator and
+reproduces the figure's claims:
+
+* packet ``i`` is routed to HCB ``i``, one packet per cycle;
+* the first result appears a fixed pipeline depth after the last packet;
+* subsequent datapoints complete at a rate equal to the packet count
+  (the initiation interval), independent of pipelining;
+* the class-sum/argmax stages may be pipelined, trading +1 cycle latency
+  each for a shorter critical path (cross-checked with the timing model).
+"""
+
+import numpy as np
+
+from _harness import (
+    format_table,
+    get_dataset,
+    get_matador_design,
+    get_trained_model,
+    save_results,
+)
+from repro.accelerator import AcceleratorConfig, generate_accelerator
+from repro.simulator import AcceleratorSimulator
+from repro.synthesis import implement_design
+
+
+def test_fig7_stream_timing(benchmark):
+    design = get_matador_design("kws6")
+    ds = get_dataset("kws6")
+    X = ds.X_test[:8]
+
+    sim = AcceleratorSimulator(design, batch=1)
+    report = benchmark(lambda: AcceleratorSimulator(design, batch=1).run_stream(X))
+
+    lat = design.latency
+    assert report.first_result_cycle == lat.first_result_cycle
+    assert report.initiation_interval == lat.initiation_interval
+    assert len(report.predictions) == len(X)
+    assert np.array_equal(report.predictions, design.model.predict(X))
+    # Result pulses are exactly II cycles apart (Fig. 7's steady state).
+    diffs = np.diff(report.result_cycles)
+    assert (diffs == lat.initiation_interval).all()
+
+    print()
+    print("pipeline timeline (cycle, event):")
+    for cycle, event in lat.pipeline_timeline():
+        print(f"  {cycle:3d}  {event}")
+    print(f"result pulses at cycles: {report.result_cycles}")
+    save_results(
+        "fig7_timing.json",
+        {
+            "first_result_cycle": report.first_result_cycle,
+            "initiation_interval": lat.initiation_interval,
+            "result_cycles": report.result_cycles,
+        },
+    )
+
+
+def test_fig7_pipelining_tradeoff(benchmark):
+    """Pipelining adds latency cycles but raises the achievable clock."""
+    model = get_trained_model("kws6")["model"]
+    benchmark(
+        lambda: generate_accelerator(model, AcceleratorConfig(name="fig7"))
+    )
+    rows = []
+    for ps, pa, label in [
+        (False, False, "no pipelining"),
+        (True, False, "class-sum piped"),
+        (True, True, "class-sum + argmax piped"),
+    ]:
+        design = generate_accelerator(
+            model,
+            AcceleratorConfig(name="fig7", pipeline_class_sum=ps, pipeline_argmax=pa),
+        )
+        impl = implement_design(design)
+        sim = AcceleratorSimulator(design, batch=1)
+        X = get_dataset("kws6").X_test[:3]
+        rep = sim.run_stream(X)
+        assert rep.first_result_cycle == design.latency.first_result_cycle
+        rows.append(
+            {
+                "config": label,
+                "latency (cycles)": design.latency.latency_cycles,
+                "II (cycles)": design.latency.initiation_interval,
+                "fmax (MHz)": round(impl.timing.fmax_mhz, 1),
+                "latency (us)": round(
+                    design.latency.latency_us(impl.clock_mhz), 3
+                ),
+                "throughput (inf/s)": int(
+                    design.latency.throughput_inf_per_s(impl.clock_mhz)
+                ),
+            }
+        )
+    # More pipeline stages -> more latency cycles, never lower fmax.
+    assert rows[0]["latency (cycles)"] < rows[2]["latency (cycles)"]
+    assert rows[2]["fmax (MHz)"] >= rows[0]["fmax (MHz)"]
+    # II never changes: the architecture is bandwidth-driven.
+    assert len({r["II (cycles)"] for r in rows}) == 1
+
+    print()
+    print(format_table(rows, list(rows[0])))
+    save_results("fig7_pipelining.json", rows)

@@ -1,0 +1,85 @@
+"""Fig. 8: logic-sharing optimization vs DON'T TOUCH, per HCB.
+
+The paper passes the MNIST HCBs through implementation twice: once
+normally (logic absorption enabled) and once with DON'T TOUCH pragmas
+pinning every net.  LUT-opt / SR-opt must come out well below LUT-dt /
+SR-dt.  We reproduce the experiment on the MNIST accelerator: the shared
+build uses structural hashing + cube factoring; the DON'T TOUCH build
+instantiates every clause verbatim and the mapper honours net
+preservation (no cone absorption).
+"""
+
+import numpy as np
+
+from _harness import format_table, get_trained_model, save_results, verify_equivalence
+from repro.accelerator import AcceleratorConfig, generate_accelerator
+from repro.simulator import AcceleratorSimulator
+from repro.synthesis import implement_design
+
+
+def _hcb_counts(impl):
+    luts = {b: n for b, n in impl.resources.per_block_luts.items()
+            if b and b.startswith("hcb")}
+    regs = {b: n for b, n in impl.resources.per_block_registers.items()
+            if b and b.startswith("hcb")}
+    return luts, regs
+
+
+def test_fig8_dont_touch(benchmark):
+    model = get_trained_model("mnist")["model"]
+
+    opt_design = generate_accelerator(
+        model, AcceleratorConfig(name="fig8_opt", share_logic=True)
+    )
+    dt_design = generate_accelerator(
+        model, AcceleratorConfig(name="fig8_dt", share_logic=False)
+    )
+    opt = implement_design(opt_design)
+    dt = benchmark(lambda: implement_design(dt_design))
+
+    # Both variants must still compute the same function.
+    rng = np.random.default_rng(0)
+    X = rng.integers(0, 2, size=(24, model.n_features)).astype(np.uint8)
+    for design in (opt_design, dt_design):
+        sim = AcceleratorSimulator(design, batch=len(X))
+        rep = sim.run_batch(X)
+        assert np.array_equal(rep.predictions, model.predict(X))
+
+    opt_luts, opt_regs = _hcb_counts(opt)
+    dt_luts, dt_regs = _hcb_counts(dt)
+
+    rows = []
+    for b in sorted(set(opt_luts) | set(dt_luts), key=lambda s: int(s[3:])):
+        rows.append(
+            {
+                "HCB": b,
+                "LUT-opt": opt_luts.get(b, 0),
+                "LUT-dt": dt_luts.get(b, 0),
+                "SR-opt": opt_regs.get(b, 0),
+                "SR-dt": dt_regs.get(b, 0),
+            }
+        )
+
+    total_opt = sum(r["LUT-opt"] for r in rows)
+    total_dt = sum(r["LUT-dt"] for r in rows)
+    # The figure's claim: DON'T TOUCH inflates the HCB LUT counts markedly.
+    assert total_dt > 1.5 * total_opt, (total_opt, total_dt)
+    # Every individual HCB inflates too.
+    for r in rows:
+        if r["LUT-opt"] > 10:
+            assert r["LUT-dt"] > r["LUT-opt"]
+    # Register counts also grow (no pass-through register sharing).
+    assert sum(r["SR-dt"] for r in rows) >= sum(r["SR-opt"] for r in rows)
+    # And the unoptimized design closes timing lower.
+    assert dt.timing.fmax_mhz <= opt.timing.fmax_mhz
+
+    print()
+    print(format_table(rows, list(rows[0])))
+    print(f"total HCB LUTs: opt={total_opt} dt={total_dt} "
+          f"(x{total_dt / max(total_opt, 1):.2f})")
+    print(f"fmax: opt={opt.timing.fmax_mhz:.1f} MHz dt={dt.timing.fmax_mhz:.1f} MHz")
+    save_results(
+        "fig8_dont_touch.json",
+        {"per_hcb": rows, "total_opt": total_opt, "total_dt": total_dt,
+         "fmax_opt": opt.timing.fmax_mhz, "fmax_dt": dt.timing.fmax_mhz},
+    )

@@ -1,0 +1,58 @@
+"""Automated clause-budget search + explainable predictions.
+
+Combines two tool capabilities on the FMNIST-like garment classifier:
+
+1. **MILEAGE-style search** (paper ref [17]): find the smallest clause
+   budget that reaches a target accuracy — clause count is the dominant
+   silicon cost, so this is the headline design-space question;
+2. **interpretability** (Section II's motivation): for a test garment,
+   print the exact boolean rules that produced the classification.
+
+Run:  python examples/clause_budget_search.py
+"""
+
+from repro.accelerator import AcceleratorConfig, generate_accelerator
+from repro.data import load_dataset, train_val_split
+from repro.model import class_evidence, explain_prediction, format_clause
+from repro.synthesis import implement_design
+from repro.tsetlin import search_clause_budget
+
+
+def main():
+    ds = load_dataset("fmnist", n_train=600, n_test=300, seed=0)
+    X_tr, y_tr, X_val, y_val = train_val_split(ds, val_fraction=0.25, seed=1)
+
+    print("searching for the smallest clause budget reaching 85% ...")
+    result, tm = search_clause_budget(
+        X_tr, y_tr, X_val, y_val,
+        target_accuracy=0.85, start=8, max_clauses=128, epochs=5, s=5.0,
+    )
+    print(f"{'clauses':>8} {'accuracy':>9} {'includes':>9}")
+    for p in sorted(result.evaluated, key=lambda p: p.n_clauses):
+        marker = " <- chosen" if p.n_clauses == result.best.n_clauses else ""
+        print(f"{p.n_clauses:>8} {p.accuracy:>9.3f} {p.include_count:>9}{marker}")
+    print(f"target met: {result.target_met}\n")
+
+    model = tm.export_model("fmnist_searched")
+    test_acc = model.evaluate(ds.X_test, ds.y_test)
+    print(f"held-out test accuracy: {test_acc:.3f}")
+
+    design = generate_accelerator(model, AcceleratorConfig(name="fmnist_searched"))
+    impl = implement_design(design)
+    print(f"silicon cost at the chosen budget: {impl.resources.luts} LUTs, "
+          f"{impl.resources.registers} FFs @ {impl.clock_mhz:.0f} MHz\n")
+
+    # Why did the machine classify this garment the way it did?
+    x = ds.X_test[0]
+    explanation = explain_prediction(model, x)
+    print("explanation for test sample 0 "
+          f"(true class {int(ds.y_test[0])}):")
+    print(explanation.describe(max_clauses=3))
+
+    print(f"\nmost general learned rules for class {explanation.predicted_class}:")
+    for k, expr in class_evidence(model, explanation.predicted_class, top_k=3):
+        print(f"  clause {k}: {format_clause(expr)[:100]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Accelerating a Coalesced Tsetlin Machine — the paper's future work.
+
+The conclusion names "accelerating other TM models" as further work; the
+Coalesced TM [16] is the natural first target because its shared clause
+pool maps beautifully onto MATADOR's logic sharing: every class computes
+the *same* clauses, so the HCB hardware is built once and only the
+weighted class-sum stage differs per class.
+
+This example trains a CoTM, generates its weighted accelerator, and
+shows the hardware savings versus a vanilla TM of equal total clause
+count: shared clause registers and AND logic, at equal accuracy.
+
+Run:  python examples/coalesced_tm_accelerator.py
+"""
+
+import numpy as np
+
+from repro.accelerator import AcceleratorConfig, generate_accelerator
+from repro.data import load_dataset
+from repro.simulator import AcceleratorSimulator
+from repro.synthesis import implement_design
+from repro.tsetlin import CoalescedTsetlinMachine, TsetlinMachine
+
+
+def main():
+    ds = load_dataset("kws6", n_train=400, n_test=200, seed=0)
+
+    # A vanilla TM with 12 clauses per class = 72 clause circuits total.
+    vanilla = TsetlinMachine(ds.n_classes, ds.n_features, n_clauses=12,
+                             T=10, s=4.0, seed=5)
+    vanilla.fit(ds.X_train, ds.y_train, epochs=6)
+    v_model = vanilla.export_model("vanilla")
+
+    # A CoTM with a *shared* pool of 72 clauses, weighted per class.
+    cotm = CoalescedTsetlinMachine(ds.n_classes, ds.n_features, n_clauses=72,
+                                   T=20, s=4.0, seed=5)
+    cotm.fit(ds.X_train, ds.y_train, epochs=6)
+    c_model = cotm.export_model("coalesced")
+
+    print(f"vanilla accuracy:   {v_model.evaluate(ds.X_test, ds.y_test):.3f}")
+    print(f"coalesced accuracy: {c_model.evaluate(ds.X_test, ds.y_test):.3f}")
+
+    rows = []
+    for label, model in (("vanilla", v_model), ("coalesced", c_model)):
+        design = generate_accelerator(model, AcceleratorConfig(name=label))
+        impl = implement_design(design)
+
+        # Hardware/software equivalence, including the weighted class sums.
+        sim = AcceleratorSimulator(design, batch=32)
+        X = ds.X_test[:32]
+        rep = sim.run_batch(X)
+        assert np.array_equal(rep.predictions, model.predict(X)), label
+
+        regs = sum(i.n_registers for i in design.hcb_infos)
+        rows.append((label, design.netlist.gate_count(), regs,
+                     impl.resources.luts, impl.timing.fmax_mhz))
+
+    print(f"\n{'model':<10} {'gates':>7} {'clause regs':>11} {'LUTs':>7} {'fmax':>7}")
+    for label, gates, regs, luts, fmax in rows:
+        print(f"{label:<10} {gates:>7} {regs:>11} {luts:>7} {fmax:>6.1f}M")
+
+    v_regs = rows[0][2]
+    c_regs = rows[1][2]
+    print(
+        f"\nThe coalesced design shares its clause pool across all "
+        f"{ds.n_classes} classes: {c_regs} clause registers vs the "
+        f"equivalent replicated demand of {v_regs} for the vanilla model — "
+        f"the register-dedup in the HCB builder collapses identical "
+        f"per-class copies automatically."
+    )
+
+
+if __name__ == "__main__":
+    main()

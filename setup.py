@@ -1,0 +1,7 @@
+"""Setup shim: lets ``python setup.py develop`` work in offline
+environments that lack the ``wheel`` package (declarative config lives in
+pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

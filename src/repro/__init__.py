@@ -1,0 +1,43 @@
+"""MATADOR reproduction: automated SoC Tsetlin Machine design generation.
+
+Reproduces Rahman et al., "MATADOR: Automated System-on-Chip Tsetlin
+Machine Design Generation for Edge Applications" (DATE 2024) as a pure
+Python library: Tsetlin Machine training, boolean-to-silicon RTL
+generation, cycle-accurate simulation, a synthesis/implementation model
+standing in for Vivado, and FINN-style BNN/QNN baselines.
+
+Quickstart::
+
+    from repro import MatadorFlow, FlowConfig
+
+    flow = MatadorFlow(FlowConfig(dataset="kws6", clauses_per_class=40))
+    result = flow.run()
+    print(result.summary())
+"""
+
+from .accelerator import AcceleratorConfig, AcceleratorDesign, generate_accelerator
+from .flow import FlowConfig, FlowResult, MatadorFlow, verify_design
+from .model import TMModel, analyze_sharing, analyze_sparsity
+from .simulator import AcceleratorSimulator
+from .synthesis import implement_design
+from .tsetlin import CoalescedTsetlinMachine, TsetlinMachine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcceleratorConfig",
+    "AcceleratorDesign",
+    "generate_accelerator",
+    "FlowConfig",
+    "FlowResult",
+    "MatadorFlow",
+    "verify_design",
+    "TMModel",
+    "analyze_sharing",
+    "analyze_sparsity",
+    "AcceleratorSimulator",
+    "implement_design",
+    "CoalescedTsetlinMachine",
+    "TsetlinMachine",
+    "__version__",
+]

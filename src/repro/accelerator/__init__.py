@@ -1,0 +1,28 @@
+"""MATADOR accelerator generation — the paper's core contribution."""
+
+from .argmax import argmax_index_width, build_argmax
+from .class_sum import build_class_sums, class_sum_width
+from .config import AcceleratorConfig
+from .controller import ControllerSignals, build_controller
+from .generator import AcceleratorDesign, generate_accelerator
+from .hcb import HCBInfo, build_hcbs
+from .latency import LatencyModel
+from .packetizer import PacketSchedule, depacketize, packetize
+
+__all__ = [
+    "argmax_index_width",
+    "build_argmax",
+    "build_class_sums",
+    "class_sum_width",
+    "AcceleratorConfig",
+    "ControllerSignals",
+    "build_controller",
+    "AcceleratorDesign",
+    "generate_accelerator",
+    "HCBInfo",
+    "build_hcbs",
+    "LatencyModel",
+    "PacketSchedule",
+    "depacketize",
+    "packetize",
+]

@@ -1,0 +1,73 @@
+"""Argmax stage: binary comparison tree over the class sums (Fig. 5).
+
+The tree has ``2^ceil(log2(n_classes))`` leaves; classes beyond the actual
+count are padded with the minimum representable value so they can never
+win ("Any classes beyond the actual count are assigned the minimum value
+at the input stage", Section III).
+
+Tie-breaking: each node keeps the *left* entry on equality
+(``left >= right``), which makes the hardware argmax identical to
+``numpy.argmax`` on the class-sum vector — the property the software/RTL
+equivalence check relies on.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..rtl.arith import Bus, bus_const, mux_bus, signed_ge
+
+__all__ = ["build_argmax", "argmax_index_width"]
+
+
+def argmax_index_width(n_classes):
+    """Bits needed for the winning class index."""
+    return max(1, math.ceil(math.log2(n_classes)))
+
+
+def build_argmax(nl, class_sums, n_classes):
+    """Build the comparison tree; returns ``(index_bus, value_bus)``.
+
+    Parameters
+    ----------
+    nl:
+        Target netlist; nodes are tagged with the ``argmax`` block.
+    class_sums:
+        List of signed :class:`Bus`, all the same width.
+    n_classes:
+        Real class count (= ``len(class_sums)``).
+    """
+    if len(class_sums) != n_classes:
+        raise ValueError("class_sums length must equal n_classes")
+    if n_classes < 1:
+        raise ValueError("need at least one class")
+    width = len(class_sums[0])
+    if any(len(s) != width for s in class_sums):
+        raise ValueError("class sums must share one width")
+
+    idx_width = argmax_index_width(n_classes)
+    n_leaves = 1 << math.ceil(math.log2(max(n_classes, 1))) if n_classes > 1 else 1
+    min_value = -(1 << (width - 1))
+
+    with nl.block("argmax"):
+        entries = []
+        for i in range(n_leaves):
+            if i < n_classes:
+                value = class_sums[i]
+            else:
+                value = bus_const(nl, min_value, width)
+            index = bus_const(nl, i, idx_width)
+            entries.append((value, index))
+
+        while len(entries) > 1:
+            nxt = []
+            for i in range(0, len(entries), 2):
+                (lv, li), (rv, ri) = entries[i], entries[i + 1]
+                keep_left = signed_ge(nl, lv, rv)
+                value = mux_bus(nl, keep_left, lv, rv)
+                index = mux_bus(nl, keep_left, li, ri)
+                nxt.append((Bus(value), Bus(index)))
+            entries = nxt
+
+        value, index = entries[0][0], entries[0][1]
+    return Bus(index), Bus(value)

@@ -1,0 +1,135 @@
+"""Class-sum stage: polarity-split vote accumulation (Fig. 5).
+
+Positive- and negative-polarity clause votes are accumulated separately
+(two popcount adder trees per class) and combined with one signed
+subtraction, matching the paper's description ("Positive and negative
+polarity clause votes are accumulated separately and summed in the end").
+
+Clauses with no includes are excluded from the trees entirely — the
+reference software semantics gives them zero votes, and pruning them keeps
+software and hardware bit-identical.
+
+For weighted (Coalesced) models each clause contributes ``weight`` when it
+fires; the stage lowers this to a signed adder tree over weight-gated
+constants.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..rtl.arith import (
+    Bus,
+    bus_const,
+    mux_bus,
+    popcount,
+    ripple_add,
+    sign_extend,
+    subtract,
+    zero_extend,
+)
+
+__all__ = ["build_class_sums", "class_sum_width"]
+
+
+def class_sum_width(model):
+    """Signed bit width needed for any class sum of this model."""
+    weights = model.vote_weights()
+    pos = int(np.clip(weights, 0, None).sum(axis=1).max())
+    neg = int((-np.clip(weights, None, 0)).sum(axis=1).max())
+    biggest = max(pos, neg, 1)
+    return max(2, math.ceil(math.log2(biggest + 1)) + 1)
+
+
+def _polarity_class_sum(nl, clause_nets, polarity, active_mask):
+    """Popcount(+) - popcount(-) for one class (alternating ±1 weights)."""
+    pos_bits = [
+        net
+        for k, net in enumerate(clause_nets)
+        if polarity[k] > 0 and active_mask[k]
+    ]
+    neg_bits = [
+        net
+        for k, net in enumerate(clause_nets)
+        if polarity[k] < 0 and active_mask[k]
+    ]
+    # Popcounts are unsigned; zero-extend by one bit so the signed
+    # subtraction cannot misread a set MSB as a negative count.
+    pos_cnt = popcount(nl, pos_bits)
+    neg_cnt = popcount(nl, neg_bits)
+    ext = max(len(pos_cnt), len(neg_cnt)) + 1
+    return subtract(
+        nl, zero_extend(nl, pos_cnt, ext), zero_extend(nl, neg_cnt, ext)
+    )
+
+
+def _weighted_class_sum(nl, clause_nets, weights, active_mask, width):
+    """Signed adder tree over weight-gated constants (Coalesced models)."""
+    terms = []
+    for k, net in enumerate(clause_nets):
+        w = int(weights[k])
+        if w == 0 or not active_mask[k]:
+            continue
+        const = bus_const(nl, w, width)
+        zero = bus_const(nl, 0, width)
+        terms.append(mux_bus(nl, net, const, zero))
+    if not terms:
+        return bus_const(nl, 0, width)
+    # Balanced signed adder tree with sign extension at each level.
+    layer = terms
+    while len(layer) > 1:
+        nxt = []
+        for i in range(0, len(layer), 2):
+            if i + 1 < len(layer):
+                w_out = max(len(layer[i]), len(layer[i + 1])) + 1
+                a = sign_extend(nl, layer[i], w_out)
+                b = sign_extend(nl, layer[i + 1], w_out)
+                nxt.append(Bus(ripple_add(nl, a, b, width=w_out)))
+            else:
+                nxt.append(layer[i])
+        layer = nxt
+    return layer[0]
+
+
+def build_class_sums(nl, model, clause_nets, width=None):
+    """Build one signed class-sum bus per class.
+
+    Parameters
+    ----------
+    nl:
+        Target netlist; nodes are tagged with the ``class_sum`` block.
+    model:
+        :class:`repro.model.TMModel` (supplies polarity/weights and the
+        empty-clause mask).
+    clause_nets:
+        ``clause_nets[c][k]`` — final clause output nets from the HCB chain.
+    width:
+        Optional signed output width; all sums are sign-extended to it.
+
+    Returns
+    -------
+    List of :class:`Bus`, one per class, each ``width`` bits wide.
+    """
+    if width is None:
+        width = class_sum_width(model)
+    active = ~model.empty_clause_mask()
+    weights = model.vote_weights()
+    sums = []
+    with nl.block("class_sum"):
+        for c in range(model.n_classes):
+            if model.weights is None:
+                raw = _polarity_class_sum(
+                    nl, clause_nets[c], model.polarity, active[c]
+                )
+            else:
+                raw = _weighted_class_sum(
+                    nl, clause_nets[c], weights[c], active[c], width
+                )
+            if len(raw) < width:
+                raw = sign_extend(nl, raw, width)
+            elif len(raw) > width:
+                raw = Bus(raw[:width])
+            sums.append(Bus(raw))
+    return sums

@@ -1,0 +1,95 @@
+"""Control unit: AXI-stream handshake, packet routing, status FSM.
+
+Section III: "The inference architecture is orchestrated from a dedicated
+control unit.  This unit is used to handle the AXI-stream transactions and
+offer reset, stall, compute and idle functionalities."
+
+The controller is a packet counter plus a 1-bit busy FSM:
+
+* ``s_ready`` is high unless stalled or reset — the design is
+  bandwidth-driven and accepts a packet every cycle;
+* the counter value routes each accepted packet to its HCB via one-hot
+  enables (the HCB input muxes of Fig. 5);
+* ``done`` pulses on the last packet of a datapoint; its registered copy
+  ``done_r`` aligns the class-sum capture one cycle later;
+* ``busy`` distinguishes compute from idle for status readback.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..rtl.arith import Bus, bus_const, bus_dff, equals_const, mux_bus, ripple_add
+
+__all__ = ["ControllerSignals", "build_controller"]
+
+
+@dataclass
+class ControllerSignals:
+    """Nets produced by the control unit."""
+
+    s_ready: int
+    accept: int
+    packet_enables: list
+    done: int
+    done_r: int
+    busy: int
+    count: Bus = field(default_factory=Bus)
+
+
+def build_controller(nl, n_packets, s_valid, rst, stall=None):
+    """Build the control unit onto ``nl``; returns :class:`ControllerSignals`.
+
+    Parameters
+    ----------
+    nl:
+        Target netlist (nodes tagged with the ``ctrl`` block).
+    n_packets:
+        Packets per datapoint (the counter wraps at ``n_packets - 1``).
+    s_valid, rst, stall:
+        Input nets; ``stall`` is optional (constant 0 when absent).
+    """
+    if n_packets < 1:
+        raise ValueError("n_packets must be >= 1")
+    with nl.block("ctrl"):
+        stall_net = stall if stall is not None else nl.const(0)
+        not_rst = nl.g_not(rst)
+        s_ready = nl.g_and(not_rst, nl.g_not(stall_net))
+        accept = nl.g_and(s_valid, s_ready)
+
+        cnt_width = max(1, math.ceil(math.log2(n_packets))) if n_packets > 1 else 1
+        # Counter register bank with synchronous reset.
+        count = Bus()
+        count_reg_ids = []
+        for i in range(cnt_width):
+            nid = nl.dff(nl.const(0), en=accept, rst=rst, init=0, name=f"pkt_cnt[{i}]")
+            count.append(nid)
+            count_reg_ids.append(nid)
+        is_last = equals_const(nl, count, n_packets - 1)
+        inc = ripple_add(nl, count, bus_const(nl, 1, 1), width=cnt_width)
+        nxt = mux_bus(nl, is_last, bus_const(nl, 0, cnt_width), Bus(inc[:cnt_width]))
+        for i, nid in enumerate(count_reg_ids):
+            node = nl.nodes[nid]
+            node.fanins = (nxt[i], accept, rst)
+
+        packet_enables = [
+            nl.g_and(accept, equals_const(nl, count, p)) for p in range(n_packets)
+        ]
+        done = nl.g_and(accept, is_last)
+        done_r = nl.dff(done, rst=rst, init=0, name="done_r")
+
+        # Busy FSM: set on first accepted packet, cleared by done (or reset).
+        busy = nl.dff(nl.const(0), rst=rst, init=0, name="busy")
+        busy_next = nl.g_and(nl.g_or(busy, accept), nl.g_not(done))
+        nl.nodes[busy].fanins = (busy_next, nl.const(1), rst)
+
+    return ControllerSignals(
+        s_ready=s_ready,
+        accept=accept,
+        packet_enables=packet_enables,
+        done=done,
+        done_r=done_r,
+        busy=busy,
+        count=count,
+    )

@@ -1,0 +1,158 @@
+"""Top-level MATADOR accelerator assembly (Fig. 5's block diagram).
+
+``generate_accelerator`` wires the four architectural pieces — control
+unit, HCB chain, class-sum stage, argmax tree — into one netlist, applies
+the configured pipelining, and returns an :class:`AcceleratorDesign`
+bundling the netlist with the schedule, the analytic latency model and the
+per-block structural metadata the benches report on.
+
+Interface of the generated module::
+
+    input  wire clk
+    input  wire rst            synchronous reset
+    input  wire stall          back-pressure from the host
+    input  wire [W-1:0] s_data AXI-stream TDATA
+    input  wire s_valid        AXI-stream TVALID
+    output wire s_ready        AXI-stream TREADY
+    output wire [I-1:0] result winning class index
+    output wire result_valid   one-cycle pulse per datapoint
+    output wire [S-1:0] result_sum  winning (signed) class sum
+    output wire busy
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..rtl.arith import Bus, bus_dff, bus_input
+from ..rtl.netlist import Netlist
+from .argmax import argmax_index_width, build_argmax
+from .class_sum import build_class_sums, class_sum_width
+from .config import AcceleratorConfig
+from .controller import build_controller
+from .hcb import build_hcbs
+from .latency import LatencyModel
+from .packetizer import PacketSchedule
+
+__all__ = ["AcceleratorDesign", "generate_accelerator"]
+
+
+@dataclass
+class AcceleratorDesign:
+    """A generated accelerator plus everything needed to evaluate it."""
+
+    netlist: Netlist
+    model: object
+    schedule: PacketSchedule
+    config: AcceleratorConfig
+    hcb_infos: list
+    latency: LatencyModel
+    sum_width: int
+    index_width: int
+    clause_nets: list = field(default_factory=list, repr=False)
+
+    @property
+    def n_packets(self):
+        return self.schedule.n_packets
+
+    def structure_report(self):
+        """Per-block structural summary (gates/registers per HCB etc.)."""
+        per_block = {}
+        for nid, node in enumerate(self.netlist.nodes):
+            if node.block is None:
+                continue
+            entry = per_block.setdefault(
+                node.block, {"gates": 0, "registers": 0}
+            )
+            if node.kind == "dff":
+                entry["registers"] += 1
+            elif node.kind in ("and", "or", "xor", "not", "mux"):
+                entry["gates"] += 1
+        return per_block
+
+    def summary(self):
+        stats = self.netlist.stats()
+        return (
+            f"{self.config.name}: {self.model.n_classes} classes x "
+            f"{self.model.n_clauses} clauses, {self.n_packets} packets @ "
+            f"{self.config.bus_width}b, gates={stats['gates']}, "
+            f"regs={stats['registers']}, depth={stats['depth']}, "
+            f"II={self.latency.initiation_interval}"
+        )
+
+
+def generate_accelerator(model, config=None):
+    """Translate a trained :class:`repro.model.TMModel` into an accelerator.
+
+    This is the boolean-to-silicon step: the include matrix becomes
+    hard-coded AND/NOT logic, the vote mechanism becomes adder trees, and
+    the classification becomes a comparison tree, all behind an AXI-stream
+    interface sized by ``config.bus_width``.
+    """
+    if config is None:
+        config = AcceleratorConfig()
+    schedule = PacketSchedule(n_features=model.n_features, bus_width=config.bus_width)
+    nl = Netlist(name=config.name, share=config.share_logic)
+
+    # --- interface ---------------------------------------------------------
+    s_data = bus_input(nl, "s_data", config.bus_width)
+    s_valid = nl.add_input("s_valid")
+    rst = nl.add_input("rst")
+    stall = nl.add_input("stall")
+
+    # --- control unit ------------------------------------------------------
+    ctrl = build_controller(nl, schedule.n_packets, s_valid, rst, stall)
+
+    # --- HCB chain -----------------------------------------------------------
+    clause_nets, hcb_infos = build_hcbs(
+        nl, model, schedule, s_data, ctrl.packet_enables, config
+    )
+
+    # --- class sums ----------------------------------------------------------
+    sum_width = class_sum_width(model)
+    sums = build_class_sums(nl, model, clause_nets, width=sum_width)
+
+    valid_chain = ctrl.done_r
+    if config.pipeline_class_sum:
+        with nl.block("pipeline"):
+            sums = [
+                bus_dff(nl, s, en=ctrl.done_r, rst=rst, name=f"sum_r{c}")
+                for c, s in enumerate(sums)
+            ]
+            valid_chain = nl.dff(valid_chain, rst=rst, init=0, name="sum_valid_r")
+
+    # --- argmax ---------------------------------------------------------------
+    index_width = argmax_index_width(model.n_classes)
+    index_bus, value_bus = build_argmax(nl, sums, model.n_classes)
+
+    if config.pipeline_argmax:
+        with nl.block("pipeline"):
+            index_bus = bus_dff(nl, index_bus, en=valid_chain, rst=rst, name="result_r")
+            value_bus = bus_dff(nl, value_bus, en=valid_chain, rst=rst, name="result_sum_r")
+            valid_chain = nl.dff(valid_chain, rst=rst, init=0, name="result_valid_r")
+
+    # --- outputs ----------------------------------------------------------------
+    nl.set_output("s_ready", ctrl.s_ready)
+    nl.set_output("result_valid", valid_chain)
+    nl.set_output("busy", ctrl.busy)
+    for i, bit in enumerate(Bus(index_bus)):
+        nl.set_output(f"result[{i}]", bit)
+    for i, bit in enumerate(Bus(value_bus)):
+        nl.set_output(f"result_sum[{i}]", bit)
+
+    latency = LatencyModel(
+        n_packets=schedule.n_packets,
+        pipeline_class_sum=config.pipeline_class_sum,
+        pipeline_argmax=config.pipeline_argmax,
+    )
+    return AcceleratorDesign(
+        netlist=nl,
+        model=model,
+        schedule=schedule,
+        config=config,
+        hcb_infos=hcb_infos,
+        latency=latency,
+        sum_width=sum_width,
+        index_width=index_width,
+        clause_nets=clause_nets,
+    )

@@ -1,0 +1,75 @@
+"""Analytic latency/throughput model of a generated accelerator (Fig. 7).
+
+The architecture is bandwidth-driven: a new datapoint can be initiated
+every ``n_packets`` cycles, and the first result appears a fixed number of
+pipeline stages after the last packet:
+
+* cycle 0 .. P-1 — packets stream into their HCBs;
+* cycle P        — class sums settle from the clause registers
+  (captured into the sum register bank when class-sum pipelining is on);
+* cycle P+1      — argmax settles (captured when argmax pipelining is on);
+* the result is valid on the cycle after its final register captures.
+
+The model is cross-checked cycle-for-cycle against the netlist simulator
+in the test suite; the Fig. 7 bench prints both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LatencyModel"]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Closed-form timing of one accelerator configuration."""
+
+    n_packets: int
+    pipeline_class_sum: bool
+    pipeline_argmax: bool
+
+    @property
+    def initiation_interval(self):
+        """Cycles between successive datapoints at full stream rate."""
+        return self.n_packets
+
+    @property
+    def result_stage_count(self):
+        """Register stages between the last packet and the valid result."""
+        return 1 + int(self.pipeline_class_sum) + int(self.pipeline_argmax)
+
+    @property
+    def first_result_cycle(self):
+        """Cycle index (first packet = cycle 0) when result_valid is high."""
+        return self.n_packets - 1 + self.result_stage_count
+
+    @property
+    def latency_cycles(self):
+        """Elapsed cycles from first packet to a readable result."""
+        return self.first_result_cycle + 1
+
+    def latency_us(self, clock_mhz):
+        """One-datapoint latency in microseconds at a given clock."""
+        return self.latency_cycles / clock_mhz
+
+    def throughput_inf_per_s(self, clock_mhz):
+        """Steady-state inferences per second (bandwidth-limited)."""
+        return clock_mhz * 1e6 / self.initiation_interval
+
+    def pipeline_timeline(self):
+        """Human-readable stage schedule for the Fig. 7 bench."""
+        events = [
+            (p, f"packet {p} -> HCB {p}") for p in range(self.n_packets)
+        ]
+        cycle = self.n_packets
+        events.append((cycle, "class sums settle from clause registers"))
+        if self.pipeline_class_sum:
+            events.append((cycle, "class-sum register captures"))
+            cycle += 1
+        events.append((cycle, "argmax comparison tree settles"))
+        if self.pipeline_argmax:
+            events.append((cycle, "argmax result register captures"))
+            cycle += 1
+        events.append((cycle, "result_valid high"))
+        return events

@@ -1,0 +1,42 @@
+"""FINN-style BNN/QNN baselines: training, topologies, dataflow cost model."""
+
+from .bnn import QuantLayer, QuantMLP
+from .finn import (
+    FINN_TOGGLE_RATE,
+    FinnEstimate,
+    LayerFolding,
+    choose_folding,
+    estimate_finn,
+)
+from .quantize import (
+    binarize,
+    quantize_activation,
+    quantize_symmetric,
+    ste_grad_mask,
+)
+from .topologies import (
+    TABLE_II,
+    FinnTopology,
+    MatadorConfigSpec,
+    finn_topology,
+    matador_spec,
+)
+
+__all__ = [
+    "QuantLayer",
+    "QuantMLP",
+    "FINN_TOGGLE_RATE",
+    "FinnEstimate",
+    "LayerFolding",
+    "choose_folding",
+    "estimate_finn",
+    "binarize",
+    "quantize_activation",
+    "quantize_symmetric",
+    "ste_grad_mask",
+    "TABLE_II",
+    "FinnTopology",
+    "MatadorConfigSpec",
+    "finn_topology",
+    "matador_spec",
+]

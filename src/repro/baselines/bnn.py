@@ -1,0 +1,173 @@
+"""Binarized / quantized MLP training (the FINN model zoo substitute).
+
+Implements the networks of Table II in numpy: fully connected layers with
+1- or 2-bit weights, hard-tanh activations quantized to 1 or 2 bits, and
+straight-through-estimator backpropagation with Adam.  Inputs are the
+same booleanized vectors the TM consumes, mapped to {-1, +1}.
+
+This exists to fill the accuracy column of the FINN rows in Table I; the
+resource/latency columns come from :mod:`repro.baselines.finn`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .quantize import binarize, quantize_activation, quantize_symmetric, ste_grad_mask
+
+__all__ = ["QuantLayer", "QuantMLP"]
+
+
+class QuantLayer:
+    """One quantized fully connected layer with latent float weights."""
+
+    def __init__(self, n_in, n_out, weight_bits, act_bits, rng, last=False):
+        # Latent weights live in [-1, 1] and are quantized on the forward
+        # pass, so the init must span the quantizer's levels (a fan-in-scaled
+        # init would round almost everything to zero for 2-bit weights);
+        # magnitude normalization happens via ``norm`` below instead.
+        self.W = rng.uniform(-0.8, 0.8, size=(n_in, n_out))
+        self.b = np.zeros(n_out)
+        self.weight_bits = int(weight_bits)
+        self.act_bits = int(act_bits)
+        self.last = bool(last)
+        # Fan-in normalization: keeps pre-activations inside the STE clip
+        # range, the role batch norm plays in Courbariaux-style BNNs.
+        self.norm = 1.0 / np.sqrt(n_in)
+        # Adam state
+        self._mW = np.zeros_like(self.W)
+        self._vW = np.zeros_like(self.W)
+        self._mb = np.zeros_like(self.b)
+        self._vb = np.zeros_like(self.b)
+        self._t = 0
+        self._cache = None
+
+    def quantized_weights(self):
+        return quantize_symmetric(self.W, self.weight_bits)
+
+    def forward(self, x, train=False):
+        Wq = self.quantized_weights()
+        z = (x @ Wq + self.b) * self.norm
+        if self.last:
+            out = z
+        elif self.act_bits == 1:
+            out = binarize(z)
+        else:
+            out = quantize_activation(np.maximum(z, 0.0), self.act_bits)
+        if train:
+            self._cache = (x, z)
+        return out
+
+    def backward(self, grad_out, lr, beta1=0.9, beta2=0.999, eps=1e-8):
+        x, z = self._cache
+        if self.last:
+            grad_z = grad_out * self.norm
+        else:
+            # STE through the activation quantizer (z is pre-normalized).
+            grad_z = grad_out * ste_grad_mask(z) * self.norm
+        Wq = self.quantized_weights()
+        grad_W = x.T @ grad_z / len(x)
+        grad_b = grad_z.mean(axis=0)
+        grad_x = grad_z @ Wq.T
+        # STE through the weight quantizer, with latent-weight clipping.
+        grad_W = grad_W * ste_grad_mask(self.W)
+
+        self._t += 1
+        for param, grad, m, v in (
+            (self.W, grad_W, self._mW, self._vW),
+            (self.b, grad_b, self._mb, self._vb),
+        ):
+            m *= beta1
+            m += (1 - beta1) * grad
+            v *= beta2
+            v += (1 - beta2) * grad * grad
+            mhat = m / (1 - beta1**self._t)
+            vhat = v / (1 - beta2**self._t)
+            param -= lr * mhat / (np.sqrt(vhat) + eps)
+        np.clip(self.W, -1.0, 1.0, out=self.W)
+        return grad_x
+
+
+class QuantMLP:
+    """A quantized MLP matching one Table II topology.
+
+    Parameters
+    ----------
+    layer_sizes:
+        E.g. ``[784, 64, 64, 64, 10]``.
+    weight_bits, act_bits:
+        Quantization of hidden layers (the output layer keeps float
+        accumulation, as FINN's final layer reads out integer sums).
+    """
+
+    def __init__(self, layer_sizes, weight_bits=1, act_bits=1, seed=0):
+        if len(layer_sizes) < 2:
+            raise ValueError("need at least input and output sizes")
+        rng = np.random.default_rng(seed)
+        self.layer_sizes = list(layer_sizes)
+        self.weight_bits = weight_bits
+        self.act_bits = act_bits
+        self.layers = []
+        for i in range(len(layer_sizes) - 1):
+            last = i == len(layer_sizes) - 2
+            self.layers.append(
+                QuantLayer(
+                    layer_sizes[i],
+                    layer_sizes[i + 1],
+                    weight_bits,
+                    act_bits,
+                    rng,
+                    last=last,
+                )
+            )
+
+    @staticmethod
+    def _encode_inputs(X):
+        """Map boolean features {0,1} to bipolar {-1,+1}."""
+        return np.asarray(X, dtype=np.float64) * 2.0 - 1.0
+
+    def forward(self, X, train=False):
+        h = self._encode_inputs(X)
+        for layer in self.layers:
+            h = layer.forward(h, train=train)
+        return h
+
+    def predict(self, X):
+        return np.argmax(self.forward(X), axis=1)
+
+    def evaluate(self, X, y):
+        return float(np.mean(self.predict(X) == np.asarray(y)))
+
+    def fit(self, X, y, epochs=20, batch_size=64, lr=5e-3, seed=0,
+            X_val=None, y_val=None):
+        """Train with softmax cross-entropy and STE backprop."""
+        X = np.asarray(X)
+        y = np.asarray(y, dtype=np.int64)
+        rng = np.random.default_rng(seed)
+        n = len(X)
+        history = []
+        for epoch in range(epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                logits = self.forward(X[idx], train=True)
+                # softmax cross-entropy gradient
+                logits = logits - logits.max(axis=1, keepdims=True)
+                p = np.exp(logits)
+                p /= p.sum(axis=1, keepdims=True)
+                p[np.arange(len(idx)), y[idx]] -= 1.0
+                grad = p
+                for layer in reversed(self.layers):
+                    grad = layer.backward(grad, lr)
+            entry = {"epoch": epoch, "train_accuracy": self.evaluate(X, y)}
+            if X_val is not None:
+                entry["val_accuracy"] = self.evaluate(X_val, y_val)
+            history.append(entry)
+        return history
+
+    def parameter_bits(self):
+        """Total weight storage in bits (the FINN BRAM driver)."""
+        total = 0
+        for layer in self.layers:
+            total += layer.W.size * layer.weight_bits
+        return total

@@ -1,0 +1,61 @@
+"""Quantization primitives for the BNN/QNN baselines.
+
+The FINN-style comparators quantize weights and activations to 1 or 2
+bits.  Training uses the straight-through estimator (STE): the forward
+pass quantizes, the backward pass treats the quantizer as identity within
+the clipping range (Courbariaux et al.; as used by FINN's Brevitas
+models).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "binarize",
+    "quantize_symmetric",
+    "ste_grad_mask",
+    "quantize_activation",
+]
+
+
+def binarize(x):
+    """Sign binarization to {-1, +1} (0 maps to +1)."""
+    return np.where(np.asarray(x) >= 0, 1.0, -1.0)
+
+
+def quantize_symmetric(x, bits):
+    """Symmetric uniform quantization to ``2^bits - 1`` levels in [-1, 1].
+
+    ``bits=1`` degenerates to sign binarization, matching FINN's
+    convention for 1-bit weights.
+    """
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    if bits == 1:
+        return binarize(x)
+    levels = (1 << bits) - 1
+    half = levels // 2
+    x = np.clip(np.asarray(x), -1.0, 1.0)
+    return np.round(x * half) / half
+
+
+def quantize_activation(x, bits, clip=1.0):
+    """Unsigned activation quantization to ``2^bits - 1`` levels in [0, clip].
+
+    FINN QNN layers use unsigned thresholded activations; 1 bit is the
+    binary {−1,+1} special case handled by :func:`binarize`.
+    """
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    if bits == 1:
+        return binarize(x)
+    levels = (1 << bits) - 1
+    x = np.clip(np.asarray(x), 0.0, clip)
+    return np.round(x / clip * levels) / levels * clip
+
+
+def ste_grad_mask(x, clip=1.0):
+    """Straight-through gradient mask: 1 inside the clip range, else 0."""
+    x = np.asarray(x)
+    return ((x >= -clip) & (x <= clip)).astype(np.float64)

@@ -1,0 +1,26 @@
+"""Synthetic evaluation datasets and loaders."""
+
+from .datasets import (
+    Dataset,
+    make_cifar2_like,
+    make_fmnist_like,
+    make_kmnist_like,
+    make_kws6_like,
+    make_mnist_like,
+)
+from .loaders import DATASET_REGISTRY, class_balance, load_dataset, train_val_split
+from .raster import Canvas
+
+__all__ = [
+    "Dataset",
+    "make_cifar2_like",
+    "make_fmnist_like",
+    "make_kmnist_like",
+    "make_kws6_like",
+    "make_mnist_like",
+    "DATASET_REGISTRY",
+    "class_balance",
+    "load_dataset",
+    "train_val_split",
+    "Canvas",
+]

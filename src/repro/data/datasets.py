@@ -1,0 +1,434 @@
+"""Synthetic stand-ins for the paper's five evaluation datasets.
+
+The paper evaluates on MNIST, KMNIST, FMNIST, CIFAR-2 (animals vs vehicles)
+and KWS6 (six Google Speech Commands keywords).  None of these can be
+downloaded here, so each generator below synthesizes a dataset with the
+**same input dimensionality, booleanization path and classification
+structure**:
+
+============  =========  =======  ==========================================
+dataset       features   classes  synthesis
+============  =========  =======  ==========================================
+mnist-like    784        10       stroke-drawn digit glyphs, jitter + noise
+kmnist-like   784        10       curvier per-class stroke motifs
+fmnist-like   784        10       garment-like silhouettes (rects/blobs)
+cifar2-like   1024       2        32x32 scenes: blocky vehicles vs blobby
+                                  animals, grayscale-reduced and thresholded
+kws6-like     377        6        synthesized formant-trajectory audio ->
+                                  29 frames x 13 log filterbank bands,
+                                  mean-thresholded to 1 bit per band
+============  =========  =======  ==========================================
+
+All generators are deterministic given a seed and return a
+:class:`Dataset` of boolean features, which is what the TM trainer and the
+generated accelerator consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .raster import Canvas
+
+__all__ = [
+    "Dataset",
+    "make_mnist_like",
+    "make_kmnist_like",
+    "make_fmnist_like",
+    "make_cifar2_like",
+    "make_kws6_like",
+]
+
+
+@dataclass
+class Dataset:
+    """A booleanized classification dataset."""
+
+    name: str
+    X_train: np.ndarray
+    y_train: np.ndarray
+    X_test: np.ndarray
+    y_test: np.ndarray
+    n_classes: int
+    n_features: int
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        for X in (self.X_train, self.X_test):
+            if X.ndim != 2 or X.shape[1] != self.n_features:
+                raise ValueError("feature matrix shape mismatch")
+        if self.y_train.max() >= self.n_classes or self.y_test.max() >= self.n_classes:
+            raise ValueError("label out of range")
+
+    @property
+    def n_train(self):
+        return len(self.X_train)
+
+    @property
+    def n_test(self):
+        return len(self.X_test)
+
+    def subset(self, n_train=None, n_test=None):
+        """A smaller view (first-n) of the same dataset."""
+        return Dataset(
+            name=self.name,
+            X_train=self.X_train[: n_train or self.n_train],
+            y_train=self.y_train[: n_train or self.n_train],
+            X_test=self.X_test[: n_test or self.n_test],
+            y_test=self.y_test[: n_test or self.n_test],
+            n_classes=self.n_classes,
+            n_features=self.n_features,
+            metadata=dict(self.metadata),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Digit-like glyphs (MNIST)
+# ---------------------------------------------------------------------------
+
+def _digit_glyph(digit, rng, size=28):
+    """Draw one jittered instance of a digit-like glyph."""
+    c = Canvas(size, size)
+    j = lambda v, amt=1.5: v + rng.uniform(-amt, amt)  # noqa: E731 - local jitter
+    th = rng.uniform(1.2, 1.9)
+    mid, lo, hi = size / 2, size * 0.18, size * 0.82
+    left, right = size * 0.25, size * 0.75
+    if digit == 0:
+        c.ellipse(j(mid), j(mid), size * 0.32, size * 0.22, thickness=th)
+    elif digit == 1:
+        c.line(j(lo), j(mid), j(hi), j(mid), thickness=th)
+        c.line(j(lo + 3), j(mid - 4), j(lo), j(mid), thickness=th)
+    elif digit == 2:
+        c.ellipse(j(lo + 5), j(mid), size * 0.18, size * 0.2, thickness=th)
+        c.line(j(mid), j(right), j(hi), j(left), thickness=th)
+        c.line(j(hi), j(left), j(hi), j(right), thickness=th)
+    elif digit == 3:
+        c.ellipse(j(lo + 5), j(mid), size * 0.16, size * 0.18, thickness=th)
+        c.ellipse(j(hi - 5), j(mid), size * 0.16, size * 0.18, thickness=th)
+    elif digit == 4:
+        c.line(j(lo), j(left), j(mid), j(left), thickness=th)
+        c.line(j(mid), j(left), j(mid), j(right), thickness=th)
+        c.line(j(lo), j(right - 2), j(hi), j(right - 2), thickness=th)
+    elif digit == 5:
+        c.line(j(lo), j(left), j(lo), j(right), thickness=th)
+        c.line(j(lo), j(left), j(mid), j(left), thickness=th)
+        c.ellipse(j(hi - 6), j(mid), size * 0.18, size * 0.2, thickness=th)
+    elif digit == 6:
+        c.line(j(lo), j(mid + 3), j(mid), j(left + 1), thickness=th)
+        c.ellipse(j(hi - 6), j(mid - 1), size * 0.17, size * 0.18, thickness=th)
+    elif digit == 7:
+        c.line(j(lo), j(left), j(lo), j(right), thickness=th)
+        c.line(j(lo), j(right), j(hi), j(mid - 2), thickness=th)
+    elif digit == 8:
+        c.ellipse(j(lo + 5), j(mid), size * 0.15, size * 0.17, thickness=th)
+        c.ellipse(j(hi - 6), j(mid), size * 0.18, size * 0.2, thickness=th)
+    elif digit == 9:
+        c.ellipse(j(lo + 6), j(mid), size * 0.17, size * 0.18, thickness=th)
+        c.line(j(mid), j(right - 3), j(hi), j(mid), thickness=th)
+    else:
+        raise ValueError(f"digit must be 0..9, got {digit}")
+    return c
+
+
+def _kmnist_glyph(cls, rng, size=28, motif_seed=1117):
+    """Curvy per-class stroke motifs standing in for Kuzushiji characters.
+
+    Each class owns a fixed motif (seeded independently of the sample RNG)
+    of 3-4 strokes; samples jitter the control points.
+    """
+    motif_rng = np.random.default_rng(motif_seed + cls)
+    n_strokes = 3 + cls % 2
+    strokes = []
+    for _ in range(n_strokes):
+        kind = motif_rng.choice(["line", "arc"])
+        params = motif_rng.uniform(0.15, 0.85, size=4) * size
+        strokes.append((kind, params))
+    c = Canvas(size, size)
+    th = rng.uniform(1.3, 2.0)
+    for kind, params in strokes:
+        p = params + rng.uniform(-1.5, 1.5, size=4)
+        if kind == "line":
+            c.line(p[0], p[1], p[2], p[3], thickness=th)
+        else:
+            c.ellipse(p[0], p[1], max(3.0, p[2] / 3), max(3.0, p[3] / 3), thickness=th)
+    return c
+
+
+def _fmnist_glyph(cls, rng, size=28):
+    """Garment-like silhouettes: 10 classes of rect/blob compositions."""
+    c = Canvas(size, size)
+    j = lambda v, amt=1.5: v + rng.uniform(-amt, amt)  # noqa: E731
+    mid = size / 2
+    if cls == 0:  # t-shirt: torso + short sleeves
+        c.rect(j(8), j(9), j(22), j(19), intensity=0.9)
+        c.rect(j(8), j(4), j(12), j(24), intensity=0.9)
+    elif cls == 1:  # trouser: two legs
+        c.rect(j(6), j(10), j(24), j(13), intensity=0.9)
+        c.rect(j(6), j(15), j(24), j(18), intensity=0.9)
+    elif cls == 2:  # pullover: wide torso + long sleeves
+        c.rect(j(7), j(8), j(23), j(20), intensity=0.9)
+        c.rect(j(7), j(2), j(20), j(6), intensity=0.9)
+        c.rect(j(7), j(22), j(20), j(26), intensity=0.9)
+    elif cls == 3:  # dress: narrow top flaring down
+        c.line(j(6), mid, j(24), j(8), thickness=2.5)
+        c.line(j(6), mid, j(24), j(20), thickness=2.5)
+        c.rect(j(20), j(8), j(24), j(20), intensity=0.8)
+    elif cls == 4:  # coat: long torso + collar
+        c.rect(j(6), j(7), j(25), j(21), intensity=0.9)
+        c.line(j(6), j(11), j(14), mid, thickness=1.4)
+        c.line(j(6), j(17), j(14), mid, thickness=1.4)
+    elif cls == 5:  # sandal: sole + straps
+        c.rect(j(20), j(4), j(23), j(24), intensity=0.9)
+        c.line(j(12), j(8), j(20), j(14), thickness=1.4)
+        c.line(j(12), j(20), j(20), j(14), thickness=1.4)
+    elif cls == 6:  # shirt: torso + buttons line
+        c.rect(j(7), j(8), j(23), j(20), intensity=0.85)
+        c.line(j(8), mid, j(22), mid, thickness=1.0)
+    elif cls == 7:  # sneaker: low wedge
+        c.rect(j(16), j(4), j(22), j(24), intensity=0.9)
+        c.line(j(16), j(4), j(12), j(14), thickness=2.0)
+    elif cls == 8:  # bag: box + handle
+        c.rect(j(12), j(6), j(24), j(22), intensity=0.9)
+        c.ellipse(j(10), mid, 4.0, 5.0, thickness=1.4)
+    elif cls == 9:  # ankle boot: tall heel shape
+        c.rect(j(8), j(14), j(22), j(20), intensity=0.9)
+        c.rect(j(18), j(4), j(22), j(20), intensity=0.9)
+    else:
+        raise ValueError(f"class must be 0..9, got {cls}")
+    return c
+
+
+def _glyph_dataset(name, glyph_fn, n_classes, n_train, n_test, seed, size=28,
+                   noise=0.25, threshold=0.45, shift=2):
+    rng = np.random.default_rng(seed)
+    n_total = n_train + n_test
+    X = np.empty((n_total, size * size), dtype=np.uint8)
+    y = np.empty(n_total, dtype=np.int64)
+    for i in range(n_total):
+        cls = int(rng.integers(0, n_classes))
+        canvas = glyph_fn(cls, rng, size)
+        canvas = canvas.shifted(
+            int(rng.integers(-shift, shift + 1)), int(rng.integers(-shift, shift + 1))
+        )
+        canvas = canvas.with_noise(rng, amount=noise)
+        X[i] = canvas.binarize(threshold)
+        y[i] = cls
+    return Dataset(
+        name=name,
+        X_train=X[:n_train],
+        y_train=y[:n_train],
+        X_test=X[n_train:],
+        y_test=y[n_train:],
+        n_classes=n_classes,
+        n_features=size * size,
+        metadata={"image_shape": (size, size), "synthetic": True, "seed": seed},
+    )
+
+
+def make_mnist_like(n_train=1000, n_test=400, seed=0, noise=0.18, shift=1):
+    """784-bit, 10-class digit-glyph dataset (MNIST stand-in)."""
+    return _glyph_dataset(
+        "mnist-like", lambda c, r, s: _digit_glyph(c, r, s), 10, n_train, n_test,
+        seed, noise=noise, shift=shift,
+    )
+
+
+def make_kmnist_like(n_train=1000, n_test=400, seed=1, noise=0.18, shift=1):
+    """784-bit, 10-class cursive-motif dataset (KMNIST stand-in)."""
+    return _glyph_dataset(
+        "kmnist-like", lambda c, r, s: _kmnist_glyph(c, r, s), 10, n_train, n_test,
+        seed, noise=noise, shift=shift,
+    )
+
+
+def make_fmnist_like(n_train=1000, n_test=400, seed=2, noise=0.18, shift=1):
+    """784-bit, 10-class garment-silhouette dataset (FMNIST stand-in)."""
+    return _glyph_dataset(
+        "fmnist-like", lambda c, r, s: _fmnist_glyph(c, r, s), 10, n_train, n_test,
+        seed, noise=noise, shift=shift,
+    )
+
+
+# ---------------------------------------------------------------------------
+# CIFAR-2 (animals vs vehicles)
+# ---------------------------------------------------------------------------
+
+def _vehicle_scene(rng, size=32):
+    """Blocky vehicle: body rectangle, cabin, wheels, ground line."""
+    c = Canvas(size, size)
+    ground = rng.uniform(22, 26)
+    body_y = ground - rng.uniform(6, 9)
+    x0 = rng.uniform(3, 8)
+    x1 = size - rng.uniform(3, 8)
+    c.rect(body_y, x0, ground - 2, x1, intensity=0.85)
+    cab_x0 = x0 + rng.uniform(3, 6)
+    c.rect(body_y - rng.uniform(3, 5), cab_x0, body_y, cab_x0 + rng.uniform(6, 10), 0.8)
+    for wx in (x0 + 4, x1 - 4):
+        c.ellipse(ground - 1, wx, 2.6, 2.6, thickness=1.4)
+    c.line(ground + 1, 0, ground + 1, size - 1, thickness=1.0, intensity=0.6)
+    return c
+
+
+def _animal_scene(rng, size=32):
+    """Blobby animal: body blob, head blob, legs, irregular texture."""
+    c = Canvas(size, size)
+    cy = rng.uniform(14, 20)
+    cx = rng.uniform(12, 20)
+    c.blob(cy, cx, rng.uniform(5, 7), intensity=0.9)
+    c.blob(cy - rng.uniform(4, 7), cx + rng.uniform(5, 8), rng.uniform(2.5, 4), 0.9)
+    for leg in range(int(rng.integers(2, 5))):
+        lx = cx - 5 + leg * rng.uniform(2.5, 4.0)
+        c.line(cy + 3, lx, min(cy + 10, size - 2), lx + rng.uniform(-1, 1), thickness=1.0)
+    # texture speckle
+    for _ in range(6):
+        c.blob(rng.uniform(8, 26), rng.uniform(4, 28), rng.uniform(0.8, 1.6), 0.5)
+    return c
+
+
+def make_cifar2_like(n_train=800, n_test=400, seed=3):
+    """1024-bit, 2-class vehicles-vs-animals dataset (CIFAR-2 stand-in).
+
+    The paper's FINN topology for CIFAR-2 takes 1024 one-bit inputs, i.e. a
+    32x32 single-bit plane; we synthesize grayscale scenes directly and
+    threshold them, preserving the input path of both accelerator flows.
+    """
+    rng = np.random.default_rng(seed)
+    size = 32
+    n_total = n_train + n_test
+    X = np.empty((n_total, size * size), dtype=np.uint8)
+    y = np.empty(n_total, dtype=np.int64)
+    for i in range(n_total):
+        cls = int(rng.integers(0, 2))
+        canvas = _animal_scene(rng, size) if cls == 0 else _vehicle_scene(rng, size)
+        canvas = canvas.with_noise(rng, amount=0.3)
+        X[i] = canvas.binarize(0.5)
+        y[i] = cls
+    return Dataset(
+        name="cifar2-like",
+        X_train=X[:n_train],
+        y_train=y[:n_train],
+        X_test=X[n_train:],
+        y_test=y[n_train:],
+        n_classes=2,
+        n_features=size * size,
+        metadata={
+            "image_shape": (size, size),
+            "classes": ["animal", "vehicle"],
+            "synthetic": True,
+            "seed": seed,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# KWS6 (keyword spotting, audio)
+# ---------------------------------------------------------------------------
+
+_KWS_KEYWORDS = ("yes", "no", "up", "down", "left", "right")
+
+# Formant trajectories per keyword: (start_hz, end_hz) segments concatenated
+# over the utterance.  Distinct trajectories make the classes separable in
+# filterbank space the way real formants separate real keywords.
+_KWS_TRAJECTORIES = {
+    "yes": [(400, 900), (900, 1700)],
+    "no": [(700, 500), (500, 350)],
+    "up": [(350, 800), (800, 600)],
+    "down": [(900, 450), (450, 300), (300, 500)],
+    "left": [(600, 1200), (1200, 700)],
+    "right": [(500, 600), (600, 1500), (1500, 900)],
+}
+
+_KWS_RATE = 4000  # Hz
+_KWS_FRAME = 128  # samples per analysis frame
+_KWS_HOP = 64
+_KWS_FRAMES = 29
+_KWS_BANDS = 13
+_KWS_SAMPLES = _KWS_FRAME + (_KWS_FRAMES - 1) * _KWS_HOP  # 1920 -> 0.48 s
+
+
+def _synth_keyword(keyword, rng):
+    """Synthesize one utterance: chirped formant + harmonics + noise."""
+    segments = _KWS_TRAJECTORIES[keyword]
+    n = _KWS_SAMPLES
+    seg_len = n // len(segments)
+    freq = np.empty(n, dtype=np.float64)
+    pos = 0
+    for f0, f1 in segments:
+        end = min(pos + seg_len, n)
+        jitter = rng.uniform(0.9, 1.1)
+        freq[pos:end] = np.linspace(f0 * jitter, f1 * jitter, end - pos)
+        pos = end
+    if pos < n:
+        freq[pos:] = freq[pos - 1]
+    phase = 2 * np.pi * np.cumsum(freq) / _KWS_RATE
+    wave = np.sin(phase) + 0.4 * np.sin(2 * phase) + 0.15 * np.sin(3 * phase)
+    # amplitude envelope: attack-sustain-release
+    t = np.linspace(0, 1, n)
+    env = np.minimum(t / 0.1, 1.0) * np.minimum((1 - t) / 0.15, 1.0)
+    env = np.clip(env, 0.0, 1.0)
+    wave = wave * env + rng.normal(0, 0.2, size=n)
+    return wave
+
+
+def _filterbank_matrix(n_fft, n_bands, rate, f_lo=100.0, f_hi=1900.0):
+    """Triangular filterbank on a log-spaced frequency axis (mel-like)."""
+    edges = np.geomspace(f_lo, f_hi, n_bands + 2)
+    bin_freqs = np.fft.rfftfreq(n_fft, d=1.0 / rate)
+    fb = np.zeros((n_bands, len(bin_freqs)))
+    for b in range(n_bands):
+        lo, mid, hi = edges[b], edges[b + 1], edges[b + 2]
+        rising = (bin_freqs - lo) / max(mid - lo, 1e-9)
+        falling = (hi - bin_freqs) / max(hi - mid, 1e-9)
+        fb[b] = np.clip(np.minimum(rising, falling), 0.0, None)
+    return fb
+
+
+def _log_filterbank_features(wave):
+    """29 frames x 13 log filterbank energies -> flat 377 vector."""
+    fb = _filterbank_matrix(_KWS_FRAME, _KWS_BANDS, _KWS_RATE)
+    window = np.hanning(_KWS_FRAME)
+    feats = np.empty((_KWS_FRAMES, _KWS_BANDS))
+    for i in range(_KWS_FRAMES):
+        frame = wave[i * _KWS_HOP : i * _KWS_HOP + _KWS_FRAME] * window
+        power = np.abs(np.fft.rfft(frame)) ** 2
+        feats[i] = np.log(fb @ power + 1e-8)
+    return feats.ravel()
+
+
+def make_kws6_like(n_train=600, n_test=300, seed=4):
+    """377-bit, 6-class keyword-spotting dataset (KWS6 stand-in).
+
+    Full audio path: waveform synthesis -> framed FFT -> 13-band log
+    filterbank over 29 frames (377 features, matching the paper's FINN
+    topology input width) -> per-feature mean thresholding to 1 bit.
+    """
+    rng = np.random.default_rng(seed)
+    n_total = n_train + n_test
+    feats = np.empty((n_total, _KWS_FRAMES * _KWS_BANDS))
+    y = np.empty(n_total, dtype=np.int64)
+    for i in range(n_total):
+        cls = int(rng.integers(0, len(_KWS_KEYWORDS)))
+        wave = _synth_keyword(_KWS_KEYWORDS[cls], rng)
+        feats[i] = _log_filterbank_features(wave)
+        y[i] = cls
+    thresholds = feats[:n_train].mean(axis=0)
+    X = (feats > thresholds).astype(np.uint8)
+    return Dataset(
+        name="kws6-like",
+        X_train=X[:n_train],
+        y_train=y[:n_train],
+        X_test=X[n_train:],
+        y_test=y[n_train:],
+        n_classes=len(_KWS_KEYWORDS),
+        n_features=_KWS_FRAMES * _KWS_BANDS,
+        metadata={
+            "keywords": list(_KWS_KEYWORDS),
+            "frames": _KWS_FRAMES,
+            "bands": _KWS_BANDS,
+            "sample_rate": _KWS_RATE,
+            "synthetic": True,
+            "seed": seed,
+        },
+    )

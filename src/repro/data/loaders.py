@@ -1,0 +1,65 @@
+"""Dataset registry and split utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .datasets import (
+    Dataset,
+    make_cifar2_like,
+    make_fmnist_like,
+    make_kmnist_like,
+    make_kws6_like,
+    make_mnist_like,
+)
+
+__all__ = ["DATASET_REGISTRY", "load_dataset", "train_val_split", "class_balance"]
+
+DATASET_REGISTRY = {
+    "mnist": make_mnist_like,
+    "kmnist": make_kmnist_like,
+    "fmnist": make_fmnist_like,
+    "cifar2": make_cifar2_like,
+    "kws6": make_kws6_like,
+}
+
+
+def load_dataset(name, **kwargs):
+    """Load a registered dataset by short name (``mnist``, ``kws6``, ...)."""
+    key = name.lower().replace("-like", "").replace("_", "")
+    if key not in DATASET_REGISTRY:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(DATASET_REGISTRY)}"
+        )
+    return DATASET_REGISTRY[key](**kwargs)
+
+
+def train_val_split(dataset, val_fraction=0.2, seed=0):
+    """Split a dataset's training half into train/validation pieces.
+
+    Returns ``(X_train, y_train, X_val, y_val)``; the split is shuffled
+    deterministically by ``seed``.
+    """
+    if not 0.0 < val_fraction < 1.0:
+        raise ValueError("val_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    n = dataset.n_train
+    order = rng.permutation(n)
+    n_val = max(1, int(round(n * val_fraction)))
+    val_idx = order[:n_val]
+    train_idx = order[n_val:]
+    return (
+        dataset.X_train[train_idx],
+        dataset.y_train[train_idx],
+        dataset.X_train[val_idx],
+        dataset.y_train[val_idx],
+    )
+
+
+def class_balance(y, n_classes=None):
+    """Fraction of samples per class (sanity check for the generators)."""
+    y = np.asarray(y)
+    if n_classes is None:
+        n_classes = int(y.max()) + 1
+    counts = np.bincount(y, minlength=n_classes).astype(np.float64)
+    return counts / counts.sum()

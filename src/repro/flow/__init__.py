@@ -1,0 +1,19 @@
+"""MATADOR automation flow: orchestration, CLI, verification, deployment."""
+
+from .deploy import deployment_report, generate_host_driver, write_bundle
+from .notebook import generate_notebook
+from .flow import FlowConfig, FlowResult, MatadorFlow
+from .verify import VerificationReport, netlists_equivalent, verify_design
+
+__all__ = [
+    "deployment_report",
+    "generate_host_driver",
+    "write_bundle",
+    "FlowConfig",
+    "FlowResult",
+    "MatadorFlow",
+    "generate_notebook",
+    "VerificationReport",
+    "netlists_equivalent",
+    "verify_design",
+]

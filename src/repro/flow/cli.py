@@ -1,0 +1,163 @@
+"""Command-line front-end — the GUI substitute (Fig. 6a).
+
+The Tkinter GUI of the original tool walks users through design space
+exploration and implementation with no coding; this CLI exposes the same
+flow stages as subcommands:
+
+.. code-block:: console
+
+   matador run --dataset kws6 --clauses 40 --epochs 6 --outdir build/
+   matador datasets
+   matador table2
+   matador emit --dataset mnist --clauses 20 --outdir rtl/
+
+``run`` executes train -> analyze -> generate -> implement -> verify and
+optionally writes the deployment bundle; ``emit`` stops after RTL
+generation.  JSON flow configs (``--config flow.json``) reproduce runs
+exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..baselines.topologies import TABLE_II
+from ..data.loaders import DATASET_REGISTRY
+from .flow import FlowConfig, MatadorFlow
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="matador",
+        description="MATADOR: automated SoC Tsetlin Machine design generation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute the full design flow")
+    _add_flow_args(run)
+    run.add_argument("--outdir", default=None, help="write deployment bundle here")
+    run.add_argument("--no-verify", action="store_true", help="skip auto-debug")
+    run.add_argument("--json", action="store_true", help="print machine-readable result")
+
+    emit = sub.add_parser("emit", help="generate RTL only")
+    _add_flow_args(emit)
+    emit.add_argument("--outdir", required=True, help="directory for RTL artifacts")
+
+    sub.add_parser("datasets", help="list available datasets")
+    sub.add_parser("table2", help="print the Table II model configurations")
+    return parser
+
+
+def _add_flow_args(cmd):
+    cmd.add_argument("--config", default=None, help="JSON flow config file")
+    cmd.add_argument("--dataset", default="mnist", choices=sorted(DATASET_REGISTRY))
+    cmd.add_argument("--clauses", type=int, default=40, help="clauses per class")
+    cmd.add_argument("--T", type=int, default=20)
+    cmd.add_argument("--s", type=float, default=5.0)
+    cmd.add_argument("--epochs", type=int, default=6)
+    cmd.add_argument("--train", type=int, default=500, dest="n_train")
+    cmd.add_argument("--test", type=int, default=200, dest="n_test")
+    cmd.add_argument("--bus-width", type=int, default=64)
+    cmd.add_argument("--clock", type=float, default=None, help="MHz (default: max passing)")
+    cmd.add_argument("--no-pipeline", action="store_true", help="disable pipelining")
+    cmd.add_argument("--dont-touch", action="store_true", help="disable logic sharing")
+    cmd.add_argument("--seed", type=int, default=42)
+    cmd.add_argument("--import-model", default=None, dest="model_path",
+                     help="import a trained model instead of training")
+    cmd.add_argument("--name", default="matador_accel")
+
+
+def _config_from_args(args):
+    if args.config:
+        with open(args.config, encoding="utf-8") as f:
+            return FlowConfig.from_dict(json.load(f))
+    return FlowConfig(
+        dataset=args.dataset,
+        n_train=args.n_train,
+        n_test=args.n_test,
+        clauses_per_class=args.clauses,
+        T=args.T,
+        s=args.s,
+        epochs=args.epochs,
+        train_seed=args.seed,
+        bus_width=args.bus_width,
+        pipeline_class_sum=not args.no_pipeline,
+        pipeline_argmax=not args.no_pipeline,
+        share_logic=not args.dont_touch,
+        clock_mhz=args.clock,
+        name=args.name,
+        model_path=args.model_path,
+    )
+
+
+def _cmd_run(args, out):
+    config = _config_from_args(args)
+    flow = MatadorFlow(
+        config,
+        progress=lambda stage, sec: print(f"  [{stage}] {sec:.2f}s", file=out),
+    )
+    result = flow.run(verify=not args.no_verify)
+    if args.outdir:
+        files = flow.deploy(args.outdir)
+        print(f"deployment bundle: {len(files)} files in {args.outdir}", file=out)
+    if args.json:
+        print(json.dumps(result.table_row(), indent=1), file=out)
+    else:
+        print(result.summary(), file=out)
+    if result.verification is not None and not result.verification.passed:
+        return 1
+    return 0
+
+
+def _cmd_emit(args, out):
+    config = _config_from_args(args)
+    flow = MatadorFlow(config)
+    flow.load_data()
+    flow.train()
+    flow.generate()
+    flow.implement()
+    files = flow.deploy(args.outdir)
+    for f in files:
+        print(f, file=out)
+    return 0
+
+
+def _cmd_datasets(out):
+    for name in sorted(DATASET_REGISTRY):
+        print(name, file=out)
+    return 0
+
+
+def _cmd_table2(out):
+    for dataset, entry in TABLE_II.items():
+        finn = entry["finn"]
+        mat = entry["matador"]
+        print(
+            f"{dataset:8s} FINN {'-'.join(map(str, finn.layer_sizes)):>22s} "
+            f"w{finn.weight_bits}a{finn.act_bits} | MATADOR "
+            f"{mat.clauses_per_class} clauses/class",
+            file=out,
+        )
+    return 0
+
+
+def main(argv=None, out=None):
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args, out)
+    if args.command == "emit":
+        return _cmd_emit(args, out)
+    if args.command == "datasets":
+        return _cmd_datasets(out)
+    if args.command == "table2":
+        return _cmd_table2(out)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,174 @@
+"""Deployment bundle generation — the final stage of the MATADOR flow.
+
+On real hardware MATADOR produces a bitstream plus a Pynq notebook that
+streams data and measures throughput.  Here the deployment artifact is a
+directory bundle:
+
+* ``<name>.v`` — the generated accelerator RTL;
+* ``<name>_tb.v`` — the auto-generated Verilog testbench;
+* ``host_driver.py`` — a standalone host program (the Pynq-notebook
+  substitute) that packetizes inputs and talks to the accelerator
+  through the same AXI-stream protocol, backed by the cycle-accurate
+  simulator;
+* ``model.json`` — the trained model artifact;
+* ``report.json`` — resources, timing, power, latency and verification
+  status for the design.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..rtl.verilog import emit_verilog
+from ..simulator.testbench import emit_verilog_testbench
+from .notebook import generate_notebook
+
+__all__ = ["generate_host_driver", "deployment_report", "write_bundle"]
+
+_DRIVER_TEMPLATE = '''"""Auto-generated MATADOR host driver (Pynq-notebook substitute).
+
+Streams booleanized datapoints into the generated accelerator over the
+AXI-stream protocol and reports predictions, latency and throughput.
+Replace `SimulatedOverlay` with the Pynq DMA calls on real hardware; the
+packetization and result handling are identical.
+"""
+
+import json
+
+import numpy as np
+
+from repro.accelerator.packetizer import PacketSchedule, packetize
+from repro.model import TMModel
+from repro.accelerator import AcceleratorConfig, generate_accelerator
+from repro.simulator import AcceleratorSimulator
+
+MODEL_PATH = "model.json"
+BUS_WIDTH = {bus_width}
+CLOCK_MHZ = {clock_mhz}
+
+
+def load_overlay():
+    model = TMModel.load(MODEL_PATH)
+    config = AcceleratorConfig(bus_width=BUS_WIDTH, name="{name}")
+    design = generate_accelerator(model, config)
+    return design
+
+
+def classify(design, X):
+    sim = AcceleratorSimulator(design, batch=len(X))
+    report = sim.run_batch(np.asarray(X, dtype=np.uint8))
+    return report.predictions
+
+
+def measure(design, X):
+    sim = AcceleratorSimulator(design, batch=1)
+    stream = sim.run_stream(np.asarray(X, dtype=np.uint8))
+    return {{
+        "latency_us": stream.first_result_cycle / CLOCK_MHZ,
+        "throughput_inf_s": stream.throughput_inf_per_s(CLOCK_MHZ),
+        "initiation_interval": stream.initiation_interval,
+    }}
+
+
+if __name__ == "__main__":
+    design = load_overlay()
+    rng = np.random.default_rng(0)
+    X = rng.integers(0, 2, size=(8, design.model.n_features)).astype(np.uint8)
+    print("predictions:", classify(design, X))
+    print(json.dumps(measure(design, X), indent=1))
+'''
+
+
+def generate_host_driver(design, clock_mhz):
+    """Render the host driver source for a design."""
+    return _DRIVER_TEMPLATE.format(
+        bus_width=design.config.bus_width,
+        clock_mhz=clock_mhz,
+        name=design.netlist.name,
+    )
+
+
+def deployment_report(design, implementation, verification=None, accuracy=None):
+    """JSON-serializable deployment summary."""
+    lat = design.latency
+    clock = implementation.clock_mhz
+    report = {
+        "design": design.netlist.name,
+        "device": implementation.device,
+        "clock_mhz": clock,
+        "model": {
+            "classes": design.model.n_classes,
+            "clauses_per_class": design.model.n_clauses,
+            "features": design.model.n_features,
+            "density": design.model.density(),
+        },
+        "stream": {
+            "bus_width": design.config.bus_width,
+            "packets_per_datapoint": design.schedule.n_packets,
+            "padding_bits": design.schedule.padding_bits,
+        },
+        "performance": {
+            "latency_cycles": lat.latency_cycles,
+            "latency_us": lat.latency_us(clock),
+            "initiation_interval": lat.initiation_interval,
+            "throughput_inf_per_s": lat.throughput_inf_per_s(clock),
+        },
+        "resources": implementation.resources.row(),
+        "power": implementation.power.row(),
+        "timing": {
+            "critical_path_ns": implementation.timing.critical_path_ns,
+            "fmax_mhz": implementation.timing.fmax_mhz,
+        },
+    }
+    if accuracy is not None:
+        report["test_accuracy"] = accuracy
+    if verification is not None:
+        report["verification"] = {
+            "passed": verification.passed,
+            "summary": verification.summary(),
+        }
+    return report
+
+
+def write_bundle(outdir, design, implementation, model, verification=None,
+                 accuracy=None, example_inputs=None):
+    """Write the full deployment bundle; returns the list of files written."""
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    name = design.netlist.name
+    written = []
+
+    rtl_path = outdir / f"{name}.v"
+    rtl_path.write_text(emit_verilog(design.netlist), encoding="utf-8")
+    written.append(rtl_path)
+
+    if example_inputs is not None:
+        tb_path = outdir / f"{name}_tb.v"
+        tb_path.write_text(
+            emit_verilog_testbench(design, example_inputs), encoding="utf-8"
+        )
+        written.append(tb_path)
+
+    driver_path = outdir / "host_driver.py"
+    driver_path.write_text(
+        generate_host_driver(design, implementation.clock_mhz), encoding="utf-8"
+    )
+    written.append(driver_path)
+
+    model_path = outdir / "model.json"
+    model.save(model_path)
+    written.append(model_path)
+
+    notebook_path = outdir / "validate.ipynb"
+    notebook_path.write_text(
+        generate_notebook(design, implementation.clock_mhz), encoding="utf-8"
+    )
+    written.append(notebook_path)
+
+    report_path = outdir / "report.json"
+    report = deployment_report(design, implementation, verification, accuracy)
+    report_path.write_text(json.dumps(report, indent=1), encoding="utf-8")
+    written.append(report_path)
+
+    return written

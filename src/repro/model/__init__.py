@@ -1,0 +1,33 @@
+"""Trained-model artifacts: include matrices, expressions, sparsity analysis."""
+
+from .expressions import (
+    ClauseExpression,
+    expressions_from_model,
+    format_clause,
+    model_snippet,
+    shared_expression_pool,
+)
+from .explain import ClauseActivation, Explanation, class_evidence, explain_prediction
+from .importer import import_bit_matrix, import_model, import_state_dump
+from .model import TMModel
+from .sparsity import SharingReport, SparsityReport, analyze_sharing, analyze_sparsity
+
+__all__ = [
+    "ClauseExpression",
+    "expressions_from_model",
+    "format_clause",
+    "model_snippet",
+    "shared_expression_pool",
+    "ClauseActivation",
+    "Explanation",
+    "class_evidence",
+    "explain_prediction",
+    "import_bit_matrix",
+    "import_model",
+    "import_state_dump",
+    "TMModel",
+    "SharingReport",
+    "SparsityReport",
+    "analyze_sharing",
+    "analyze_sparsity",
+]

@@ -1,0 +1,145 @@
+"""Prediction explanations — the TM's "logical interpretable learning".
+
+Section II of the paper motivates the TM by its interpretability: "both
+the learned model and the learning process are easily comprehensible and
+explainable".  This module makes that concrete for a trained
+:class:`~repro.model.model.TMModel`: for any datapoint it reports which
+clauses fired for which classes, the literal conditions that made them
+fire, and the vote arithmetic behind the final argmax — i.e. a complete,
+human-readable derivation of the classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .expressions import ClauseExpression, format_clause
+
+__all__ = ["ClauseActivation", "Explanation", "explain_prediction", "class_evidence"]
+
+
+@dataclass
+class ClauseActivation:
+    """One clause that fired for the explained datapoint."""
+
+    class_index: int
+    clause_index: int
+    weight: int
+    expression: ClauseExpression
+
+    def describe(self, var="x"):
+        sign = "+" if self.weight > 0 else ""
+        return (
+            f"C[{self.class_index}][{self.clause_index}] "
+            f"({sign}{self.weight}): {format_clause(self.expression, var=var)}"
+        )
+
+
+@dataclass
+class Explanation:
+    """Full derivation of one prediction."""
+
+    predicted_class: int
+    class_sums: np.ndarray
+    activations: list = field(default_factory=list)
+    margin: int = 0
+
+    def for_class(self, class_index):
+        return [a for a in self.activations if a.class_index == class_index]
+
+    def supporting(self):
+        """Positive-vote clauses of the winning class."""
+        return [a for a in self.for_class(self.predicted_class) if a.weight > 0]
+
+    def opposing(self):
+        """Negative-vote clauses of the winning class."""
+        return [a for a in self.for_class(self.predicted_class) if a.weight < 0]
+
+    def describe(self, var="x", max_clauses=5):
+        lines = [
+            f"predicted class {self.predicted_class} "
+            f"(sums: {self.class_sums.tolist()}, margin: {self.margin})"
+        ]
+        sup = self.supporting()
+        opp = self.opposing()
+        lines.append(f"  {len(sup)} supporting clauses:")
+        for a in sup[:max_clauses]:
+            lines.append(f"    {a.describe(var)}")
+        if len(sup) > max_clauses:
+            lines.append(f"    ... and {len(sup) - max_clauses} more")
+        if opp:
+            lines.append(f"  {len(opp)} opposing clauses fired:")
+            for a in opp[:max_clauses]:
+                lines.append(f"    {a.describe(var)}")
+        return "\n".join(lines)
+
+
+def explain_prediction(model, x):
+    """Explain the model's prediction for one boolean feature vector.
+
+    Returns an :class:`Explanation` listing every fired clause across all
+    classes with its vote weight and boolean expression.  The fired
+    clauses of the winning class *are* the proof of the classification:
+    each is a conjunction of input conditions that the datapoint
+    satisfies.
+    """
+    x = np.asarray(x, dtype=np.uint8)
+    if x.ndim != 1:
+        raise ValueError("explain_prediction takes a single feature vector")
+    outputs = model.clause_outputs(x[np.newaxis])[0]  # (classes, clauses)
+    sums = model.class_sums(x[np.newaxis])[0]
+    weights = model.vote_weights()
+    predicted = int(np.argmax(sums))
+
+    activations = []
+    for c in range(model.n_classes):
+        for k in range(model.n_clauses):
+            if not outputs[c, k]:
+                continue
+            expr = ClauseExpression.from_include_row(
+                model.include[c, k], model.n_features
+            )
+            activations.append(
+                ClauseActivation(
+                    class_index=c,
+                    clause_index=k,
+                    weight=int(weights[c, k]),
+                    expression=expr,
+                )
+            )
+
+    ordered = np.sort(sums)[::-1]
+    margin = int(ordered[0] - ordered[1]) if len(ordered) > 1 else int(ordered[0])
+    return Explanation(
+        predicted_class=predicted,
+        class_sums=sums,
+        activations=activations,
+        margin=margin,
+    )
+
+
+def class_evidence(model, class_index, top_k=10):
+    """The strongest general evidence the model holds for one class.
+
+    Ranks the class's positive clauses by *specificity* (fewest literals
+    first — the most general rules) and returns their expressions; this
+    is the model-level, datapoint-independent view of what the class
+    "means" to the machine.
+    """
+    if not 0 <= class_index < model.n_classes:
+        raise IndexError(f"class {class_index} out of range")
+    weights = model.vote_weights()[class_index]
+    clauses = []
+    for k in range(model.n_clauses):
+        if weights[k] <= 0:
+            continue
+        expr = ClauseExpression.from_include_row(
+            model.include[class_index, k], model.n_features
+        )
+        if expr.is_empty:
+            continue
+        clauses.append((expr.n_includes, k, expr))
+    clauses.sort(key=lambda t: (t[0], t[1]))
+    return [(k, expr) for _, k, expr in clauses[:top_k]]

@@ -1,0 +1,147 @@
+"""External model import — the yellow flow of Fig. 6(b).
+
+MATADOR can ingest Tsetlin Machine models trained outside the tool.  We
+support three on-disk encodings commonly produced by TM research code:
+
+* the native JSON payload written by :meth:`repro.model.TMModel.save`;
+* a *state dump*: integer TA states ``(classes, clauses, 2 * features)``
+  plus the ``n_states`` threshold (e.g. exported from pyTsetlinMachine's
+  ``get_state``);
+* a *bit matrix*: 0/1 include decisions, either as a dense nested list or
+  as per-clause bit strings.
+
+Every importer validates shape and value ranges and returns a
+:class:`repro.model.TMModel` ready for the design flow.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from .model import TMModel
+
+__all__ = [
+    "import_model",
+    "import_state_dump",
+    "import_bit_matrix",
+    "ImportError_",
+]
+
+
+class ImportError_(ValueError):
+    """Raised when an external model payload cannot be understood."""
+
+
+def import_state_dump(states, n_states, n_features=None, name="imported"):
+    """Build a model from raw TA states thresholded at ``n_states``.
+
+    Parameters
+    ----------
+    states:
+        Integer array ``(classes, clauses, 2 * features)``; values must lie
+        in ``[1, 2 * n_states]``.
+    n_states:
+        Include threshold ``N`` — states strictly above it are includes.
+    n_features:
+        Optional cross-check of the feature count.
+    """
+    states = np.asarray(states)
+    if states.ndim != 3:
+        raise ImportError_(
+            f"state dump must be 3-D (classes, clauses, 2*features); got {states.ndim}-D"
+        )
+    if states.shape[2] % 2 != 0:
+        raise ImportError_("literal dimension must be even (x and ~x halves)")
+    if states.min() < 1 or states.max() > 2 * n_states:
+        raise ImportError_(
+            f"states out of range [1, {2 * n_states}]: "
+            f"min={states.min()}, max={states.max()}"
+        )
+    features = states.shape[2] // 2
+    if n_features is not None and n_features != features:
+        raise ImportError_(
+            f"state dump implies {features} features, caller said {n_features}"
+        )
+    include = states > n_states
+    return TMModel(
+        include=include,
+        n_features=features,
+        name=name,
+        hyperparameters={"n_states": int(n_states), "imported": True},
+    )
+
+
+def import_bit_matrix(bits, n_features=None, name="imported", weights=None):
+    """Build a model from 0/1 include decisions.
+
+    ``bits`` may be a 3-D numeric array or a nested list of per-clause bit
+    strings (``[["0101...", ...], ...]``).
+    """
+    if (
+        isinstance(bits, (list, tuple))
+        and bits
+        and isinstance(bits[0], (list, tuple))
+        and bits[0]
+        and isinstance(bits[0][0], str)
+    ):
+        try:
+            bits = np.array(
+                [[[c == "1" for c in clause] for clause in cls] for cls in bits],
+                dtype=bool,
+            )
+        except ValueError as exc:
+            raise ImportError_(f"ragged bit-string matrix: {exc}") from exc
+    bits = np.asarray(bits)
+    if bits.ndim != 3:
+        raise ImportError_("bit matrix must be 3-D (classes, clauses, 2*features)")
+    uniq = np.unique(bits)
+    if not np.isin(uniq, [0, 1]).all():
+        raise ImportError_(f"bit matrix must contain only 0/1; saw {uniq[:5]}")
+    if bits.shape[2] % 2 != 0:
+        raise ImportError_("literal dimension must be even (x and ~x halves)")
+    features = bits.shape[2] // 2
+    if n_features is not None and n_features != features:
+        raise ImportError_(
+            f"bit matrix implies {features} features, caller said {n_features}"
+        )
+    return TMModel(
+        include=bits.astype(bool),
+        n_features=features,
+        name=name,
+        weights=weights,
+        hyperparameters={"imported": True},
+    )
+
+
+def import_model(path, name=None):
+    """Auto-detecting file importer.
+
+    Understands the native JSON format, ``{"states": ..., "n_states": ...}``
+    state dumps, and ``{"bits": ...}`` bit matrices.  ``.npy`` files are
+    treated as state dumps with ``n_states`` inferred from the value range.
+    """
+    path = str(path)
+    if path.endswith(".npy"):
+        states = np.load(path)
+        n_states = int(states.max()) // 2 or 1
+        return import_state_dump(states, n_states, name=name or "imported")
+
+    with open(path, encoding="utf-8") as f:
+        payload = json.load(f)
+
+    if isinstance(payload, dict) and payload.get("format") == "matador-tm-model":
+        model = TMModel.from_dict(payload)
+        if name:
+            model.name = name
+        return model
+    if isinstance(payload, dict) and "states" in payload:
+        return import_state_dump(
+            np.asarray(payload["states"]),
+            int(payload["n_states"]),
+            name=name or payload.get("name", "imported"),
+        )
+    if isinstance(payload, dict) and "bits" in payload:
+        return import_bit_matrix(payload["bits"], name=name or payload.get("name", "imported"))
+    raise ImportError_(f"unrecognized model payload in {path}")

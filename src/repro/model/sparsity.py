@@ -1,0 +1,159 @@
+"""Sparsity and logic-sharing analysis of trained TM models (Fig. 3).
+
+Section II of the paper reports two empirical observations that make the
+boolean-to-silicon translation effective:
+
+1. **Sparsity** — trained models include only a tiny fraction of the
+   available literals;
+2. **Sharing** — identical boolean (sub)expressions recur across clauses
+   within a class and between classes, so synthesis can absorb them into
+   shared logic.
+
+This module quantifies both so the design generator and the Fig. 3 / Fig. 8
+benches can report them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .expressions import expressions_from_model, shared_expression_pool
+
+__all__ = ["SparsityReport", "SharingReport", "analyze_sparsity", "analyze_sharing"]
+
+
+@dataclass
+class SparsityReport:
+    """Include-density statistics of a model."""
+
+    n_classes: int
+    n_clauses: int
+    n_literals: int
+    total_automata: int
+    total_includes: int
+    density: float
+    includes_per_clause_mean: float
+    includes_per_clause_max: int
+    empty_clauses: int
+    contradictory_clauses: int
+    per_class_density: list = field(default_factory=list)
+
+    def summary(self):
+        return (
+            f"density={self.density:.4%} "
+            f"(includes={self.total_includes}/{self.total_automata}), "
+            f"mean includes/clause={self.includes_per_clause_mean:.1f}, "
+            f"empty clauses={self.empty_clauses}"
+        )
+
+
+@dataclass
+class SharingReport:
+    """Expression-sharing statistics of a model.
+
+    ``pairwise_literal_overlap`` is the mean Jaccard overlap between the
+    literal sets of distinct non-empty clauses — the raw material synthesis
+    logic-absorption exploits even when full clauses are not identical.
+    """
+
+    distinct_expressions: int
+    total_nonempty_clauses: int
+    duplicated_expressions: int
+    duplicate_instances: int
+    intra_class_duplicates: int
+    inter_class_duplicates: int
+    full_clause_sharing_ratio: float
+    shared_literal_pairs: int
+    pairwise_literal_overlap: float
+    top_shared: list = field(default_factory=list)
+
+    def summary(self):
+        return (
+            f"{self.distinct_expressions} distinct / "
+            f"{self.total_nonempty_clauses} clauses, "
+            f"{self.duplicate_instances} duplicate instances "
+            f"({self.full_clause_sharing_ratio:.2%} clause sharing), "
+            f"mean literal overlap={self.pairwise_literal_overlap:.3f}"
+        )
+
+
+def analyze_sparsity(model):
+    """Compute a :class:`SparsityReport` for a :class:`repro.model.TMModel`."""
+    counts = model.includes_per_clause()
+    exprs = expressions_from_model(model)
+    contradictory = sum(
+        1 for row in exprs for e in row if not e.is_empty and e.is_contradictory()
+    )
+    return SparsityReport(
+        n_classes=model.n_classes,
+        n_clauses=model.n_clauses,
+        n_literals=model.n_literals,
+        total_automata=int(model.include.size),
+        total_includes=int(counts.sum()),
+        density=model.density(),
+        includes_per_clause_mean=float(counts.mean()),
+        includes_per_clause_max=int(counts.max()),
+        empty_clauses=int(model.empty_clause_mask().sum()),
+        contradictory_clauses=contradictory,
+        per_class_density=[float(model.include[c].mean()) for c in range(model.n_classes)],
+    )
+
+
+def _pairwise_overlap(model, max_pairs=20000, seed=7):
+    """Mean Jaccard overlap of literal sets over sampled clause pairs."""
+    inc = model.include.reshape(-1, model.n_literals)
+    nonempty = np.flatnonzero(inc.any(axis=1))
+    if len(nonempty) < 2:
+        return 0.0, 0
+    rng = np.random.default_rng(seed)
+    n = len(nonempty)
+    n_pairs = min(max_pairs, n * (n - 1) // 2)
+    ii = rng.integers(0, n, size=n_pairs)
+    jj = rng.integers(0, n, size=n_pairs)
+    keep = ii != jj
+    if not keep.any():
+        return 0.0, 0
+    ii, jj = nonempty[ii[keep]], nonempty[jj[keep]]
+    a = inc[ii]
+    b = inc[jj]
+    inter = np.logical_and(a, b).sum(axis=1).astype(np.float64)
+    union = np.logical_or(a, b).sum(axis=1).astype(np.float64)
+    jac = np.where(union > 0, inter / union, 0.0)
+    shared_pairs = int(np.count_nonzero(inter > 0))
+    return float(jac.mean()), shared_pairs
+
+
+def analyze_sharing(model, top_k=10):
+    """Compute a :class:`SharingReport` for a :class:`repro.model.TMModel`."""
+    pool = shared_expression_pool(model)
+    total_nonempty = sum(len(v) for v in pool.values())
+    duplicated = {e: locs for e, locs in pool.items() if len(locs) > 1}
+    duplicate_instances = sum(len(v) for v in duplicated.values())
+
+    intra = 0
+    inter = 0
+    for locs in duplicated.values():
+        classes = Counter(c for c, _ in locs)
+        intra += sum(n - 1 for n in classes.values() if n > 1)
+        if len(classes) > 1:
+            inter += len(classes) - 1
+
+    overlap, shared_pairs = _pairwise_overlap(model)
+    top = sorted(duplicated.items(), key=lambda kv: -len(kv[1]))[:top_k]
+    return SharingReport(
+        distinct_expressions=len(pool),
+        total_nonempty_clauses=total_nonempty,
+        duplicated_expressions=len(duplicated),
+        duplicate_instances=duplicate_instances,
+        intra_class_duplicates=intra,
+        inter_class_duplicates=inter,
+        full_clause_sharing_ratio=(
+            (total_nonempty - len(pool)) / total_nonempty if total_nonempty else 0.0
+        ),
+        shared_literal_pairs=shared_pairs,
+        pairwise_literal_overlap=overlap,
+        top_shared=[(len(locs), expr) for expr, locs in top],
+    )

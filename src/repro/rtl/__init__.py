@@ -1,0 +1,49 @@
+"""RTL infrastructure: netlist IR, arithmetic, Verilog emit/parse, optimize."""
+
+from .arith import (
+    Bus,
+    bus_const,
+    bus_dff,
+    bus_input,
+    equals_const,
+    full_adder,
+    mux_bus,
+    negate,
+    popcount,
+    ripple_add,
+    sign_extend,
+    signed_ge,
+    subtract,
+)
+from .netlist import GATE_KINDS, SEQ_KINDS, Netlist, Node
+from .optimize import OptimizationReport, optimize, share_logic, strip_dead
+from .parser import VerilogSyntaxError, parse_verilog
+from .verilog import emit_verilog, port_groups
+
+__all__ = [
+    "Bus",
+    "bus_const",
+    "bus_dff",
+    "bus_input",
+    "equals_const",
+    "full_adder",
+    "mux_bus",
+    "negate",
+    "popcount",
+    "ripple_add",
+    "sign_extend",
+    "signed_ge",
+    "subtract",
+    "GATE_KINDS",
+    "SEQ_KINDS",
+    "Netlist",
+    "Node",
+    "OptimizationReport",
+    "optimize",
+    "share_logic",
+    "strip_dead",
+    "VerilogSyntaxError",
+    "parse_verilog",
+    "emit_verilog",
+    "port_groups",
+]

@@ -1,0 +1,191 @@
+"""Word-level arithmetic lowered onto the gate-level netlist IR.
+
+The MATADOR class-sum and argmax stages need adders, subtractors, signed
+comparisons and word muxes.  This module bit-blasts them: a :class:`Bus`
+is a little-endian list of net ids, and every operator expands into AND/OR/
+XOR/NOT/MUX gates on the owning :class:`repro.rtl.netlist.Netlist` — so
+LUT mapping, timing and simulation see one uniform representation.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Bus",
+    "bus_const",
+    "bus_input",
+    "bus_dff",
+    "full_adder",
+    "ripple_add",
+    "negate",
+    "subtract",
+    "sign_extend",
+    "zero_extend",
+    "popcount",
+    "signed_ge",
+    "mux_bus",
+    "equals_const",
+]
+
+
+class Bus(list):
+    """Little-endian bundle of net ids (index 0 = LSB)."""
+
+    @property
+    def width(self):
+        return len(self)
+
+    def msb(self):
+        return self[-1]
+
+
+def bus_const(nl, value, width):
+    """Constant bus of the given width (two's complement for negatives)."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    value &= (1 << width) - 1
+    return Bus(nl.const((value >> i) & 1) for i in range(width))
+
+
+def bus_input(nl, name, width):
+    """Declare a multi-bit primary input ``name[width-1:0]``."""
+    return Bus(nl.add_input(f"{name}[{i}]") for i in range(width))
+
+
+def bus_dff(nl, d, en=None, rst=None, init=0, name=None):
+    """Register every bit of a bus."""
+    return Bus(
+        nl.dff(
+            bit,
+            en=en,
+            rst=rst,
+            init=(init >> i) & 1,
+            name=f"{name}[{i}]" if name else None,
+        )
+        for i, bit in enumerate(d)
+    )
+
+
+def full_adder(nl, a, b, cin):
+    """Returns ``(sum, carry)`` of a 1-bit full adder."""
+    axb = nl.g_xor(a, b)
+    s = nl.g_xor(axb, cin)
+    carry = nl.g_or(nl.g_and(a, b), nl.g_and(axb, cin))
+    return s, carry
+
+
+def ripple_add(nl, a, b, cin=None, width=None):
+    """Ripple-carry addition.
+
+    ``width`` defaults to ``max(len(a), len(b)) + 1`` so the result never
+    overflows for unsigned operands; shorter operands are zero-extended.
+    """
+    if width is None:
+        width = max(len(a), len(b)) + 1
+    zero = nl.const(0)
+    carry = cin if cin is not None else zero
+    out = Bus()
+    for i in range(width):
+        abit = a[i] if i < len(a) else zero
+        bbit = b[i] if i < len(b) else zero
+        s, carry = full_adder(nl, abit, bbit, carry)
+        out.append(s)
+    return out
+
+
+def sign_extend(nl, a, width):
+    """Two's-complement sign extension to ``width`` bits."""
+    if width < len(a):
+        raise ValueError("cannot sign-extend to a narrower width")
+    return Bus(list(a) + [a.msb()] * (width - len(a)))
+
+
+def zero_extend(nl, a, width):
+    """Unsigned zero extension to ``width`` bits.
+
+    Use this before feeding an unsigned quantity (e.g. a popcount) into
+    signed arithmetic; sign-extending it would misread a set MSB as a
+    negative value.
+    """
+    if width < len(a):
+        raise ValueError("cannot zero-extend to a narrower width")
+    return Bus(list(a) + [nl.const(0)] * (width - len(a)))
+
+
+def negate(nl, a, width=None):
+    """Two's-complement negation (``width`` defaults to ``len(a) + 1``)."""
+    if width is None:
+        width = len(a) + 1
+    ext = sign_extend(nl, a, width)
+    inverted = Bus(nl.g_not(bit) for bit in ext)
+    one = bus_const(nl, 1, width)
+    return Bus(ripple_add(nl, inverted, one, width=width))
+
+
+def subtract(nl, a, b, width=None):
+    """Signed subtraction ``a - b`` with full-precision result.
+
+    Operands are sign-extended to ``width`` (default: one more bit than the
+    wider operand, which is always overflow-safe) and subtracted via
+    ``a + ~b + 1``.
+    """
+    if width is None:
+        width = max(len(a), len(b)) + 1
+    ax = sign_extend(nl, a, width)
+    bx = sign_extend(nl, b, width)
+    b_inv = Bus(nl.g_not(bit) for bit in bx)
+    return Bus(ripple_add(nl, ax, b_inv, cin=nl.const(1), width=width))
+
+
+def popcount(nl, bits):
+    """Population count via a balanced adder tree.
+
+    Returns an unsigned :class:`Bus` wide enough to hold ``len(bits)``.
+    An empty input yields a 1-bit constant zero.
+    """
+    bits = list(bits)
+    if not bits:
+        return bus_const(nl, 0, 1)
+    layer = [Bus([b]) for b in bits]
+    while len(layer) > 1:
+        nxt = []
+        for i in range(0, len(layer), 2):
+            if i + 1 < len(layer):
+                nxt.append(ripple_add(nl, layer[i], layer[i + 1]))
+            else:
+                nxt.append(layer[i])
+        layer = nxt
+    return layer[0]
+
+
+def signed_ge(nl, a, b):
+    """Signed comparison ``a >= b`` (two's complement), returns a net id.
+
+    Computed as the complement of the sign of the overflow-safe difference.
+    """
+    diff = subtract(nl, a, b)
+    return nl.g_not(diff.msb())
+
+
+def mux_bus(nl, sel, a, b):
+    """Word mux ``sel ? a : b``; operands are zero-extended to match."""
+    width = max(len(a), len(b))
+    zero = nl.const(0)
+    out = Bus()
+    for i in range(width):
+        abit = a[i] if i < len(a) else zero
+        bbit = b[i] if i < len(b) else zero
+        out.append(nl.g_mux(sel, abit, bbit))
+    return out
+
+
+def equals_const(nl, a, value):
+    """Single net asserting ``a == value`` for a constant ``value``."""
+    terms = []
+    for i, bit in enumerate(a):
+        if (value >> i) & 1:
+            terms.append(bit)
+        else:
+            terms.append(nl.g_not(bit))
+    if value >> len(a):
+        return nl.const(0)
+    return nl.g_and_tree(terms)

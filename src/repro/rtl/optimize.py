@@ -1,0 +1,158 @@
+"""Netlist optimization passes: logic sharing (CSE) and dead-logic removal.
+
+The paper attributes MATADOR's resource frugality to the synthesis tool's
+"logic absorption" of shared boolean expressions (Section II, Fig. 8).  In
+this reproduction sharing happens in two places:
+
+* at build time, when a netlist is constructed with ``share=True``
+  (structural hashing inside :class:`repro.rtl.netlist.Netlist`); and
+* as the standalone :func:`share_logic` pass below, which replays an
+  *unshared* netlist (the DON'T TOUCH configuration) through a sharing
+  builder — that is our model of what Vivado's optimizer does when the
+  pragma is absent.
+
+:func:`strip_dead` removes logic unreachable from the outputs, and
+:func:`optimize` chains both and reports the savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .netlist import GATE_KINDS, Netlist
+
+__all__ = ["share_logic", "strip_dead", "optimize", "OptimizationReport"]
+
+
+@dataclass
+class OptimizationReport:
+    """Before/after structural statistics of an optimization run."""
+
+    gates_before: int
+    gates_after: int
+    registers_before: int
+    registers_after: int
+    depth_before: int
+    depth_after: int
+
+    @property
+    def gates_saved(self):
+        return self.gates_before - self.gates_after
+
+    @property
+    def gate_saving_ratio(self):
+        if self.gates_before == 0:
+            return 0.0
+        return self.gates_saved / self.gates_before
+
+    def summary(self):
+        return (
+            f"gates {self.gates_before} -> {self.gates_after} "
+            f"({self.gate_saving_ratio:.1%} saved), "
+            f"registers {self.registers_before} -> {self.registers_after}, "
+            f"depth {self.depth_before} -> {self.depth_after}"
+        )
+
+
+def _replay(netlist, share, keep=None):
+    """Rebuild ``netlist`` through a fresh builder.
+
+    ``share`` controls structural hashing in the rebuilt netlist; ``keep``
+    optionally restricts which source node ids are copied (used by dead-code
+    elimination — nodes outside ``keep`` are dropped).  Returns the new
+    netlist and the old->new id map.
+    """
+    out = Netlist(name=netlist.name, share=share)
+    mapping = {}
+
+    # Inputs keep identity regardless of liveness so the interface is stable.
+    for name, nid in netlist.inputs.items():
+        mapping[nid] = out.add_input(name)
+
+    order = netlist.topological_order()
+    # Registers are sources in the topological order; create them first with
+    # placeholder fanins and patch after their drivers exist.
+    dff_ids = [nid for nid in order if netlist.nodes[nid].kind == "dff"]
+    for nid in dff_ids:
+        if keep is not None and nid not in keep:
+            continue
+        node = netlist.nodes[nid]
+        with out.block(node.block):
+            mapping[nid] = out.dff(
+                out.const(0), init=node.init, name=node.name
+            )
+
+    def mapped(src_id):
+        node = netlist.nodes[src_id]
+        if node.kind == "const0":
+            return out.const(0)
+        if node.kind == "const1":
+            return out.const(1)
+        return mapping[src_id]
+
+    for nid in order:
+        node = netlist.nodes[nid]
+        if node.kind not in GATE_KINDS:
+            continue
+        if keep is not None and nid not in keep:
+            continue
+        with out.block(node.block):
+            fi = [mapped(f) for f in node.fanins]
+            if node.kind == "and":
+                mapping[nid] = out.g_and(fi[0], fi[1])
+            elif node.kind == "or":
+                mapping[nid] = out.g_or(fi[0], fi[1])
+            elif node.kind == "xor":
+                mapping[nid] = out.g_xor(fi[0], fi[1])
+            elif node.kind == "not":
+                mapping[nid] = out.g_not(fi[0])
+            else:  # mux
+                mapping[nid] = out.g_mux(fi[0], fi[1], fi[2])
+
+    for nid in dff_ids:
+        if keep is not None and nid not in keep:
+            continue
+        node = netlist.nodes[nid]
+        out.nodes[mapping[nid]].fanins = tuple(mapped(f) for f in node.fanins)
+
+    for name, nid in netlist.outputs.items():
+        out.set_output(name, mapped(nid))
+    return out, mapping
+
+
+def share_logic(netlist):
+    """Return an equivalent netlist with identical subexpressions merged.
+
+    Sharing is global (across block tags), modelling synthesis logic
+    absorption across HCB boundaries — the paper's "intra- and inter-unit"
+    sharing.
+    """
+    shared, _ = _replay(netlist, share=True)
+    return shared
+
+
+def strip_dead(netlist):
+    """Remove nodes not reachable from any output."""
+    keep = netlist.live_nodes()
+    out, _ = _replay(netlist, share=netlist.share, keep=keep)
+    return out
+
+
+def optimize(netlist):
+    """Share logic, strip dead nodes, and report the savings.
+
+    Returns ``(optimized_netlist, OptimizationReport)``.
+    """
+    before = netlist.stats()
+    shared = share_logic(netlist)
+    cleaned = strip_dead(shared)
+    after = cleaned.stats()
+    report = OptimizationReport(
+        gates_before=before["gates"],
+        gates_after=after["gates"],
+        registers_before=before["registers"],
+        registers_after=after["registers"],
+        depth_before=before["depth"],
+        depth_after=after["depth"],
+    )
+    return cleaned, report

@@ -1,0 +1,97 @@
+"""AXI4-Stream transaction models for driving the generated accelerator.
+
+The host/fabric channel of the paper is AXI4-Stream (Fig. 4): TDATA,
+TVALID, TREADY.  :class:`AxiStreamMaster` plays a word queue into the
+design honouring backpressure and optional valid-gaps (to model a host
+that cannot saturate the channel); :class:`AxiStreamMonitor` records the
+accepted beats so a testbench can check exactly what crossed the channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["AxiStreamMaster", "AxiStreamMonitor", "Beat"]
+
+
+@dataclass
+class Beat:
+    """One accepted transfer."""
+
+    cycle: int
+    data: int
+
+
+class AxiStreamMaster:
+    """Drives ``s_data``/``s_valid`` from a queue of bus words.
+
+    Parameters
+    ----------
+    words:
+        Iterable of integer bus words to send (one lane; for batched
+        simulation pass a 2-D array ``(n_words, batch)``).
+    gap:
+        Idle cycles inserted after every beat (0 = saturate the channel).
+    """
+
+    def __init__(self, words, gap=0):
+        words = np.asarray(words, dtype=np.uint64)
+        if words.ndim == 1:
+            words = words[:, np.newaxis]
+        self.words = words
+        self.gap = int(gap)
+        self.index = 0
+        self._cooldown = 0
+
+    @property
+    def batch(self):
+        return self.words.shape[1]
+
+    def exhausted(self):
+        return self.index >= len(self.words)
+
+    def present(self):
+        """Return ``(data, valid)`` for the current cycle."""
+        if self.exhausted() or self._cooldown > 0:
+            return np.zeros(self.batch, dtype=np.uint64), 0
+        return self.words[self.index], 1
+
+    def advance(self, ready):
+        """Consume the handshake result for this cycle."""
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return False
+        if self.exhausted():
+            return False
+        if ready:
+            self.index += 1
+            self._cooldown = self.gap
+            return True
+        return False
+
+
+class AxiStreamMonitor:
+    """Records accepted beats (``valid & ready`` cycles)."""
+
+    def __init__(self):
+        self.beats = []
+
+    def observe(self, cycle, data, valid, ready):
+        if valid and ready:
+            self.beats.append(Beat(cycle=cycle, data=data))
+
+    @property
+    def n_beats(self):
+        return len(self.beats)
+
+    def cycles(self):
+        return [b.cycle for b in self.beats]
+
+    def throughput(self, words_per_item):
+        """Observed items per cycle given the item size in words."""
+        if len(self.beats) < words_per_item or len(self.beats) < 2:
+            return 0.0
+        span = self.beats[-1].cycle - self.beats[0].cycle + 1
+        return (self.n_beats / words_per_item) / span

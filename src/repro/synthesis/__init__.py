@@ -1,0 +1,38 @@
+"""Synthesis/implementation model: LUT mapping, resources, timing, power."""
+
+from .activity import ActivityReport, measure_activity, power_from_activity
+from .cuts import LUT, Mapping, map_greedy, map_priority_cuts
+from .power import PowerModel, PowerReport, estimate_power
+from .report import ImplementationResult, implement_design, implement_netlist
+from .resources import (
+    DEVICES,
+    DeviceModel,
+    PlatformOverhead,
+    ResourceReport,
+    estimate_resources,
+)
+from .timing import TimingModel, TimingReport, estimate_timing
+
+__all__ = [
+    "ActivityReport",
+    "measure_activity",
+    "power_from_activity",
+    "LUT",
+    "Mapping",
+    "map_greedy",
+    "map_priority_cuts",
+    "PowerModel",
+    "PowerReport",
+    "estimate_power",
+    "ImplementationResult",
+    "implement_design",
+    "implement_netlist",
+    "DEVICES",
+    "DeviceModel",
+    "PlatformOverhead",
+    "ResourceReport",
+    "estimate_resources",
+    "TimingModel",
+    "TimingReport",
+    "estimate_timing",
+]

@@ -1,0 +1,90 @@
+"""One-call implementation flow: map -> resources -> timing -> power.
+
+``implement_design`` is the reproduction's equivalent of pushing a
+generated accelerator through Vivado synthesis + implementation and
+collecting the utilization, timing and power reports, i.e. everything
+Table I needs for one row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cuts import Mapping, map_greedy
+from .power import PowerReport, estimate_power
+from .resources import DEVICES, PlatformOverhead, ResourceReport, estimate_resources
+from .timing import TimingReport, estimate_timing
+
+__all__ = ["ImplementationResult", "implement_design", "implement_netlist"]
+
+
+@dataclass
+class ImplementationResult:
+    """Everything the implementation flow produced for one design."""
+
+    device: str
+    clock_mhz: float
+    mapping: Mapping = field(repr=False, default=None)
+    resources: ResourceReport = None
+    timing: TimingReport = None
+    power: PowerReport = None
+
+    def table_row(self):
+        """Table-I-shaped dict for the benchmark harness."""
+        row = dict(self.resources.row())
+        row.update(self.power.row())
+        row["Clock (MHz)"] = self.clock_mhz
+        return row
+
+    def summary(self):
+        r = self.resources
+        return (
+            f"{self.device} @ {self.clock_mhz:.0f} MHz: "
+            f"LUT={r.luts} FF={r.registers} slice={r.slices} "
+            f"F7={r.f7_muxes} F8={r.f8_muxes} BRAM={r.bram36:g} | "
+            f"{self.timing.summary()} | total {self.power.total_w:.3f} W"
+        )
+
+
+def implement_netlist(netlist, device="xc7z020", clock_mhz=None,
+                      platform=PlatformOverhead(), lut_k=6):
+    """Run the implementation model on a bare netlist.
+
+    Netlists built with sharing disabled carry the DON'T TOUCH pragma in
+    their emitted Verilog; the mapper honours it by preserving every net
+    (no cone absorption), exactly like Vivado does in the Fig. 8
+    experiment.
+    """
+    mapping = map_greedy(netlist, k=lut_k, preserve_structure=not netlist.share)
+    resources = estimate_resources(netlist, mapping, device=device, platform=platform)
+    timing = estimate_timing(netlist, mapping)
+    if clock_mhz is None:
+        clock_mhz = timing.suggested_clock_mhz
+    elif clock_mhz > timing.fmax_mhz:
+        raise ValueError(
+            f"requested clock {clock_mhz} MHz exceeds fmax "
+            f"{timing.fmax_mhz:.1f} MHz (timing violation)"
+        )
+    power = estimate_power(resources, clock_mhz)
+    return ImplementationResult(
+        device=device,
+        clock_mhz=clock_mhz,
+        mapping=mapping,
+        resources=resources,
+        timing=timing,
+        power=power,
+    )
+
+
+def implement_design(design, clock_mhz=None, platform=PlatformOverhead(), lut_k=6):
+    """Implement a generated :class:`AcceleratorDesign` on its target."""
+    device = design.config.target
+    if device not in DEVICES:
+        raise KeyError(f"design targets unknown device {device!r}")
+    return implement_netlist(
+        design.netlist,
+        device=device,
+        clock_mhz=clock_mhz,
+        platform=platform,
+        lut_k=lut_k,
+    )

@@ -1,0 +1,165 @@
+"""FPGA resource estimation (the Vivado utilization report substitute).
+
+Produces the columns of the paper's Table I from a mapped netlist plus a
+platform model:
+
+* **LUTs** — mapped LUT count (``LUT as logic``) plus distributed-memory
+  LUTs for the platform's stream FIFOs (``LUT as mem``);
+* **Slice Registers** — netlist flip-flops plus interface registers;
+* **Slice** — packing estimate (4 LUT / 8 FF per slice with a packing
+  efficiency factor, as placers rarely fill slices completely);
+* **F7/F8 Mux** — wide-mux estimate from the mapper;
+* **BRAM** — the netlist itself uses none (the TM model lives in logic,
+  the paper's central resource claim); the platform base (AXI DMA FIFOs)
+  contributes the small constant the paper reports.
+
+Device capacities are included so utilization percentages and
+fits/doesn't-fit checks can be reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DeviceModel", "PlatformOverhead", "ResourceReport", "estimate_resources", "DEVICES"]
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Capacity of a target device."""
+
+    name: str
+    luts: int
+    registers: int
+    slices: int
+    bram36: float
+    dsp: int
+
+    def utilization(self, used, what):
+        cap = {
+            "luts": self.luts,
+            "registers": self.registers,
+            "slices": self.slices,
+            "bram36": self.bram36,
+        }[what]
+        return used / cap if cap else 0.0
+
+
+DEVICES = {
+    # Zynq-7020 (Pynq-Z1): 53 200 LUTs, 106 400 FFs, 13 300 slices, 140 BRAM36.
+    "xc7z020": DeviceModel("xc7z020", 53200, 106400, 13300, 140, 220),
+    # Zynq-7045 (ZC706).
+    "xc7z045": DeviceModel("xc7z045", 218600, 437200, 54650, 545, 900),
+}
+
+
+@dataclass(frozen=True)
+class PlatformOverhead:
+    """Fixed SoC integration cost outside the generated core.
+
+    Models the AXI DMA / interconnect the Pynq overlay instantiates: a
+    small number of BRAM FIFOs, some interface registers and a few
+    hundred LUTs of interconnect glue.
+    """
+
+    luts_logic: int = 420
+    luts_mem: int = 180
+    registers: int = 610
+    bram36: float = 3.0
+
+    @classmethod
+    def none(cls):
+        return cls(luts_logic=0, luts_mem=0, registers=0, bram36=0.0)
+
+
+@dataclass
+class ResourceReport:
+    """Table-I-shaped utilization report."""
+
+    device: str
+    luts: int
+    lut_as_logic: int
+    lut_as_mem: int
+    registers: int
+    slices: int
+    f7_muxes: int
+    f8_muxes: int
+    bram36: float
+    per_block_luts: dict = field(default_factory=dict)
+    per_block_registers: dict = field(default_factory=dict)
+
+    def utilization(self, device_model):
+        return {
+            "luts": device_model.utilization(self.luts, "luts"),
+            "registers": device_model.utilization(self.registers, "registers"),
+            "slices": device_model.utilization(self.slices, "slices"),
+            "bram36": device_model.utilization(self.bram36, "bram36"),
+        }
+
+    def fits(self, device_model):
+        u = self.utilization(device_model)
+        return all(v <= 1.0 for v in u.values())
+
+    def row(self):
+        """Column ordering follows Table I."""
+        return {
+            "LUTs": self.luts,
+            "Slice Registers": self.registers,
+            "F7 Mux": self.f7_muxes,
+            "F8 Mux": self.f8_muxes,
+            "Slice": self.slices,
+            "LUT as logic": self.lut_as_logic,
+            "LUT as mem": self.lut_as_mem,
+            "BRAM": self.bram36,
+        }
+
+
+def estimate_resources(netlist, mapping, device="xc7z020",
+                       platform=PlatformOverhead(), packing_efficiency=0.72):
+    """Build a :class:`ResourceReport` from a mapped netlist.
+
+    Parameters
+    ----------
+    netlist:
+        The design netlist (supplies register counts and block tags).
+    mapping:
+        :class:`repro.synthesis.cuts.Mapping` from the LUT mapper.
+    device:
+        Key into :data:`DEVICES`.
+    platform:
+        Fixed SoC overhead added on top of the core.
+    packing_efficiency:
+        Fraction of slice capacity the placer achieves in practice.
+    """
+    if device not in DEVICES:
+        raise KeyError(f"unknown device {device!r}; known: {sorted(DEVICES)}")
+    core_logic_luts = mapping.n_luts
+    core_registers = netlist.register_count()
+
+    lut_as_logic = core_logic_luts + platform.luts_logic
+    lut_as_mem = platform.luts_mem
+    total_luts = lut_as_logic + lut_as_mem
+    registers = core_registers + platform.registers
+
+    slice_by_lut = total_luts / 4.0
+    slice_by_ff = registers / 8.0
+    slices = int(round(max(slice_by_lut, slice_by_ff) / packing_efficiency))
+
+    per_block_regs = {}
+    for node in netlist.nodes:
+        if node.kind == "dff" and node.block is not None:
+            per_block_regs[node.block] = per_block_regs.get(node.block, 0) + 1
+
+    return ResourceReport(
+        device=device,
+        luts=total_luts,
+        lut_as_logic=lut_as_logic,
+        lut_as_mem=lut_as_mem,
+        registers=registers,
+        slices=slices,
+        f7_muxes=mapping.f7_muxes,
+        f8_muxes=mapping.f8_muxes,
+        bram36=platform.bram36,
+        per_block_luts=mapping.luts_per_block(),
+        per_block_registers=per_block_regs,
+    )

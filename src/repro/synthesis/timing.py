@@ -1,0 +1,126 @@
+"""Static timing estimation over the mapped LUT network.
+
+Stands in for Vivado's implementation timing report.  The model is the
+standard back-of-envelope used for 7-series fabric:
+
+``path_delay = sum over LUT levels of (t_level + t_net(fanout))``
+
+with two level classes:
+
+* **random logic** (the HCB AND networks): full LUT + general routing
+  delay per level;
+* **arithmetic** (class-sum adders, argmax comparators, control counter):
+  ripple structures that Vivado maps onto CARRY4 chains, roughly 5x
+  faster per level than general LUT hops.  We classify by the block tag
+  the generator attached to each node.
+
+Constants are calibrated so MNIST-scale MATADOR designs land in the
+paper's 50-65 MHz band while small designs saturate the SoC interface
+ceiling; absolute numbers are a model, but the *ordering* between
+configurations (pipelined vs not, shared vs DON'T TOUCH, narrow vs wide
+bus) is structural and survives recalibration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["TimingModel", "TimingReport", "estimate_timing", "ARITHMETIC_BLOCKS"]
+
+# Blocks whose logic is carry-chain shaped.
+ARITHMETIC_BLOCKS = ("class_sum", "argmax", "pipeline", "ctrl")
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Delay constants (ns) for the target fabric, slow corner."""
+
+    t_lut: float = 0.44          # LUT6 logic delay (random logic)
+    t_net_base: float = 0.50     # first-load routing delay
+    t_net_fanout: float = 0.16   # additional per doubling of fanout
+    t_carry_level: float = 0.175 # effective per-level delay on CARRY4 paths
+    t_clock_overhead: float = 1.10  # clk->q + setup + skew
+    f_ceiling_mhz: float = 250.0    # interface/DMA ceiling on the SoC
+
+
+@dataclass
+class TimingReport:
+    """Critical path and achievable clock."""
+
+    critical_path_ns: float
+    lut_levels: int
+    fmax_mhz: float
+    suggested_clock_mhz: float
+    worst_block: str = None
+    per_block_depth: dict = field(default_factory=dict)
+
+    def summary(self):
+        return (
+            f"critical path {self.critical_path_ns:.2f} ns over "
+            f"{self.lut_levels} LUT levels (worst in {self.worst_block}) -> "
+            f"fmax {self.fmax_mhz:.1f} MHz "
+            f"(suggested {self.suggested_clock_mhz:.0f} MHz)"
+        )
+
+
+def _net_delay(model, fanout):
+    if fanout <= 0:
+        return 0.0
+    return model.t_net_base + model.t_net_fanout * math.log2(fanout + 1)
+
+
+def estimate_timing(netlist, mapping, model=None, clock_granularity_mhz=5.0):
+    """Estimate the critical path of a mapped design.
+
+    Per LUT: ``arrival(root) = max over support leaves of arrival(leaf) +
+    level_delay + net_delay(fanout)``.  Register outputs and primary
+    inputs arrive at t=0 (all analyzed paths are register-to-register —
+    the architecture registers its interface).
+    """
+    if model is None:
+        model = TimingModel()
+    fanout = netlist.fanout_counts()
+    arrival = {}
+    levels = {}
+    critical = 0.0
+    max_level = 0
+    worst_block = None
+    per_block_depth = {}
+    # Gate node ids are created after their fanins, so root-id order is
+    # topological for the combinational network.
+    for lut in sorted(mapping.luts, key=lambda l: l.root):
+        leaf_arrival = 0.0
+        leaf_level = 0
+        for leaf in lut.support:
+            leaf_arrival = max(leaf_arrival, arrival.get(leaf, 0.0))
+            leaf_level = max(leaf_level, levels.get(leaf, 0))
+        if lut.block in ARITHMETIC_BLOCKS:
+            level_delay = model.t_carry_level
+            net = 0.35 * _net_delay(model, fanout[lut.root])
+        else:
+            level_delay = model.t_lut
+            net = _net_delay(model, fanout[lut.root])
+        t = leaf_arrival + level_delay + net
+        arrival[lut.root] = t
+        levels[lut.root] = leaf_level + 1
+        per_block_depth[lut.block] = max(
+            per_block_depth.get(lut.block, 0), leaf_level + 1
+        )
+        if t > critical:
+            critical = t
+            worst_block = lut.block
+        max_level = max(max_level, leaf_level + 1)
+
+    path = critical + model.t_clock_overhead
+    fmax = min(1000.0 / path if path > 0 else model.f_ceiling_mhz, model.f_ceiling_mhz)
+    suggested = math.floor(fmax / clock_granularity_mhz) * clock_granularity_mhz
+    suggested = max(clock_granularity_mhz, min(suggested, fmax))
+    return TimingReport(
+        critical_path_ns=path,
+        lut_levels=max_level,
+        fmax_mhz=fmax,
+        suggested_clock_mhz=suggested,
+        worst_block=worst_block,
+        per_block_depth=per_block_depth,
+    )

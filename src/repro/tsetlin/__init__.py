@@ -1,0 +1,45 @@
+"""Tsetlin Machine substrate: automata, feedback, training, booleanization."""
+
+from .automata import AutomataTeam
+from .booleanize import (
+    QuantileEncoder,
+    ThermometerEncoder,
+    ThresholdBinarizer,
+    literals_from_features,
+)
+from .coalesced import CoalescedTsetlinMachine
+from .convolutional import ConvolutionalTsetlinMachine
+from .feedback import clause_outputs, type_i_feedback, type_ii_feedback
+from .machine import TrainingLog, TsetlinMachine
+from .search import SearchPoint, SearchResult, grid_search, search_clause_budget
+from .rng import (
+    CyclostationaryRandom,
+    NumpyRandom,
+    TMRandom,
+    XorShift128Plus,
+    make_rng,
+)
+
+__all__ = [
+    "AutomataTeam",
+    "QuantileEncoder",
+    "ThermometerEncoder",
+    "ThresholdBinarizer",
+    "literals_from_features",
+    "CoalescedTsetlinMachine",
+    "ConvolutionalTsetlinMachine",
+    "clause_outputs",
+    "type_i_feedback",
+    "type_ii_feedback",
+    "TrainingLog",
+    "TsetlinMachine",
+    "CyclostationaryRandom",
+    "NumpyRandom",
+    "TMRandom",
+    "XorShift128Plus",
+    "make_rng",
+    "SearchPoint",
+    "SearchResult",
+    "grid_search",
+    "search_clause_budget",
+]

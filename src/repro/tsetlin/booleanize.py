@@ -1,0 +1,168 @@
+"""Booleanization of raw features into TM input literals.
+
+A Tsetlin Machine consumes boolean features.  Each boolean feature ``x_i``
+contributes two literals to every clause: ``x_i`` and its negation
+``~x_i`` (Fig. 1b of the paper).  Real-valued inputs must therefore be
+booleanized first.  This module provides the encoders used throughout the
+reproduction:
+
+* :class:`ThresholdBinarizer` — one bit per feature against a threshold
+  (how the paper's 784-bit MNIST inputs are produced).
+* :class:`ThermometerEncoder` — ``k`` bits per feature with evenly spaced
+  levels (unary/thermometer code).
+* :class:`QuantileEncoder` — ``k`` bits per feature with data-adaptive
+  (quantile) thresholds, the scheme REDRESS [5] uses for sensor data.
+
+All encoders follow a scikit-learn-like ``fit`` / ``transform`` protocol and
+produce ``uint8`` arrays of zeros and ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ThresholdBinarizer",
+    "ThermometerEncoder",
+    "QuantileEncoder",
+    "literals_from_features",
+]
+
+
+def _as_2d(X):
+    X = np.asarray(X)
+    if X.ndim == 1:
+        X = X[np.newaxis, :]
+    if X.ndim != 2:
+        X = X.reshape(X.shape[0], -1)
+    return X
+
+
+def literals_from_features(X):
+    """Expand boolean features into the literal vector ``[X, ~X]``.
+
+    The result has twice as many columns as ``X``; column ``j`` is feature
+    ``j`` and column ``n_features + j`` is its negation.  This layout matches
+    the include-matrix layout used by :mod:`repro.model`.
+    """
+    X = _as_2d(X).astype(np.uint8)
+    return np.concatenate([X, 1 - X], axis=1)
+
+
+class ThresholdBinarizer:
+    """Binarize each feature against a single threshold.
+
+    Parameters
+    ----------
+    threshold:
+        Fixed threshold, or ``None`` to fit the per-feature mean.
+    """
+
+    def __init__(self, threshold=None):
+        self.threshold = threshold
+        self.thresholds_ = None
+
+    def fit(self, X):
+        X = _as_2d(X)
+        if self.threshold is None:
+            self.thresholds_ = X.mean(axis=0)
+        else:
+            self.thresholds_ = np.full(X.shape[1], float(self.threshold))
+        return self
+
+    def transform(self, X):
+        if self.thresholds_ is None:
+            raise RuntimeError("ThresholdBinarizer must be fit before transform")
+        X = _as_2d(X)
+        return (X > self.thresholds_).astype(np.uint8)
+
+    def fit_transform(self, X):
+        return self.fit(X).transform(X)
+
+    @property
+    def n_output_bits(self):
+        if self.thresholds_ is None:
+            return None
+        return len(self.thresholds_)
+
+
+class ThermometerEncoder:
+    """Unary (thermometer) encoding with ``n_bits`` evenly spaced levels.
+
+    A feature value ``v`` in the fitted range maps to a prefix of ones:
+    bit ``b`` is set iff ``v > low + (b + 1) * span / (n_bits + 1)``.
+    """
+
+    def __init__(self, n_bits=8):
+        if n_bits < 1:
+            raise ValueError("n_bits must be >= 1")
+        self.n_bits = n_bits
+        self.lo_ = None
+        self.hi_ = None
+
+    def fit(self, X):
+        X = _as_2d(X)
+        self.lo_ = X.min(axis=0).astype(np.float64)
+        self.hi_ = X.max(axis=0).astype(np.float64)
+        return self
+
+    def _levels(self):
+        # n_bits interior thresholds between lo and hi, per feature.
+        steps = np.arange(1, self.n_bits + 1, dtype=np.float64) / (self.n_bits + 1)
+        span = self.hi_ - self.lo_
+        return self.lo_[:, np.newaxis] + span[:, np.newaxis] * steps[np.newaxis, :]
+
+    def transform(self, X):
+        if self.lo_ is None:
+            raise RuntimeError("ThermometerEncoder must be fit before transform")
+        X = _as_2d(X).astype(np.float64)
+        levels = self._levels()  # (features, n_bits)
+        bits = X[:, :, np.newaxis] > levels[np.newaxis, :, :]
+        return bits.reshape(X.shape[0], -1).astype(np.uint8)
+
+    def fit_transform(self, X):
+        return self.fit(X).transform(X)
+
+    @property
+    def n_output_bits(self):
+        if self.lo_ is None:
+            return None
+        return len(self.lo_) * self.n_bits
+
+
+class QuantileEncoder:
+    """Thermometer encoding with data-adaptive quantile thresholds.
+
+    Instead of evenly spaced levels, thresholds sit at the empirical
+    quantiles of each feature, so each output bit carries roughly equal
+    information regardless of the feature's marginal distribution.
+    """
+
+    def __init__(self, n_bits=8):
+        if n_bits < 1:
+            raise ValueError("n_bits must be >= 1")
+        self.n_bits = n_bits
+        self.thresholds_ = None
+
+    def fit(self, X):
+        X = _as_2d(X).astype(np.float64)
+        qs = np.linspace(0.0, 1.0, self.n_bits + 2)[1:-1]
+        # thresholds_ shape: (features, n_bits)
+        self.thresholds_ = np.quantile(X, qs, axis=0).T
+        return self
+
+    def transform(self, X):
+        if self.thresholds_ is None:
+            raise RuntimeError("QuantileEncoder must be fit before transform")
+        X = _as_2d(X).astype(np.float64)
+        bits = X[:, :, np.newaxis] > self.thresholds_[np.newaxis, :, :]
+        return bits.reshape(X.shape[0], -1).astype(np.uint8)
+
+    def fit_transform(self, X):
+        return self.fit(X).transform(X)
+
+    @property
+    def n_output_bits(self):
+        if self.thresholds_ is None:
+            return None
+        return self.thresholds_.shape[0] * self.n_bits

@@ -1,0 +1,170 @@
+"""Coalesced Tsetlin Machine (CoTM) — shared clause pool with class weights.
+
+The paper cites the Coalesced TM [16] as a small-memory-footprint variant and
+names "accelerating other TM models" as future work.  We implement it as an
+extension so the MATADOR flow can also generate accelerators for weighted
+shared-clause models.
+
+In a CoTM a single pool of ``n_clauses`` clauses is shared by all classes;
+each class holds a signed integer weight per clause and the class sum is the
+weight-weighted sum of clause outputs.  Training updates both the clause
+automata (Type I/II, as in the vanilla machine) and the weights (±1 steps).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .automata import AutomataTeam
+from .booleanize import literals_from_features
+from .feedback import clause_outputs, type_i_feedback, type_ii_feedback
+from .rng import NumpyRandom
+
+__all__ = ["CoalescedTsetlinMachine"]
+
+
+class CoalescedTsetlinMachine:
+    """Coalesced multi-output Tsetlin Machine.
+
+    Parameters mirror :class:`repro.tsetlin.machine.TsetlinMachine`, except
+    ``n_clauses`` counts the *shared* pool, not clauses per class.
+    """
+
+    def __init__(self, n_classes, n_features, n_clauses=64, T=20, s=3.9,
+                 n_states=127, boost_true_positive=True, rng=None, seed=42):
+        if n_classes < 2:
+            raise ValueError("n_classes must be >= 2")
+        if n_clauses < 1:
+            raise ValueError("n_clauses must be >= 1")
+        self.n_classes = int(n_classes)
+        self.n_features = int(n_features)
+        self.n_clauses = int(n_clauses)
+        self.T = int(T)
+        self.s = float(s)
+        self.boost_true_positive = bool(boost_true_positive)
+        self.rng = rng if rng is not None else NumpyRandom(seed)
+        # The shared pool lives in a 1-class team: (1, K, 2f).
+        self.team = AutomataTeam(
+            (1, self.n_clauses, 2 * self.n_features), n_states=n_states, rng=self.rng
+        )
+        # Integer weights per (class, clause); start at +1/-1 alternating so
+        # each class begins with balanced vote polarity.
+        signs = np.where(np.arange(self.n_clauses) % 2 == 0, 1, -1)
+        self.weights = np.tile(signs, (self.n_classes, 1)).astype(np.int32)
+
+    # ------------------------------------------------------------------
+    def includes(self):
+        """Shared include matrix ``(clauses, 2 * features)``."""
+        return self.team.actions()[0]
+
+    def _check_features(self, X):
+        X = np.asarray(X, dtype=np.uint8)
+        if X.ndim == 1:
+            X = X[np.newaxis, :]
+        if X.shape[1] != self.n_features:
+            raise ValueError(
+                f"expected {self.n_features} boolean features, got {X.shape[1]}"
+            )
+        return X
+
+    def clause_outputs_batch(self, X, empty_output=0):
+        """Shared pool outputs per sample: ``(samples, clauses)``."""
+        X = self._check_features(X)
+        L = literals_from_features(X).astype(bool)
+        inc = self.includes()
+        violations = np.einsum(
+            "nf,kf->nk", (~L).astype(np.uint8), inc.astype(np.uint8)
+        )
+        out = (violations == 0).astype(np.uint8)
+        if empty_output == 0:
+            out &= inc.any(axis=1)[np.newaxis, :].astype(np.uint8)
+        return out
+
+    def class_sums(self, X, empty_output=0):
+        out = self.clause_outputs_batch(X, empty_output=empty_output)
+        return out.astype(np.int32) @ self.weights.T
+
+    def predict(self, X):
+        return np.argmax(self.class_sums(X), axis=1)
+
+    def evaluate(self, X, y):
+        return float(np.mean(self.predict(X) == np.asarray(y)))
+
+    # ------------------------------------------------------------------
+    def _update_for_class(self, literals, cls, is_target):
+        """CoTM update of the shared pool and one class's weights."""
+        inc = self.team.actions()[0]
+        out = clause_outputs(inc, literals, empty_output=1)
+        vote = int(np.dot(out.astype(np.int64), self.weights[cls]))
+        T = self.T
+        vote = max(-T, min(T, vote))
+        p = (T - vote) / (2.0 * T) if is_target else (T + vote) / (2.0 * T)
+        sel = self.rng.bernoulli(p, (self.n_clauses,))
+        w_pos = self.weights[cls] >= 0
+        fired = out.astype(bool)
+
+        if is_target:
+            # Positive-weight clauses learn the pattern; negative-weight
+            # clauses that fire are suppressed (Type II).
+            type_i_feedback(
+                self.team, 0, sel & w_pos, out, literals, self.s, self.rng,
+                boost_true_positive=self.boost_true_positive,
+            )
+            type_ii_feedback(self.team, 0, sel & ~w_pos, out, literals)
+            # Weight update: firing selected clauses drift toward this class.
+            self.weights[cls] += (sel & fired & w_pos).astype(np.int32)
+            self.weights[cls] -= (sel & fired & ~w_pos).astype(np.int32)
+        else:
+            type_ii_feedback(self.team, 0, sel & w_pos, out, literals)
+            type_i_feedback(
+                self.team, 0, sel & ~w_pos, out, literals, self.s, self.rng,
+                boost_true_positive=self.boost_true_positive,
+            )
+            self.weights[cls] -= (sel & fired & w_pos).astype(np.int32)
+            self.weights[cls] += (sel & fired & ~w_pos).astype(np.int32)
+
+    def fit(self, X, y, epochs=10, shuffle=True):
+        """Train the shared pool and class weights."""
+        X = self._check_features(X)
+        y = np.asarray(y, dtype=np.int64)
+        if y.min() < 0 or y.max() >= self.n_classes:
+            raise ValueError("labels out of range for n_classes")
+        L_all = literals_from_features(X)
+        order = np.arange(len(X))
+        for _ in range(epochs):
+            if shuffle:
+                order = order[np.argsort(self.rng.random((len(X),)))]
+            for idx in order:
+                target = int(y[idx])
+                self._update_for_class(L_all[idx], target, is_target=True)
+                rival = self.rng.integers(0, self.n_classes - 1)
+                if rival >= target:
+                    rival += 1
+                self._update_for_class(L_all[idx], rival, is_target=False)
+        return self
+
+    # ------------------------------------------------------------------
+    def export_model(self, name="cotm"):
+        """Freeze into a weighted :class:`repro.model.TMModel`.
+
+        The shared pool is replicated per class with the class's weights, so
+        downstream tooling (codegen, analysis) sees the standard layout.  The
+        weight matrix is preserved so the generator can emit weighted
+        class-sum adders.
+        """
+        from ..model.model import TMModel
+
+        inc = self.includes()
+        replicated = np.tile(inc[np.newaxis, :, :], (self.n_classes, 1, 1))
+        return TMModel(
+            include=replicated,
+            n_features=self.n_features,
+            name=name,
+            weights=self.weights.copy(),
+            hyperparameters={
+                "n_clauses": self.n_clauses,
+                "T": self.T,
+                "s": self.s,
+                "coalesced": True,
+            },
+        )

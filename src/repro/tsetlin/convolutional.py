@@ -1,0 +1,227 @@
+"""Convolutional Tsetlin Machine (CTM) — paper ref [14], future work.
+
+The paper's conclusion names "accelerating other TM models for
+scalability to larger datasets" as further work, citing the
+Convolutional TM.  This module provides the ML substrate: clauses are
+evaluated over every ``(patch_h, patch_w)`` window of the input image
+and fire if **any** window matches (an OR over patches), which buys
+translation tolerance that the flat machine lacks.
+
+Following Granmo et al., each patch's literal vector contains the patch
+pixels plus thermometer-coded patch coordinates, so clauses can learn
+position-sensitive patterns ("a loop in the upper half") as well as
+position-free ones.
+
+Training follows the CTM rule: when a clause fires, one of its matching
+patches is drawn at random and Type I/II feedback is applied against
+that patch's literals.
+
+Hardware generation for CTMs is out of scope here, as in the paper; the
+accelerator path covers the flat and coalesced machines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .automata import AutomataTeam
+from .rng import NumpyRandom
+
+__all__ = ["ConvolutionalTsetlinMachine"]
+
+
+class ConvolutionalTsetlinMachine:
+    """Multiclass convolutional TM over 2-D boolean images.
+
+    Parameters
+    ----------
+    n_classes:
+        Output classes.
+    image_shape:
+        ``(height, width)`` of the boolean input images (inputs are flat
+        vectors of ``height * width``).
+    patch_shape:
+        ``(patch_h, patch_w)`` clause window.
+    n_clauses, T, s, n_states, boost_true_positive, rng, seed:
+        As in :class:`repro.tsetlin.machine.TsetlinMachine`.
+    """
+
+    def __init__(self, n_classes, image_shape, patch_shape=(10, 10),
+                 n_clauses=20, T=15, s=3.9, n_states=127,
+                 boost_true_positive=True, rng=None, seed=42):
+        if n_classes < 2:
+            raise ValueError("n_classes must be >= 2")
+        if n_clauses < 2 or n_clauses % 2:
+            raise ValueError("n_clauses must be an even number >= 2")
+        self.n_classes = int(n_classes)
+        self.image_h, self.image_w = map(int, image_shape)
+        self.patch_h, self.patch_w = map(int, patch_shape)
+        if self.patch_h > self.image_h or self.patch_w > self.image_w:
+            raise ValueError("patch larger than image")
+        self.n_clauses = int(n_clauses)
+        self.T = int(T)
+        self.s = float(s)
+        self.boost_true_positive = bool(boost_true_positive)
+        self.rng = rng if rng is not None else NumpyRandom(seed)
+
+        self.rows = self.image_h - self.patch_h + 1
+        self.cols = self.image_w - self.patch_w + 1
+        self.n_patches = self.rows * self.cols
+        # Patch feature vector: pixels + row/col thermometer coordinates.
+        self.n_patch_features = (
+            self.patch_h * self.patch_w + (self.rows - 1) + (self.cols - 1)
+        )
+        self.team = AutomataTeam(
+            (self.n_classes, self.n_clauses, 2 * self.n_patch_features),
+            n_states=n_states,
+            rng=self.rng,
+        )
+        self.polarity = np.where(np.arange(self.n_clauses) % 2 == 0, 1, -1)
+        self._coord_bits = self._coordinate_features()
+
+    # ------------------------------------------------------------------
+    def _coordinate_features(self):
+        """Thermometer row/col features per patch position: (P, coords)."""
+        coords = np.zeros(
+            (self.n_patches, (self.rows - 1) + (self.cols - 1)), dtype=np.uint8
+        )
+        for r in range(self.rows):
+            for c in range(self.cols):
+                p = r * self.cols + c
+                coords[p, : self.rows - 1] = (np.arange(1, self.rows) <= r)
+                coords[p, self.rows - 1 :] = (np.arange(1, self.cols) <= c)
+        return coords
+
+    def _patches(self, X):
+        """Extract patch feature matrices: (n, P, n_patch_features)."""
+        X = np.asarray(X, dtype=np.uint8)
+        if X.ndim == 1:
+            X = X[np.newaxis, :]
+        if X.shape[1] != self.image_h * self.image_w:
+            raise ValueError(
+                f"expected {self.image_h * self.image_w} pixels, got {X.shape[1]}"
+            )
+        imgs = X.reshape(-1, self.image_h, self.image_w)
+        n = len(imgs)
+        windows = np.lib.stride_tricks.sliding_window_view(
+            imgs, (self.patch_h, self.patch_w), axis=(1, 2)
+        )  # (n, rows, cols, ph, pw)
+        pixels = windows.reshape(n, self.n_patches, self.patch_h * self.patch_w)
+        coords = np.broadcast_to(
+            self._coord_bits[np.newaxis], (n, self.n_patches, self._coord_bits.shape[1])
+        )
+        return np.concatenate([pixels, coords], axis=2)
+
+    def _patch_literals(self, patches):
+        """(n, P, 2f) literal matrix from patch features."""
+        return np.concatenate([patches, 1 - patches], axis=2)
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def clause_outputs_batch(self, X, empty_output=0):
+        """(n, classes, clauses): 1 iff any patch satisfies the clause."""
+        literals = self._patch_literals(self._patches(X))  # (n, P, 2f)
+        inc = self.team.actions()  # (C, K, 2f)
+        not_l = (1 - literals).astype(np.uint8)
+        out = np.empty((len(literals), self.n_classes, self.n_clauses), dtype=np.uint8)
+        for c in range(self.n_classes):
+            # violations per patch: (n, P, K)
+            v = np.einsum("npf,kf->npk", not_l, inc[c].astype(np.uint8))
+            out[:, c, :] = (v == 0).any(axis=1)
+        if empty_output == 0:
+            nonempty = inc.any(axis=2)
+            out &= nonempty[np.newaxis].astype(np.uint8)
+        return out
+
+    def class_sums(self, X, empty_output=0):
+        out = self.clause_outputs_batch(X, empty_output=empty_output)
+        return np.einsum("nck,k->nc", out.astype(np.int32), self.polarity)
+
+    def predict(self, X):
+        return np.argmax(self.class_sums(X), axis=1)
+
+    def evaluate(self, X, y):
+        return float(np.mean(self.predict(X) == np.asarray(y)))
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def _clause_patch_state(self, literals, class_index):
+        """Per clause: output bit and one randomly chosen matching patch.
+
+        ``literals``: (P, 2f) for one sample.  Returns ``(out, chosen)``
+        where ``chosen[k]`` is a patch literal vector for clause k (the
+        matching patch if it fired, else an arbitrary patch — unused).
+        """
+        inc = self.team.actions()[class_index]  # (K, 2f)
+        v = np.einsum("pf,kf->pk", (1 - literals).astype(np.uint8),
+                      inc.astype(np.uint8))  # (P, K)
+        match = v == 0
+        out = match.any(axis=0).astype(np.uint8)
+        chosen = np.zeros((self.n_clauses, literals.shape[1]), dtype=np.uint8)
+        draws = self.rng.random((self.n_clauses,))
+        for k in np.flatnonzero(out):
+            patch_ids = np.flatnonzero(match[:, k])
+            pick = patch_ids[int(draws[k] * len(patch_ids)) % len(patch_ids)]
+            chosen[k] = literals[pick]
+        return out, chosen
+
+    def _type_i(self, class_index, sel, out, chosen):
+        states = self.team.state[class_index]
+        n_lit = states.shape[1]
+        low = 1.0 / self.s
+        high = 1.0 if self.boost_true_positive else (self.s - 1.0) / self.s
+        draws = self.rng.random((self.n_clauses, n_lit))
+        fired = (out.astype(bool) & sel)[:, np.newaxis]
+        quiet = (~out.astype(bool) & sel)[:, np.newaxis]
+        lit = chosen.astype(bool)
+        delta = np.zeros_like(states, dtype=np.int16)
+        delta += (fired & lit & (draws < high)).astype(np.int16)
+        delta -= (fired & ~lit & (draws < low)).astype(np.int16)
+        delta -= (quiet & (draws < low)).astype(np.int16)
+        states += delta
+        np.clip(states, 1, 2 * self.team.n_states, out=states)
+
+    def _type_ii(self, class_index, sel, out, chosen):
+        states = self.team.state[class_index]
+        fired = (out.astype(bool) & sel)[:, np.newaxis]
+        lit = chosen.astype(bool)
+        excluded = states <= self.team.n_states
+        states += (fired & ~lit & excluded).astype(np.int16)
+        np.clip(states, 1, 2 * self.team.n_states, out=states)
+
+    def _update_one(self, literals, target):
+        T = self.T
+        pos = self.polarity > 0
+
+        out, chosen = self._clause_patch_state(literals, target)
+        vote = int(np.dot(out.astype(np.int32), self.polarity))
+        vote = max(-T, min(T, vote))
+        sel = self.rng.bernoulli((T - vote) / (2.0 * T), (self.n_clauses,))
+        self._type_i(target, sel & pos, out, chosen)
+        self._type_ii(target, sel & ~pos, out, chosen)
+
+        rival = self.rng.integers(0, self.n_classes - 1)
+        if rival >= target:
+            rival += 1
+        out_r, chosen_r = self._clause_patch_state(literals, rival)
+        vote_r = int(np.dot(out_r.astype(np.int32), self.polarity))
+        vote_r = max(-T, min(T, vote_r))
+        sel_r = self.rng.bernoulli((T + vote_r) / (2.0 * T), (self.n_clauses,))
+        self._type_ii(rival, sel_r & pos, out_r, chosen_r)
+        self._type_i(rival, sel_r & ~pos, out_r, chosen_r)
+
+    def fit(self, X, y, epochs=10, shuffle=True):
+        X = np.asarray(X, dtype=np.uint8)
+        y = np.asarray(y, dtype=np.int64)
+        if y.min() < 0 or y.max() >= self.n_classes:
+            raise ValueError("labels out of range")
+        all_literals = self._patch_literals(self._patches(X))
+        order = np.arange(len(X))
+        for _ in range(epochs):
+            if shuffle:
+                order = order[np.argsort(self.rng.random((len(X),)))]
+            for idx in order:
+                self._update_one(all_literals[idx], int(y[idx]))
+        return self

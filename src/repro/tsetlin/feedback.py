@@ -1,0 +1,124 @@
+"""Type I and Type II feedback — the TM learning rules.
+
+Both rules act on the TA states of one class's clause bank given a single
+datapoint's literal vector.  They are fully vectorized over
+``(clauses, literals)``:
+
+* **Type I** combats false negatives: it reinforces clauses toward
+  memorizing the patterns present in positive examples, with an erosion
+  component (probability ``1/s``) that keeps clauses general.
+* **Type II** combats false positives: when a clause fires for the wrong
+  class, it includes one of the literals that are currently 0 so the clause
+  stops matching the offending input.
+
+The rules follow Granmo's original formulation [9]; ``boost_true_positive``
+replaces the ``(s-1)/s`` strengthening probability with 1, a common
+variation that speeds convergence on sparse data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["type_i_feedback", "type_ii_feedback", "clause_outputs"]
+
+
+def clause_outputs(include, literals, empty_output=1):
+    """Evaluate a bank of clauses on one literal vector.
+
+    Parameters
+    ----------
+    include:
+        Boolean array ``(clauses, 2 * features)`` — the include actions.
+    literals:
+        ``(2 * features,)`` array of 0/1 literal values.
+    empty_output:
+        Output for clauses with no includes: 1 during training (the paper's
+        hardware convention, HCB 0 initializes all clauses to ``1'b1``),
+        0 during inference so that unformed clauses do not vote.
+
+    Returns
+    -------
+    ``(clauses,)`` uint8 array of clause outputs.
+    """
+    literals = np.asarray(literals, dtype=bool)
+    # A clause fails iff any included literal is 0.
+    violated = include & ~literals[np.newaxis, :]
+    out = ~violated.any(axis=1)
+    if empty_output == 0:
+        out &= include.any(axis=1)
+    return out.astype(np.uint8)
+
+
+def type_i_feedback(team, class_index, clause_mask, outputs, literals, s, rng,
+                    boost_true_positive=False):
+    """Apply Type I feedback to the selected clauses of one class.
+
+    Parameters
+    ----------
+    team:
+        :class:`repro.tsetlin.automata.AutomataTeam` of shape
+        ``(classes, clauses, 2 * features)``.
+    class_index:
+        Which class's clause bank to update.
+    clause_mask:
+        Boolean ``(clauses,)`` — which clauses receive feedback this step.
+    outputs:
+        ``(clauses,)`` clause outputs for this datapoint (training
+        convention: empty clauses output 1).
+    literals:
+        ``(2 * features,)`` 0/1 literal values for the datapoint.
+    s:
+        Specificity hyperparameter (``s >= 1``); larger values produce more
+        specific (more-include) clauses.
+    rng:
+        :class:`repro.tsetlin.rng.TMRandom`.
+    boost_true_positive:
+        If True, strengthen matching literals with probability 1 instead of
+        ``(s - 1) / s``.
+    """
+    states = team.state[class_index]
+    n_clauses, n_literals = states.shape
+    clause_mask = np.asarray(clause_mask, dtype=bool)
+    if not clause_mask.any():
+        return
+    lit = np.asarray(literals, dtype=bool)[np.newaxis, :]
+    out1 = (np.asarray(outputs, dtype=bool) & clause_mask)[:, np.newaxis]
+    out0 = (~np.asarray(outputs, dtype=bool) & clause_mask)[:, np.newaxis]
+
+    low_prob = 1.0 / s
+    high_prob = 1.0 if boost_true_positive else (s - 1.0) / s
+
+    draws = rng.random((n_clauses, n_literals))
+
+    delta = np.zeros_like(states, dtype=np.int16)
+    # Clause fired: memorize — literals that are 1 step toward include,
+    # literals that are 0 erode toward exclude.
+    delta += (out1 & lit & (draws < high_prob)).astype(np.int16)
+    delta -= (out1 & ~lit & (draws < low_prob)).astype(np.int16)
+    # Clause did not fire: erode everything gently (forget).
+    delta -= (out0 & (draws < low_prob)).astype(np.int16)
+
+    states += delta
+    np.clip(states, 1, 2 * team.n_states, out=states)
+
+
+def type_ii_feedback(team, class_index, clause_mask, outputs, literals):
+    """Apply Type II feedback to the selected clauses of one class.
+
+    For every selected clause that (wrongly) fired, each literal with value 0
+    whose automaton currently excludes it is stepped one state toward
+    include.  Including such a literal guarantees the clause will no longer
+    match this datapoint.  Type II is deterministic.
+    """
+    states = team.state[class_index]
+    clause_mask = np.asarray(clause_mask, dtype=bool)
+    if not clause_mask.any():
+        return
+    lit = np.asarray(literals, dtype=bool)[np.newaxis, :]
+    fired = (np.asarray(outputs, dtype=bool) & clause_mask)[:, np.newaxis]
+    excluded = states <= team.n_states
+
+    bump = fired & ~lit & excluded
+    states += bump.astype(np.int16)
+    np.clip(states, 1, 2 * team.n_states, out=states)

@@ -1,0 +1,260 @@
+"""Multiclass (vanilla) Tsetlin Machine — training and inference.
+
+This is the ML substrate of the reproduction: the machine whose trained
+include/exclude matrix MATADOR translates into silicon.  The implementation
+follows Granmo's original multiclass formulation [9] as used by the paper:
+
+* each class owns ``n_clauses`` clauses of alternating polarity
+  (even index = +1, odd index = -1, matching Fig. 1a);
+* a class sum is the polarity-weighted sum of clause outputs, clamped to
+  ``[-T, T]`` during training;
+* per datapoint, the target class receives Type I feedback on its positive
+  clauses and Type II on its negative clauses, while one randomly drawn
+  negative class receives the mirrored combination.
+
+Inference (``predict``) uses the hardware-compatible convention: clauses
+that include no literal are pruned (output 0) so that software predictions
+match the generated accelerator exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .automata import AutomataTeam
+from .booleanize import literals_from_features
+from .feedback import clause_outputs, type_i_feedback, type_ii_feedback
+from .rng import NumpyRandom
+
+__all__ = ["TsetlinMachine", "TrainingLog"]
+
+
+class TrainingLog:
+    """Per-epoch training metrics recorded by :meth:`TsetlinMachine.fit`."""
+
+    def __init__(self):
+        self.epochs = []
+
+    def record(self, epoch, train_accuracy, include_fraction, val_accuracy=None):
+        self.epochs.append(
+            {
+                "epoch": epoch,
+                "train_accuracy": train_accuracy,
+                "include_fraction": include_fraction,
+                "val_accuracy": val_accuracy,
+            }
+        )
+
+    def last(self):
+        return self.epochs[-1] if self.epochs else None
+
+    def best_val(self):
+        scores = [e["val_accuracy"] for e in self.epochs if e["val_accuracy"] is not None]
+        return max(scores) if scores else None
+
+    def __len__(self):
+        return len(self.epochs)
+
+
+class TsetlinMachine:
+    """Vanilla multiclass Tsetlin Machine.
+
+    Parameters
+    ----------
+    n_classes:
+        Number of output classes.
+    n_clauses:
+        Clauses **per class** (the paper's Table II counts, e.g. 200 for
+        MNIST).  Must be even so polarities balance.
+    T:
+        Vote margin target.  Feedback probability decays as the clamped
+        class sum approaches ``±T``.
+    s:
+        Specificity; controls the include/erode balance of Type I feedback.
+    n_states:
+        TA states per action (default 127).
+    boost_true_positive:
+        Pass-through to Type I feedback.
+    rng:
+        A :class:`repro.tsetlin.rng.TMRandom`; defaults to a seeded
+        :class:`NumpyRandom`.
+    """
+
+    def __init__(self, n_classes, n_features, n_clauses=20, T=15, s=3.9,
+                 n_states=127, boost_true_positive=True, rng=None, seed=42):
+        if n_classes < 2:
+            raise ValueError("n_classes must be >= 2")
+        if n_clauses < 2 or n_clauses % 2 != 0:
+            raise ValueError("n_clauses must be an even number >= 2")
+        if T < 1:
+            raise ValueError("T must be >= 1")
+        if s < 1.0:
+            raise ValueError("s must be >= 1.0")
+        self.n_classes = int(n_classes)
+        self.n_features = int(n_features)
+        self.n_clauses = int(n_clauses)
+        self.T = int(T)
+        self.s = float(s)
+        self.boost_true_positive = bool(boost_true_positive)
+        self.rng = rng if rng is not None else NumpyRandom(seed)
+        self.team = AutomataTeam(
+            (self.n_classes, self.n_clauses, 2 * self.n_features),
+            n_states=n_states,
+            rng=self.rng,
+        )
+        # Polarity alternates [+1, -1, +1, ...] along the clause index
+        # (Fig. 1a of the paper).
+        self.polarity = np.where(np.arange(self.n_clauses) % 2 == 0, 1, -1)
+        self.log = TrainingLog()
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def includes(self):
+        """Include matrix ``(classes, clauses, 2 * features)`` (bool)."""
+        return self.team.actions()
+
+    def _check_features(self, X):
+        X = np.asarray(X, dtype=np.uint8)
+        if X.ndim == 1:
+            X = X[np.newaxis, :]
+        if X.shape[1] != self.n_features:
+            raise ValueError(
+                f"expected {self.n_features} boolean features, got {X.shape[1]}"
+            )
+        return X
+
+    def clause_outputs_batch(self, X, empty_output=0):
+        """Clause outputs for a batch: ``(samples, classes, clauses)``.
+
+        Vectorized across the batch: a clause fails iff any included literal
+        is 0 for that sample.
+        """
+        X = self._check_features(X)
+        L = literals_from_features(X).astype(bool)  # (n, 2f)
+        inc = self.includes()  # (C, K, 2f)
+        # For each sample/class/clause: violated iff any include & ~literal.
+        # einsum over the literal axis with uint8 counts violations.
+        not_l = (~L).astype(np.uint8)
+        inc_u8 = inc.astype(np.uint8)
+        violations = np.einsum("nf,ckf->nck", not_l, inc_u8)
+        out = (violations == 0).astype(np.uint8)
+        if empty_output == 0:
+            nonempty = inc.any(axis=2)  # (C, K)
+            out &= nonempty[np.newaxis, :, :].astype(np.uint8)
+        return out
+
+    def class_sums(self, X, empty_output=0):
+        """Polarity-weighted vote totals: ``(samples, classes)`` int array."""
+        out = self.clause_outputs_batch(X, empty_output=empty_output)
+        return np.einsum("nck,k->nc", out.astype(np.int32), self.polarity)
+
+    def predict(self, X):
+        """Predicted class index per sample (argmax of class sums).
+
+        Ties break toward the lower class index, matching the generated
+        argmax comparison tree (strictly-greater comparisons).
+        """
+        sums = self.class_sums(X)
+        return np.argmax(sums, axis=1)
+
+    def evaluate(self, X, y):
+        """Classification accuracy on ``(X, y)``."""
+        y = np.asarray(y)
+        return float(np.mean(self.predict(X) == y))
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def _update_one(self, literals, target):
+        """Single-datapoint update: target class + one sampled rival."""
+        inc = self.team.actions()
+        T = self.T
+
+        # --- target class -------------------------------------------------
+        out_t = clause_outputs(inc[target], literals, empty_output=1)
+        vote_t = int(np.dot(out_t.astype(np.int32), self.polarity))
+        vote_t = max(-T, min(T, vote_t))
+        p_t = (T - vote_t) / (2.0 * T)
+        sel = self.rng.bernoulli(p_t, (self.n_clauses,))
+        pos = self.polarity > 0
+        type_i_feedback(
+            self.team, target, sel & pos, out_t, literals, self.s, self.rng,
+            boost_true_positive=self.boost_true_positive,
+        )
+        type_ii_feedback(self.team, target, sel & ~pos, out_t, literals)
+
+        # --- one rival class ----------------------------------------------
+        rival = self.rng.integers(0, self.n_classes - 1)
+        if rival >= target:
+            rival += 1
+        out_r = clause_outputs(inc[rival], literals, empty_output=1)
+        vote_r = int(np.dot(out_r.astype(np.int32), self.polarity))
+        vote_r = max(-T, min(T, vote_r))
+        p_r = (T + vote_r) / (2.0 * T)
+        sel_r = self.rng.bernoulli(p_r, (self.n_clauses,))
+        type_ii_feedback(self.team, rival, sel_r & pos, out_r, literals)
+        type_i_feedback(
+            self.team, rival, sel_r & ~pos, out_r, literals, self.s, self.rng,
+            boost_true_positive=self.boost_true_positive,
+        )
+
+    def fit(self, X, y, epochs=10, X_val=None, y_val=None, shuffle=True,
+            progress=None):
+        """Train for ``epochs`` passes over ``(X, y)``.
+
+        Parameters
+        ----------
+        X:
+            Boolean feature matrix ``(samples, n_features)``.
+        y:
+            Integer class labels ``(samples,)``.
+        X_val, y_val:
+            Optional held-out split evaluated each epoch.
+        shuffle:
+            Re-shuffle sample order every epoch.
+        progress:
+            Optional callable ``progress(epoch, log_entry)``.
+        """
+        X = self._check_features(X)
+        y = np.asarray(y, dtype=np.int64)
+        if len(X) != len(y):
+            raise ValueError("X and y must have the same length")
+        if y.min() < 0 or y.max() >= self.n_classes:
+            raise ValueError("labels out of range for n_classes")
+        L_all = literals_from_features(X)
+
+        order = np.arange(len(X))
+        for epoch in range(epochs):
+            if shuffle:
+                perm = np.argsort(self.rng.random((len(X),)))
+                order = order[perm]
+            for idx in order:
+                self._update_one(L_all[idx], int(y[idx]))
+            train_acc = self.evaluate(X, y)
+            val_acc = None
+            if X_val is not None and y_val is not None:
+                val_acc = self.evaluate(X_val, y_val)
+            self.log.record(epoch, train_acc, self.team.include_fraction(), val_acc)
+            if progress is not None:
+                progress(epoch, self.log.last())
+        return self
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def export_model(self, name="tm"):
+        """Freeze the trained machine into a :class:`repro.model.TMModel`."""
+        from ..model.model import TMModel
+
+        return TMModel(
+            include=self.includes().copy(),
+            n_features=self.n_features,
+            name=name,
+            hyperparameters={
+                "n_clauses": self.n_clauses,
+                "T": self.T,
+                "s": self.s,
+                "n_states": self.team.n_states,
+            },
+        )

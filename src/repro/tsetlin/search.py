@@ -1,0 +1,180 @@
+"""Automated clause-budget search — the MILEAGE paradigm (paper ref [17]).
+
+MILEAGE searches for the smallest clause count that reaches a target
+accuracy, because clause count is the dominant hardware cost knob while
+throughput is bandwidth-fixed.  Two strategies:
+
+* :func:`search_clause_budget` — doubling search with early stopping:
+  grow the budget until accuracy saturates (or the target is met), then
+  binary-refine between the last two budgets.
+* :func:`grid_search` — plain grid over (clauses, T, s) with successive
+  halving on epochs, for the broader hyperparameter exploration of
+  ref [18].
+
+Both return every evaluated point so the caller can plot the
+accuracy/cost frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .machine import TsetlinMachine
+
+__all__ = ["SearchPoint", "SearchResult", "search_clause_budget", "grid_search"]
+
+
+@dataclass
+class SearchPoint:
+    """One evaluated configuration."""
+
+    n_clauses: int
+    T: int
+    s: float
+    accuracy: float
+    include_count: int
+    epochs: int
+
+    def cost(self):
+        """Hardware cost proxy: total includes (AND terms in silicon)."""
+        return self.include_count
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a search run."""
+
+    best: SearchPoint
+    evaluated: list = field(default_factory=list)
+    target_met: bool = False
+
+    def frontier(self):
+        """Pareto frontier: points not dominated in (cost, accuracy)."""
+        points = sorted(self.evaluated, key=lambda p: (p.cost(), -p.accuracy))
+        frontier = []
+        best_acc = -1.0
+        for p in points:
+            if p.accuracy > best_acc:
+                frontier.append(p)
+                best_acc = p.accuracy
+        return frontier
+
+
+def _train_eval(ds_train, ds_val, n_clauses, T, s, epochs, seed):
+    X_train, y_train = ds_train
+    X_val, y_val = ds_val
+    tm = TsetlinMachine(
+        n_classes=int(max(y_train.max(), y_val.max())) + 1,
+        n_features=X_train.shape[1],
+        n_clauses=n_clauses,
+        T=T,
+        s=s,
+        seed=seed,
+    )
+    tm.fit(X_train, y_train, epochs=epochs)
+    acc = tm.evaluate(X_val, y_val)
+    return SearchPoint(
+        n_clauses=n_clauses,
+        T=T,
+        s=s,
+        accuracy=acc,
+        include_count=tm.team.include_count(),
+        epochs=epochs,
+    ), tm
+
+
+def search_clause_budget(X_train, y_train, X_val, y_val, target_accuracy=None,
+                         start=4, max_clauses=256, epochs=5, s=4.0, seed=0,
+                         tolerance=0.005):
+    """Find the smallest clause budget that suffices.
+
+    Doubles the budget from ``start`` until the target accuracy is met
+    (or accuracy improves by less than ``tolerance`` — saturation), then
+    refines between the last two budgets with one bisection step.
+
+    Returns ``(SearchResult, best_machine)``.
+    """
+    if start < 2 or start % 2:
+        raise ValueError("start must be an even integer >= 2")
+    ds_train = (X_train, y_train)
+    ds_val = (X_val, y_val)
+
+    evaluated = []
+    machines = {}
+    budget = start
+    prev_acc = -1.0
+    while budget <= max_clauses:
+        T = max(2, budget // 2)
+        point, tm = _train_eval(ds_train, ds_val, budget, T, s, epochs, seed)
+        evaluated.append(point)
+        machines[budget] = tm
+        met = target_accuracy is not None and point.accuracy >= target_accuracy
+        saturated = point.accuracy - prev_acc < tolerance and prev_acc >= 0
+        if met or saturated:
+            break
+        prev_acc = point.accuracy
+        budget *= 2
+
+    # One bisection step between the two best budgets, if there is room.
+    if len(evaluated) >= 2:
+        hi = evaluated[-1].n_clauses
+        lo = evaluated[-2].n_clauses
+        mid = (hi + lo) // 2
+        mid += mid % 2
+        if lo < mid < hi:
+            T = max(2, mid // 2)
+            point, tm = _train_eval(ds_train, ds_val, mid, T, s, epochs, seed)
+            evaluated.append(point)
+            machines[mid] = tm
+
+    if target_accuracy is not None:
+        feasible = [p for p in evaluated if p.accuracy >= target_accuracy]
+        if feasible:
+            best = min(feasible, key=lambda p: p.n_clauses)
+            return (
+                SearchResult(best=best, evaluated=evaluated, target_met=True),
+                machines[best.n_clauses],
+            )
+    best = max(evaluated, key=lambda p: (p.accuracy, -p.n_clauses))
+    return (
+        SearchResult(best=best, evaluated=evaluated, target_met=False),
+        machines[best.n_clauses],
+    )
+
+
+def grid_search(X_train, y_train, X_val, y_val, clause_grid=(8, 16),
+                T_grid=(8, 15), s_grid=(3.0, 5.0), epochs=4, seed=0,
+                halving=True):
+    """Grid search with optional successive halving on training epochs.
+
+    With ``halving``, every configuration first trains for ``epochs // 2``
+    epochs; only the top half continues to the full budget — the search
+    scheme of ref [18] scaled to laptop budgets.
+    """
+    ds_train = (X_train, y_train)
+    ds_val = (X_val, y_val)
+    configs = [
+        (c, t, s) for c in clause_grid for t in T_grid for s in s_grid
+    ]
+    stage_epochs = max(1, epochs // 2) if halving else epochs
+
+    first_round = []
+    for c, t, s in configs:
+        point, _ = _train_eval(ds_train, ds_val, c, t, s, stage_epochs, seed)
+        first_round.append(point)
+
+    evaluated = list(first_round)
+    if halving and len(configs) > 1:
+        survivors = sorted(first_round, key=lambda p: -p.accuracy)
+        survivors = survivors[: max(1, len(survivors) // 2)]
+        finals = []
+        for p in survivors:
+            point, _ = _train_eval(
+                ds_train, ds_val, p.n_clauses, p.T, p.s, epochs, seed
+            )
+            finals.append(point)
+        evaluated.extend(finals)
+        best = max(finals, key=lambda p: p.accuracy)
+    else:
+        best = max(evaluated, key=lambda p: p.accuracy)
+    return SearchResult(best=best, evaluated=evaluated, target_met=False)

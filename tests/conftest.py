@@ -1,0 +1,50 @@
+"""Shared fixtures: small trained models and random include matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+from repro.model import TMModel
+from repro.tsetlin import TsetlinMachine
+
+
+def random_model(n_classes=3, n_clauses=8, n_features=24, density=0.12,
+                 seed=0, name="rand"):
+    """A random (untrained) include matrix — enough for structural tests."""
+    rng = np.random.default_rng(seed)
+    include = rng.random((n_classes, n_clauses, 2 * n_features)) < density
+    # Avoid contradictory literals so clause outputs are non-trivial.
+    pos = include[:, :, :n_features]
+    neg = include[:, :, n_features:]
+    both = pos & neg
+    neg &= ~both
+    include = np.concatenate([pos, neg], axis=2)
+    return TMModel(include=include, n_features=n_features, name=name)
+
+
+@pytest.fixture(scope="session")
+def kws_dataset():
+    return load_dataset("kws6", n_train=240, n_test=120, seed=0)
+
+
+@pytest.fixture(scope="session")
+def trained_model(kws_dataset):
+    """A small trained model shared by the expensive integration tests."""
+    ds = kws_dataset
+    tm = TsetlinMachine(
+        ds.n_classes, ds.n_features, n_clauses=16, T=12, s=4.0, seed=7
+    )
+    tm.fit(ds.X_train, ds.y_train, epochs=4)
+    return tm.export_model("kws6_test")
+
+
+@pytest.fixture()
+def small_model():
+    return random_model()
+
+
+@pytest.fixture()
+def tiny_model():
+    return random_model(n_classes=2, n_clauses=4, n_features=10, density=0.2, seed=3)

@@ -1,0 +1,249 @@
+"""Tests for the architectural blocks: controller, class sum, argmax, HCBs."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import (
+    AcceleratorConfig,
+    PacketSchedule,
+    build_argmax,
+    build_class_sums,
+    build_controller,
+    build_hcbs,
+    class_sum_width,
+)
+from repro.model import TMModel
+from repro.rtl import Netlist, bus_const, bus_input
+from repro.simulator.core import CompiledNetlist
+from conftest import random_model
+
+
+class TestController:
+    def make(self, n_packets):
+        nl = Netlist("ctrl")
+        s_valid = nl.add_input("s_valid")
+        rst = nl.add_input("rst")
+        stall = nl.add_input("stall")
+        sig = build_controller(nl, n_packets, s_valid, rst, stall)
+        nl.set_output("ready", sig.s_ready)
+        nl.set_output("done", sig.done)
+        nl.set_output("done_r", sig.done_r)
+        nl.set_output("busy", sig.busy)
+        for i, en in enumerate(sig.packet_enables):
+            nl.set_output(f"en{i}", en)
+        return nl
+
+    def test_counter_wraps_and_enables_one_hot(self):
+        nl = self.make(3)
+        sim = CompiledNetlist(nl, batch=1)
+        for cycle in range(7):
+            sim.set_input("s_valid", 1)
+            sim.set_input("rst", 0)
+            sim.set_input("stall", 0)
+            sim.settle()
+            enables = [int(sim.output(f"en{i}")[0]) for i in range(3)]
+            assert sum(enables) == 1
+            assert enables[cycle % 3] == 1
+            sim.clock()
+
+    def test_done_pulses_on_last_packet(self):
+        nl = self.make(3)
+        sim = CompiledNetlist(nl, batch=1)
+        dones = []
+        dones_r = []
+        for _ in range(6):
+            sim.set_input("s_valid", 1)
+            sim.set_input("rst", 0)
+            sim.set_input("stall", 0)
+            sim.settle()
+            dones.append(int(sim.output("done")[0]))
+            dones_r.append(int(sim.output("done_r")[0]))
+            sim.clock()
+        assert dones == [0, 0, 1, 0, 0, 1]
+        assert dones_r == [0, 0, 0, 1, 0, 0]
+
+    def test_stall_deasserts_ready_and_freezes(self):
+        nl = self.make(2)
+        sim = CompiledNetlist(nl, batch=1)
+        sim.step(s_valid=1, rst=0, stall=0)  # accept packet 0
+        sim.set_input("stall", 1)
+        sim.set_input("s_valid", 1)
+        sim.set_input("rst", 0)
+        sim.settle()
+        assert sim.output("ready")[0] == 0
+        en1 = int(sim.output("en1")[0])
+        assert en1 == 0  # no accept while stalled
+        sim.clock()
+        sim.set_input("stall", 0)
+        sim.settle()
+        assert sim.output("en1")[0] == 1  # still waiting on packet 1
+
+    def test_reset_clears_counter_and_busy(self):
+        nl = self.make(4)
+        sim = CompiledNetlist(nl, batch=1)
+        sim.step(s_valid=1, rst=0, stall=0)
+        sim.step(s_valid=1, rst=0, stall=0)
+        sim.step(s_valid=0, rst=1, stall=0)
+        sim.set_input("rst", 0)
+        sim.set_input("s_valid", 1)
+        sim.settle()
+        assert sim.output("en0")[0] == 1  # back to packet 0
+        assert sim.output("busy")[0] == 0
+
+    def test_single_packet_design(self):
+        nl = self.make(1)
+        sim = CompiledNetlist(nl, batch=1)
+        sim.set_input("s_valid", 1)
+        sim.set_input("rst", 0)
+        sim.set_input("stall", 0)
+        sim.settle()
+        assert sim.output("done")[0] == 1
+
+    def test_n_packets_validated(self):
+        nl = Netlist()
+        v = nl.add_input("v")
+        r = nl.add_input("r")
+        with pytest.raises(ValueError):
+            build_controller(nl, 0, v, r)
+
+
+class TestClassSum:
+    def eval_sums(self, model, X_row):
+        """Class sums via gates vs the model's reference semantics."""
+        nl = Netlist("cs")
+        lits = bus_input(nl, "x", model.n_features)
+        # Clause nets computed combinationally for one datapoint.
+        clause_nets = []
+        for c in range(model.n_classes):
+            row_nets = []
+            for k in range(model.n_clauses):
+                terms = []
+                for f in range(model.n_features):
+                    if model.include[c, k, f]:
+                        terms.append(lits[f])
+                    if model.include[c, k, model.n_features + f]:
+                        terms.append(nl.g_not(lits[f]))
+                row_nets.append(nl.g_and_tree(terms))
+            clause_nets.append(row_nets)
+        sums = build_class_sums(nl, model, clause_nets)
+        for c, s in enumerate(sums):
+            for i, bit in enumerate(s):
+                nl.set_output(f"s{c}[{i}]", bit)
+        sim = CompiledNetlist(nl, batch=1)
+        sim.set_bus("x", int("".join(str(b) for b in X_row[::-1]), 2))
+        sim.settle()
+        return np.array(
+            [sim.output_bus(f"s{c}", signed=True)[0] for c in range(model.n_classes)]
+        )
+
+    def test_matches_reference_on_random_models(self):
+        rng = np.random.default_rng(0)
+        for seed in range(4):
+            model = random_model(n_classes=3, n_clauses=6, n_features=10,
+                                 density=0.25, seed=seed)
+            X = rng.integers(0, 2, size=(3, 10)).astype(np.uint8)
+            for x in X:
+                got = self.eval_sums(model, x)
+                ref = model.class_sums(x[np.newaxis])[0]
+                assert np.array_equal(got, ref)
+
+    def test_weighted_class_sums(self):
+        inc = np.zeros((2, 3, 8), dtype=bool)
+        inc[:, :, 0] = True  # all clauses = x0
+        weights = np.array([[2, -3, 1], [5, 0, -1]], dtype=np.int32)
+        model = TMModel(include=inc, n_features=4, weights=weights)
+        got = self.eval_sums(model, np.array([1, 0, 0, 0], dtype=np.uint8))
+        assert got.tolist() == [0, 4]
+
+    def test_width_covers_extremes(self):
+        model = random_model(n_clauses=10)
+        w = class_sum_width(model)
+        max_votes = 5  # 10 clauses -> 5 positive
+        assert (1 << (w - 1)) - 1 >= max_votes
+
+
+class TestArgmax:
+    def run_argmax(self, values, width):
+        nl = Netlist("am")
+        sums = [bus_const(nl, v, width) for v in values]
+        idx, val = build_argmax(nl, sums, len(values))
+        for i, bit in enumerate(idx):
+            nl.set_output(f"i[{i}]", bit)
+        for i, bit in enumerate(val):
+            nl.set_output(f"v[{i}]", bit)
+        sim = CompiledNetlist(nl, batch=1)
+        sim.settle()
+        return int(sim.output_bus("i")[0]), int(sim.output_bus("v", signed=True)[0])
+
+    @pytest.mark.parametrize("values", [
+        [3, 1, 2],
+        [-5, -1, -3, -2],
+        [0, 0, 0],          # ties -> lowest index
+        [1],
+        [5, 5, 7, 7, 2],    # non-power-of-two with ties
+        [-8, 7],
+    ])
+    def test_matches_numpy_argmax(self, values):
+        idx, val = self.run_argmax(values, width=5)
+        assert idx == int(np.argmax(values))
+        assert val == max(values)
+
+    def test_padding_never_wins(self):
+        # All-real-minimum values must still beat the padded -2^(w-1)? No:
+        # the padding IS the minimum, ties break toward the real class.
+        idx, val = self.run_argmax([-16, -16, -16], width=5)
+        assert idx == 0
+
+    def test_width_mismatch_rejected(self):
+        nl = Netlist()
+        a = bus_const(nl, 1, 4)
+        b = bus_const(nl, 1, 5)
+        with pytest.raises(ValueError):
+            build_argmax(nl, [a, b], 2)
+
+
+class TestHCB:
+    def build(self, model, bus_width=8, **cfg_kwargs):
+        config = AcceleratorConfig(bus_width=bus_width, **cfg_kwargs)
+        nl = Netlist("hcb", share=config.share_logic)
+        sched = PacketSchedule(model.n_features, bus_width)
+        data = bus_input(nl, "d", bus_width)
+        enables = [nl.add_input(f"en{p}") for p in range(sched.n_packets)]
+        clause_nets, infos = build_hcbs(nl, model, sched, data, enables, config)
+        return nl, clause_nets, infos
+
+    def test_register_counts_with_pruning(self, tiny_model):
+        # share_logic off -> no register dedup, so the count is exact.
+        _, _, infos = self.build(tiny_model, prune_passthrough=True,
+                                 share_logic=False)
+        for info in infos:
+            assert info.n_registers == info.n_active_clauses
+
+    def test_register_dedup_bounded_with_sharing(self, tiny_model):
+        _, _, infos = self.build(tiny_model, prune_passthrough=True)
+        for info in infos:
+            assert info.n_registers <= info.n_active_clauses
+
+    def test_register_counts_without_pruning(self, tiny_model):
+        _, _, infos = self.build(tiny_model, prune_passthrough=False)
+        total_clauses = tiny_model.n_classes * tiny_model.n_clauses
+        for info in infos:
+            assert info.n_registers == total_clauses
+
+    def test_include_terms_counted(self, tiny_model):
+        _, _, infos = self.build(tiny_model)
+        total_terms = sum(i.n_include_terms for i in infos)
+        assert total_terms == int(tiny_model.include.sum())
+
+    def test_block_labels(self, tiny_model):
+        nl, _, infos = self.build(tiny_model)
+        for info in infos:
+            assert info.block_label in nl.blocks()
+
+    def test_enable_count_validated(self, tiny_model):
+        config = AcceleratorConfig(bus_width=8)
+        nl = Netlist("bad")
+        sched = PacketSchedule(tiny_model.n_features, 8)
+        data = bus_input(nl, "d", 8)
+        with pytest.raises(ValueError):
+            build_hcbs(nl, tiny_model, sched, data, [nl.const(1)], config)

@@ -1,0 +1,184 @@
+"""Tests for the BNN/QNN training and FINN dataflow cost model."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    QuantMLP,
+    TABLE_II,
+    binarize,
+    choose_folding,
+    estimate_finn,
+    finn_topology,
+    matador_spec,
+    quantize_activation,
+    quantize_symmetric,
+    ste_grad_mask,
+)
+
+
+class TestQuantizePrimitives:
+    def test_binarize_values(self):
+        assert binarize(np.array([-2.0, 0.0, 3.0])).tolist() == [-1.0, 1.0, 1.0]
+
+    def test_symmetric_1bit_is_sign(self):
+        x = np.array([-0.7, 0.2])
+        assert np.array_equal(quantize_symmetric(x, 1), binarize(x))
+
+    def test_symmetric_2bit_levels(self):
+        x = np.linspace(-1, 1, 9)
+        q = quantize_symmetric(x, 2)
+        assert set(np.round(np.unique(q), 6)) <= {-1.0, 0.0, 1.0}
+
+    def test_activation_2bit_levels(self):
+        x = np.linspace(0, 1, 13)
+        q = quantize_activation(x, 2)
+        assert len(np.unique(np.round(q, 6))) <= 4
+
+    def test_quantize_clips(self):
+        assert quantize_symmetric(np.array([5.0]), 2)[0] == 1.0
+        assert quantize_activation(np.array([-3.0]), 2)[0] == 0.0
+
+    def test_ste_mask(self):
+        x = np.array([-2.0, -0.5, 0.5, 2.0])
+        assert ste_grad_mask(x).tolist() == [0.0, 1.0, 1.0, 0.0]
+
+    def test_bits_validated(self):
+        with pytest.raises(ValueError):
+            quantize_symmetric(np.array([0.0]), 0)
+        with pytest.raises(ValueError):
+            quantize_activation(np.array([0.0]), 0)
+
+
+class TestQuantMLP:
+    def toy_data(self, n=200, seed=0, rule="bit"):
+        rng = np.random.default_rng(seed)
+        X = rng.integers(0, 2, size=(n, 10)).astype(np.uint8)
+        if rule == "bit":
+            y = X[:, 0].astype(np.int64)
+        else:  # conjunction rule
+            y = (X[:, 0] & X[:, 1]).astype(np.int64)
+        return X, y
+
+    def test_1bit_net_learns_bit_rule(self):
+        X, y = self.toy_data()
+        net = QuantMLP([10, 16, 2], weight_bits=1, act_bits=1, seed=1)
+        net.fit(X, y, epochs=15, lr=2e-2)
+        assert net.evaluate(X, y) > 0.85
+
+    def test_2bit_quantization_trains(self):
+        X, y = self.toy_data(seed=2, rule="and")
+        net = QuantMLP([10, 32, 2], weight_bits=2, act_bits=2, seed=2)
+        net.fit(X, y, epochs=25, lr=2e-2)
+        assert net.evaluate(X, y) > 0.85
+
+    def test_learns_realistic_kws_data(self, kws_dataset):
+        """The FINN accuracy column path: QNN on the synthetic KWS6 set."""
+        ds = kws_dataset
+        net = QuantMLP([377, 64, 32, 6], weight_bits=1, act_bits=1, seed=0)
+        net.fit(ds.X_train, ds.y_train, epochs=10, lr=1e-2)
+        assert net.evaluate(ds.X_test, ds.y_test) > 0.8
+
+    def test_weights_stay_clipped(self):
+        X, y = self.toy_data()
+        net = QuantMLP([10, 8, 2], seed=0)
+        net.fit(X, y, epochs=3, lr=0.05)
+        for layer in net.layers:
+            assert np.abs(layer.W).max() <= 1.0
+
+    def test_quantized_weights_are_binary(self):
+        net = QuantMLP([4, 4, 2], weight_bits=1, seed=0)
+        for layer in net.layers:
+            assert set(np.unique(layer.quantized_weights())) <= {-1.0, 1.0}
+
+    def test_parameter_bits(self):
+        net = QuantMLP([10, 8, 2], weight_bits=2, seed=0)
+        assert net.parameter_bits() == (10 * 8 + 8 * 2) * 2
+
+    def test_layer_sizes_validated(self):
+        with pytest.raises(ValueError):
+            QuantMLP([10])
+
+    def test_val_history(self):
+        X, y = self.toy_data(n=80)
+        net = QuantMLP([10, 8, 2], seed=0)
+        hist = net.fit(X, y, epochs=2, X_val=X[:20], y_val=y[:20])
+        assert len(hist) == 2
+        assert "val_accuracy" in hist[0]
+
+
+class TestFolding:
+    def test_folds_divide_evenly(self):
+        topo = finn_topology("mnist")
+        foldings, target = choose_folding(topo)
+        for f in foldings:
+            assert f.neurons % f.pe == 0
+            assert f.synapses % f.simd == 0
+            assert f.fold <= target
+
+    def test_tighter_target_needs_more_lanes(self):
+        topo = finn_topology("mnist")
+        loose, _ = choose_folding(topo, target_ii=1000)
+        tight, _ = choose_folding(topo, target_ii=50)
+        assert sum(f.lanes for f in tight) > sum(f.lanes for f in loose)
+
+    def test_impossible_target_falls_back_to_parallel(self):
+        topo = finn_topology("cifar2")
+        foldings, _ = choose_folding(topo, target_ii=0)
+        assert foldings[0].fold == 1  # fully parallel
+
+
+class TestFinnEstimates:
+    def test_throughput_matches_ii(self):
+        est = estimate_finn(finn_topology("mnist"))
+        assert est.throughput_inf_per_s == pytest.approx(
+            est.clock_mhz * 1e6 / est.initiation_interval
+        )
+
+    def test_latency_exceeds_ii(self):
+        est = estimate_finn(finn_topology("kws6"))
+        assert est.latency_cycles > est.initiation_interval
+
+    def test_bram_scales_with_weight_bits(self):
+        est1 = estimate_finn(finn_topology("mnist"))    # 1-bit weights
+        est2 = estimate_finn(finn_topology("fmnist"))   # 2-bit weights, larger
+        assert est2.bram36 > est1.bram36
+
+    def test_finn_carries_many_brams_vs_matador_three(self):
+        """Table I shape: FINN BRAM >> MATADOR's constant 3."""
+        for ds in TABLE_II:
+            est = estimate_finn(finn_topology(ds))
+            assert est.bram36 > 3.0
+
+    def test_resource_report_device_row(self):
+        est = estimate_finn(finn_topology("cifar2"))
+        row = est.table_row()
+        assert row["LUTs"] == est.luts
+        assert row["Clock (MHz)"] == 100.0
+
+    def test_power_uses_higher_toggle(self):
+        est = estimate_finn(finn_topology("kws6"))
+        p = est.power()
+        assert p.total_w > 1.8  # dense engines burn visibly more than idle PS
+
+
+class TestTableII:
+    def test_all_five_datasets_present(self):
+        assert set(TABLE_II) == {"mnist", "kws6", "cifar2", "fmnist", "kmnist"}
+
+    def test_paper_topologies(self):
+        assert finn_topology("mnist").layer_sizes == (784, 64, 64, 64, 10)
+        assert finn_topology("kws6").layer_sizes == (377, 512, 256, 6)
+        assert finn_topology("cifar2").layer_sizes == (1024, 256, 128, 2)
+        assert finn_topology("fmnist").layer_sizes == (784, 256, 256, 10)
+
+    def test_paper_clause_budgets(self):
+        assert matador_spec("mnist").clauses_per_class == 200
+        assert matador_spec("kws6").clauses_per_class == 300
+        assert matador_spec("cifar2").clauses_per_class == 1000
+        assert matador_spec("fmnist").clauses_per_class == 500
+        assert matador_spec("kmnist").clauses_per_class == 500
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            finn_topology("svhn")

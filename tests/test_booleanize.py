@@ -1,0 +1,140 @@
+"""Tests for feature booleanization (threshold/thermometer/quantile)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.tsetlin.booleanize import (
+    QuantileEncoder,
+    ThermometerEncoder,
+    ThresholdBinarizer,
+    literals_from_features,
+)
+
+
+class TestLiterals:
+    def test_layout(self):
+        X = np.array([[1, 0, 1]], dtype=np.uint8)
+        L = literals_from_features(X)
+        assert L.tolist() == [[1, 0, 1, 0, 1, 0]]
+
+    def test_second_half_is_negation(self):
+        rng = np.random.default_rng(0)
+        X = rng.integers(0, 2, size=(20, 9)).astype(np.uint8)
+        L = literals_from_features(X)
+        assert np.array_equal(L[:, :9], X)
+        assert np.array_equal(L[:, 9:], 1 - X)
+
+    def test_1d_input_promoted(self):
+        L = literals_from_features(np.array([1, 0]))
+        assert L.shape == (1, 4)
+
+
+class TestThresholdBinarizer:
+    def test_fixed_threshold(self):
+        enc = ThresholdBinarizer(threshold=0.5)
+        out = enc.fit_transform([[0.2, 0.9], [0.7, 0.1]])
+        assert out.tolist() == [[0, 1], [1, 0]]
+
+    def test_mean_threshold(self):
+        X = np.array([[0.0, 10.0], [1.0, 0.0], [2.0, 2.0]])
+        enc = ThresholdBinarizer().fit(X)
+        assert np.allclose(enc.thresholds_, X.mean(axis=0))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            ThresholdBinarizer().transform([[1.0]])
+
+    def test_output_dtype_and_values(self):
+        out = ThresholdBinarizer(0.0).fit_transform(np.random.randn(10, 4))
+        assert out.dtype == np.uint8
+        assert set(np.unique(out)) <= {0, 1}
+
+
+class TestThermometerEncoder:
+    def test_width(self):
+        enc = ThermometerEncoder(n_bits=4)
+        out = enc.fit_transform(np.random.rand(8, 3))
+        assert out.shape == (8, 12)
+        assert enc.n_output_bits == 12
+
+    def test_monotone_prefix_property(self):
+        """Thermometer codes are unary: a set bit implies all lower bits set."""
+        rng = np.random.default_rng(1)
+        X = rng.random((40, 5))
+        enc = ThermometerEncoder(n_bits=6)
+        out = enc.fit_transform(X).reshape(40, 5, 6)
+        diffs = np.diff(out.astype(np.int8), axis=2)
+        assert (diffs <= 0).all()  # once bits drop to 0 they stay 0
+
+    def test_min_maps_to_zero_max_to_full(self):
+        X = np.array([[0.0], [1.0]])
+        enc = ThermometerEncoder(n_bits=3).fit(X)
+        out = enc.transform(X)
+        assert out[0].sum() == 0
+        assert out[1].sum() == 3
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            ThermometerEncoder(n_bits=0)
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            ThermometerEncoder().transform([[1.0]])
+
+
+class TestQuantileEncoder:
+    def test_balanced_bits(self):
+        """Quantile thresholds give each bit roughly 50/50 on-rate overall."""
+        rng = np.random.default_rng(2)
+        X = rng.exponential(size=(500, 4))  # heavily skewed distribution
+        enc = QuantileEncoder(n_bits=5)
+        out = enc.fit_transform(X).reshape(500, 4, 5)
+        rates = out.mean(axis=0)
+        # Bit b fires for the top (n_bits - b)/(n_bits + 1) of samples.
+        expected = (5 - np.arange(5)) / 6.0
+        assert np.allclose(rates, expected[np.newaxis, :], atol=0.06)
+
+    def test_monotone_prefix_property(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(60, 3))
+        out = QuantileEncoder(n_bits=4).fit_transform(X).reshape(60, 3, 4)
+        assert (np.diff(out.astype(np.int8), axis=2) <= 0).all()
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            QuantileEncoder(n_bits=-1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    X=arrays(
+        np.float64,
+        st.tuples(st.integers(3, 12), st.integers(1, 5)),
+        elements=st.floats(-100, 100, allow_nan=False),
+    ),
+    bits=st.integers(1, 6),
+)
+def test_thermometer_values_are_binary_and_shaped(X, bits):
+    enc = ThermometerEncoder(n_bits=bits)
+    out = enc.fit_transform(X)
+    assert out.shape == (X.shape[0], X.shape[1] * bits)
+    assert set(np.unique(out)) <= {0, 1}
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    X=arrays(
+        np.float64,
+        st.tuples(st.integers(4, 15), st.integers(1, 4)),
+        elements=st.floats(-50, 50, allow_nan=False),
+    ),
+)
+def test_threshold_binarizer_idempotent_on_own_output(X):
+    enc = ThresholdBinarizer(threshold=0.5)
+    once = enc.fit_transform(X)
+    twice = enc.fit(once).transform(once)
+    # Binary data thresholded at its mean stays binary.
+    assert set(np.unique(twice)) <= {0, 1}

@@ -1,0 +1,70 @@
+"""Tests for the Coalesced Tsetlin Machine extension."""
+
+import numpy as np
+import pytest
+
+from repro.tsetlin import CoalescedTsetlinMachine
+
+
+def data(n=160, n_features=12, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.integers(0, 2, size=(n, n_features)).astype(np.uint8)
+    y = ((X[:, 0] << 1) | X[:, 1]).astype(np.int64) % 3
+    return X, y
+
+
+class TestStructure:
+    def test_shared_pool_shape(self):
+        cotm = CoalescedTsetlinMachine(3, 10, n_clauses=12, seed=0)
+        assert cotm.includes().shape == (12, 20)
+        assert cotm.weights.shape == (3, 12)
+
+    def test_initial_weights_balanced(self):
+        cotm = CoalescedTsetlinMachine(2, 6, n_clauses=8, seed=0)
+        assert cotm.weights.sum() == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoalescedTsetlinMachine(1, 4)
+        with pytest.raises(ValueError):
+            CoalescedTsetlinMachine(2, 4, n_clauses=0)
+
+
+class TestLearning:
+    def test_learns(self):
+        X, y = data()
+        cotm = CoalescedTsetlinMachine(3, 12, n_clauses=20, T=10, s=3.0, seed=1)
+        cotm.fit(X, y, epochs=12)
+        assert cotm.evaluate(X, y) > 0.8
+
+    def test_class_sums_are_weighted(self):
+        cotm = CoalescedTsetlinMachine(2, 6, n_clauses=4, seed=0)
+        cotm.team.state[:] = 1  # all exclude -> all clauses empty -> output 0
+        sums = cotm.class_sums(np.ones((3, 6), dtype=np.uint8))
+        assert (sums == 0).all()
+
+    def test_label_range_checked(self):
+        cotm = CoalescedTsetlinMachine(2, 6, n_clauses=4, seed=0)
+        with pytest.raises(ValueError):
+            cotm.fit(np.zeros((3, 6), dtype=np.uint8), np.array([0, 1, 5]), epochs=1)
+
+
+class TestExport:
+    def test_export_replicates_pool_with_weights(self):
+        X, y = data(n=80)
+        cotm = CoalescedTsetlinMachine(3, 12, n_clauses=8, T=8, seed=2)
+        cotm.fit(X, y, epochs=4)
+        model = cotm.export_model("cotm")
+        assert model.n_classes == 3
+        assert model.n_clauses == 8
+        assert model.weights is not None
+        # Every class carries the same include rows (the shared pool).
+        assert np.array_equal(model.include[0], model.include[1])
+        assert np.array_equal(model.include[0], cotm.includes())
+
+    def test_export_predictions_match(self):
+        X, y = data(n=80)
+        cotm = CoalescedTsetlinMachine(3, 12, n_clauses=8, T=8, seed=3)
+        cotm.fit(X, y, epochs=4)
+        model = cotm.export_model()
+        assert np.array_equal(model.predict(X), cotm.predict(X))

@@ -1,0 +1,183 @@
+"""Tests for the synthetic dataset generators and loaders."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Canvas,
+    Dataset,
+    class_balance,
+    load_dataset,
+    make_cifar2_like,
+    make_kws6_like,
+    make_mnist_like,
+    train_val_split,
+)
+from repro.data.datasets import (
+    _KWS_KEYWORDS,
+    _log_filterbank_features,
+    _synth_keyword,
+)
+
+
+class TestCanvas:
+    def test_line_hits_endpoints(self):
+        c = Canvas(10, 10).line(2, 2, 7, 7, thickness=1.5)
+        assert c.pixels[2, 2] > 0.4
+        assert c.pixels[7, 7] > 0.4
+        assert c.pixels[0, 9] == 0.0
+
+    def test_ellipse_ring(self):
+        c = Canvas(20, 20).ellipse(10, 10, 6, 6, thickness=1.5)
+        assert c.pixels[4, 10] > 0.3   # on the ring
+        assert c.pixels[10, 10] < 0.2  # center is empty
+
+    def test_filled_rect_clipped(self):
+        c = Canvas(8, 8).rect(-3, -3, 3, 3)
+        assert c.pixels[0, 0] == 1.0
+        assert c.pixels[4, 4] == 0.0
+
+    def test_blob_peak_at_center(self):
+        c = Canvas(12, 12).blob(6, 6, 2.0)
+        assert c.pixels[6, 6] == pytest.approx(1.0, abs=1e-6)
+        assert c.pixels[0, 0] < 0.01
+
+    def test_shift_preserves_mass_inside(self):
+        c = Canvas(10, 10).rect(4, 4, 5, 5)
+        s = c.shifted(2, -1)
+        assert s.pixels[6, 3] == 1.0
+        assert s.pixels[4, 4] == 0.0
+
+    def test_noise_clipped(self):
+        rng = np.random.default_rng(0)
+        c = Canvas(6, 6).rect(0, 0, 5, 5).with_noise(rng, amount=0.9)
+        assert c.pixels.max() <= 1.0
+        assert c.pixels.min() >= 0.0
+
+    def test_binarize_flat(self):
+        c = Canvas(4, 4).rect(0, 0, 1, 3)
+        bits = c.binarize(0.5)
+        assert bits.shape == (16,)
+        assert bits[:8].sum() == 8
+
+
+class TestImageDatasets:
+    @pytest.mark.parametrize("name,features,classes", [
+        ("mnist", 784, 10),
+        ("kmnist", 784, 10),
+        ("fmnist", 784, 10),
+        ("cifar2", 1024, 2),
+        ("kws6", 377, 6),
+    ])
+    def test_shapes_match_paper(self, name, features, classes):
+        ds = load_dataset(name, n_train=40, n_test=20, seed=0)
+        assert ds.n_features == features
+        assert ds.n_classes == classes
+        assert ds.X_train.shape == (40, features)
+        assert ds.X_test.shape == (20, features)
+        assert set(np.unique(ds.X_train)) <= {0, 1}
+
+    def test_deterministic_by_seed(self):
+        a = make_mnist_like(n_train=30, n_test=10, seed=5)
+        b = make_mnist_like(n_train=30, n_test=10, seed=5)
+        assert np.array_equal(a.X_train, b.X_train)
+        assert np.array_equal(a.y_test, b.y_test)
+
+    def test_different_seeds_differ(self):
+        a = make_mnist_like(n_train=30, n_test=10, seed=1)
+        b = make_mnist_like(n_train=30, n_test=10, seed=2)
+        assert not np.array_equal(a.X_train, b.X_train)
+
+    def test_roughly_balanced(self):
+        ds = make_mnist_like(n_train=600, n_test=100, seed=0)
+        balance = class_balance(ds.y_train, 10)
+        assert balance.min() > 0.04
+        assert balance.max() < 0.2
+
+    def test_classes_are_separable(self):
+        """A nearest-centroid classifier must beat chance comfortably."""
+        ds = make_cifar2_like(n_train=200, n_test=100, seed=0)
+        centroids = np.stack([
+            ds.X_train[ds.y_train == c].mean(axis=0) for c in range(2)
+        ])
+        d = ((ds.X_test[:, None, :] - centroids[None]) ** 2).sum(axis=2)
+        acc = (np.argmin(d, axis=1) == ds.y_test).mean()
+        assert acc > 0.8
+
+    def test_subset(self):
+        ds = make_mnist_like(n_train=50, n_test=30, seed=0)
+        sub = ds.subset(n_train=10, n_test=5)
+        assert sub.n_train == 10
+        assert sub.n_test == 5
+        assert np.array_equal(sub.X_train, ds.X_train[:10])
+
+
+class TestKws:
+    def test_waveform_length_and_energy(self):
+        rng = np.random.default_rng(0)
+        wave = _synth_keyword("yes", rng)
+        assert len(wave) == 1920
+        assert np.abs(wave).max() > 0.3
+
+    def test_filterbank_shape(self):
+        rng = np.random.default_rng(0)
+        feats = _log_filterbank_features(_synth_keyword("no", rng))
+        assert feats.shape == (377,)
+        assert np.isfinite(feats).all()
+
+    def test_keywords_have_distinct_signatures(self):
+        rng = np.random.default_rng(1)
+        sigs = {}
+        for kw in _KWS_KEYWORDS:
+            feats = np.mean(
+                [_log_filterbank_features(_synth_keyword(kw, rng)) for _ in range(3)],
+                axis=0,
+            )
+            sigs[kw] = feats
+        # Mean pairwise distance must be clearly nonzero.
+        keys = list(sigs)
+        dists = [
+            np.linalg.norm(sigs[a] - sigs[b])
+            for i, a in enumerate(keys)
+            for b in keys[i + 1:]
+        ]
+        assert min(dists) > 1.0
+
+    def test_kws_metadata(self):
+        ds = make_kws6_like(n_train=30, n_test=12, seed=0)
+        assert ds.metadata["keywords"] == list(_KWS_KEYWORDS)
+        assert ds.metadata["frames"] * ds.metadata["bands"] == 377
+
+
+class TestLoaders:
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("imagenet")
+
+    def test_name_normalization(self):
+        ds = load_dataset("MNIST-like", n_train=10, n_test=5, seed=0)
+        assert ds.name == "mnist-like"
+
+    def test_train_val_split(self):
+        ds = make_mnist_like(n_train=50, n_test=10, seed=0)
+        X_tr, y_tr, X_val, y_val = train_val_split(ds, val_fraction=0.2, seed=1)
+        assert len(X_val) == 10
+        assert len(X_tr) == 40
+        assert len(X_tr) + len(X_val) == ds.n_train
+
+    def test_split_fraction_validated(self):
+        ds = make_mnist_like(n_train=20, n_test=5, seed=0)
+        with pytest.raises(ValueError):
+            train_val_split(ds, val_fraction=1.5)
+
+    def test_dataset_label_validation(self):
+        with pytest.raises(ValueError):
+            Dataset(
+                name="bad",
+                X_train=np.zeros((2, 4), dtype=np.uint8),
+                y_train=np.array([0, 9]),
+                X_test=np.zeros((1, 4), dtype=np.uint8),
+                y_test=np.array([0]),
+                n_classes=2,
+                n_features=4,
+            )

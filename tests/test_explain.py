@@ -1,0 +1,96 @@
+"""Tests for prediction explanations (the interpretability story)."""
+
+import numpy as np
+import pytest
+
+from repro.model import TMModel, class_evidence, explain_prediction
+from conftest import random_model
+
+
+def crafted_model():
+    """2 classes x 4 clauses over 3 features with known behavior."""
+    inc = np.zeros((2, 4, 6), dtype=bool)
+    # class 0: +clause x0, -clause x2
+    inc[0, 0, 0] = True
+    inc[0, 1, 2] = True
+    # class 1: +clause x1&~x0, +clause2... (k=2 is +), -clause empty
+    inc[1, 0, 1] = True
+    inc[1, 0, 3] = True  # ~x0
+    inc[1, 2, 2] = True
+    return TMModel(include=inc, n_features=3)
+
+
+class TestExplainPrediction:
+    def test_winner_and_sums(self):
+        m = crafted_model()
+        x = np.array([1, 0, 0], dtype=np.uint8)
+        exp = explain_prediction(m, x)
+        assert exp.predicted_class == int(np.argmax(m.class_sums(x[None])[0]))
+        assert np.array_equal(exp.class_sums, m.class_sums(x[None])[0])
+
+    def test_activations_are_exactly_fired_clauses(self):
+        m = crafted_model()
+        x = np.array([0, 1, 1], dtype=np.uint8)
+        exp = explain_prediction(m, x)
+        ref = m.clause_outputs(x[None])[0]
+        fired = {(c, k) for c in range(2) for k in range(4) if ref[c, k]}
+        got = {(a.class_index, a.clause_index) for a in exp.activations}
+        assert got == fired
+
+    def test_every_supporting_clause_is_satisfied(self):
+        m = random_model(seed=21, density=0.15)
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 2, size=m.n_features).astype(np.uint8)
+        exp = explain_prediction(m, x)
+        for act in exp.supporting():
+            assert act.expression.evaluate(x) == 1
+            assert act.weight > 0
+
+    def test_margin(self):
+        m = crafted_model()
+        x = np.array([1, 0, 0], dtype=np.uint8)
+        exp = explain_prediction(m, x)
+        sums = sorted(exp.class_sums.tolist(), reverse=True)
+        assert exp.margin == sums[0] - sums[1]
+
+    def test_describe_text(self):
+        m = crafted_model()
+        exp = explain_prediction(m, np.array([0, 1, 0], dtype=np.uint8))
+        text = exp.describe()
+        assert "predicted class" in text
+        assert "supporting clauses" in text
+
+    def test_batch_input_rejected(self):
+        m = crafted_model()
+        with pytest.raises(ValueError):
+            explain_prediction(m, np.zeros((2, 3), dtype=np.uint8))
+
+    def test_votes_reconstruct_class_sum(self):
+        """Sum of activation weights per class == the class sums."""
+        m = random_model(seed=5, density=0.2)
+        rng = np.random.default_rng(3)
+        x = rng.integers(0, 2, size=m.n_features).astype(np.uint8)
+        exp = explain_prediction(m, x)
+        recon = np.zeros(m.n_classes, dtype=np.int64)
+        for act in exp.activations:
+            recon[act.class_index] += act.weight
+        assert np.array_equal(recon, exp.class_sums)
+
+
+class TestClassEvidence:
+    def test_only_positive_nonempty(self):
+        m = crafted_model()
+        ev = class_evidence(m, 0)
+        ks = [k for k, _ in ev]
+        assert all(k % 2 == 0 for k in ks)  # positive polarity only
+        assert all(not e.is_empty for _, e in ev)
+
+    def test_sorted_by_generality(self):
+        m = random_model(seed=9, density=0.2)
+        ev = class_evidence(m, 1, top_k=5)
+        sizes = [e.n_includes for _, e in ev]
+        assert sizes == sorted(sizes)
+
+    def test_index_validated(self):
+        with pytest.raises(IndexError):
+            class_evidence(crafted_model(), 7)

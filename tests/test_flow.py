@@ -1,0 +1,193 @@
+"""Tests for the end-to-end flow, verification, deployment and CLI."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.accelerator import AcceleratorConfig, generate_accelerator
+from repro.flow import FlowConfig, MatadorFlow, verify_design
+from repro.flow.cli import main
+from repro.flow.deploy import deployment_report, generate_host_driver, write_bundle
+from repro.synthesis import implement_design
+from conftest import random_model
+
+
+def tiny_flow_config(**overrides):
+    base = dict(
+        dataset="kws6", n_train=220, n_test=80, clauses_per_class=14,
+        T=10, s=4.0, epochs=4, verify_samples=4,
+    )
+    base.update(overrides)
+    return FlowConfig(**base)
+
+
+class TestFlowConfig:
+    def test_roundtrip_dict(self):
+        cfg = tiny_flow_config()
+        clone = FlowConfig.from_dict(cfg.to_dict())
+        assert clone == cfg
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError):
+            FlowConfig.from_dict({"clauses": 10})
+
+    def test_accelerator_config_mapping(self):
+        cfg = tiny_flow_config(bus_width=32, share_logic=False)
+        acc = cfg.accelerator_config()
+        assert acc.bus_width == 32
+        assert acc.share_logic is False
+
+
+class TestMatadorFlow:
+    @pytest.fixture(scope="class")
+    def completed(self):
+        flow = MatadorFlow(tiny_flow_config())
+        result = flow.run(verify=True)
+        return flow, result
+
+    def test_all_stages_timed(self, completed):
+        _, result = completed
+        for stage in ("load_data", "train", "analyze", "generate",
+                      "implement", "verify"):
+            assert stage in result.stage_seconds
+
+    def test_accuracy_reasonable(self, completed):
+        _, result = completed
+        assert result.accuracy > 0.5  # 6-class problem, tiny model
+
+    def test_verification_passes(self, completed):
+        _, result = completed
+        assert result.verification.passed, result.verification.summary()
+
+    def test_table_row_fields(self, completed):
+        _, result = completed
+        row = result.table_row()
+        assert row["Throughput (inf/s)"] > 0
+        assert row["Latency (us)"] > 0
+        assert row["Test Acc (%)"] == pytest.approx(100 * result.accuracy)
+
+    def test_summary_text(self, completed):
+        _, result = completed
+        text = result.summary()
+        assert "accuracy" in text
+        assert "verify" in text
+
+    def test_deploy_bundle(self, completed, tmp_path):
+        flow, _ = completed
+        files = flow.deploy(tmp_path / "bundle")
+        names = {f.name for f in files}
+        assert "host_driver.py" in names
+        assert "model.json" in names
+        assert "report.json" in names
+        assert any(n.endswith(".v") for n in names)
+
+    def test_stages_lazy_chain(self):
+        """Calling implement() directly pulls in all prerequisites."""
+        flow = MatadorFlow(tiny_flow_config(epochs=1, clauses_per_class=4))
+        impl = flow.implement()
+        assert impl.resources.luts > 0
+        assert flow.result.model is not None
+
+    def test_import_model_path(self, tmp_path, trained_model):
+        path = tmp_path / "ext.json"
+        trained_model.save(path)
+        flow = MatadorFlow(tiny_flow_config(model_path=str(path), epochs=0))
+        model = flow.train()
+        assert model.n_clauses == trained_model.n_clauses
+
+    def test_import_feature_mismatch(self, tmp_path):
+        bad = random_model(n_features=10)
+        path = tmp_path / "bad.json"
+        bad.save(path)
+        flow = MatadorFlow(tiny_flow_config(model_path=str(path)))
+        with pytest.raises(ValueError):
+            flow.train()
+
+
+class TestVerifyDesign:
+    def test_passes_on_good_design(self, tiny_model):
+        design = generate_accelerator(tiny_model, AcceleratorConfig(bus_width=8))
+        report = verify_design(design, n_random_vectors=12)
+        assert report.passed, report.summary()
+
+    def test_detects_sabotaged_output(self, tiny_model):
+        design = generate_accelerator(tiny_model, AcceleratorConfig(bus_width=8))
+        # Sabotage: invert the lowest result bit after generation.
+        nl = design.netlist
+        victim = nl.outputs["result[0]"]
+        nl.set_output("result[0]", nl.g_not(victim))
+        report = verify_design(design, n_random_vectors=24)
+        assert not report.functional_ok
+        assert not report.passed
+
+
+class TestDeployArtifacts:
+    def test_driver_source_compiles(self, tiny_model):
+        design = generate_accelerator(tiny_model, AcceleratorConfig(bus_width=8))
+        src = generate_host_driver(design, clock_mhz=50.0)
+        compile(src, "host_driver.py", "exec")  # syntax check
+        assert "PacketSchedule" in src
+
+    def test_report_structure(self, tiny_model):
+        design = generate_accelerator(tiny_model, AcceleratorConfig(bus_width=8))
+        impl = implement_design(design)
+        report = deployment_report(design, impl, accuracy=0.9)
+        assert report["stream"]["packets_per_datapoint"] == design.n_packets
+        assert report["test_accuracy"] == 0.9
+        json.dumps(report)  # must be serializable
+
+    def test_write_bundle_files(self, tiny_model, tmp_path):
+        design = generate_accelerator(tiny_model, AcceleratorConfig(bus_width=8))
+        impl = implement_design(design)
+        X = np.zeros((2, tiny_model.n_features), dtype=np.uint8)
+        files = write_bundle(tmp_path, design, impl, tiny_model,
+                             example_inputs=X)
+        assert (tmp_path / "report.json").exists()
+        assert (tmp_path / "matador_accel_tb.v").exists()
+        payload = json.loads((tmp_path / "report.json").read_text())
+        assert payload["device"] == "xc7z020"
+
+
+class TestCli:
+    def run_cli(self, argv):
+        out = io.StringIO()
+        code = main(argv, out=out)
+        return code, out.getvalue()
+
+    def test_datasets(self):
+        code, text = self.run_cli(["datasets"])
+        assert code == 0
+        assert "mnist" in text
+        assert "kws6" in text
+
+    def test_table2(self):
+        code, text = self.run_cli(["table2"])
+        assert code == 0
+        assert "784-64-64-64-10" in text
+        assert "200 clauses/class" in text
+
+    def test_run_small(self, tmp_path):
+        code, text = self.run_cli([
+            "run", "--dataset", "kws6", "--clauses", "8", "--epochs", "1",
+            "--train", "100", "--test", "50", "--json",
+        ])
+        assert code == 0
+        assert "Throughput (inf/s)" in text
+
+    def test_emit_writes_rtl(self, tmp_path):
+        outdir = tmp_path / "rtl"
+        code, text = self.run_cli([
+            "emit", "--dataset", "kws6", "--clauses", "6", "--epochs", "1",
+            "--train", "80", "--test", "40", "--outdir", str(outdir),
+        ])
+        assert code == 0
+        assert (outdir / "matador_accel.v").exists()
+
+    def test_config_file(self, tmp_path):
+        cfg = tiny_flow_config(epochs=1, clauses_per_class=4)
+        path = tmp_path / "flow.json"
+        path.write_text(json.dumps(cfg.to_dict()))
+        code, text = self.run_cli(["run", "--config", str(path), "--no-verify"])
+        assert code == 0

@@ -1,0 +1,212 @@
+"""Tests for the gate-level netlist IR (folding, hashing, traversal)."""
+
+import pytest
+
+from repro.rtl import Netlist
+
+
+class TestConstantsAndInputs:
+    def test_constants_fixed_ids(self):
+        nl = Netlist()
+        assert nl.const(0) == 0
+        assert nl.const(1) == 1
+
+    def test_duplicate_input_rejected(self):
+        nl = Netlist()
+        nl.add_input("a")
+        with pytest.raises(ValueError):
+            nl.add_input("a")
+
+    def test_output_requires_valid_net(self):
+        nl = Netlist()
+        with pytest.raises(ValueError):
+            nl.set_output("o", 999)
+
+
+class TestFolding:
+    def test_and_identities(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        assert nl.g_and(a, nl.const(1)) == a
+        assert nl.g_and(a, nl.const(0)) == nl.const(0)
+        assert nl.g_and(a, a) == a
+
+    def test_or_identities(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        assert nl.g_or(a, nl.const(0)) == a
+        assert nl.g_or(a, nl.const(1)) == nl.const(1)
+        assert nl.g_or(a, a) == a
+
+    def test_xor_identities(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        assert nl.g_xor(a, nl.const(0)) == a
+        assert nl.g_xor(a, a) == nl.const(0)
+        na = nl.g_xor(a, nl.const(1))
+        assert nl.nodes[na].kind == "not"
+
+    def test_double_negation(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        assert nl.g_not(nl.g_not(a)) == a
+
+    def test_complement_folding(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        na = nl.g_not(a)
+        assert nl.g_and(a, na) == nl.const(0)
+        assert nl.g_or(a, na) == nl.const(1)
+
+    def test_mux_folding(self):
+        nl = Netlist()
+        s = nl.add_input("s")
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        assert nl.g_mux(nl.const(1), a, b) == a
+        assert nl.g_mux(nl.const(0), a, b) == b
+        assert nl.g_mux(s, a, a) == a
+        assert nl.g_mux(s, nl.const(1), nl.const(0)) == s
+        not_s = nl.g_mux(s, nl.const(0), nl.const(1))
+        assert nl.nodes[not_s].kind == "not"
+
+
+class TestSharing:
+    def test_structural_hash_merges(self):
+        nl = Netlist(share=True)
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        g1 = nl.g_and(a, b)
+        g2 = nl.g_and(b, a)  # commutative normalization
+        assert g1 == g2
+
+    def test_share_disabled_duplicates(self):
+        nl = Netlist(share=False)
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        g1 = nl.g_and(a, b)
+        g2 = nl.g_and(a, b)
+        assert g1 != g2
+        assert nl.gate_count() == 2
+
+    def test_dffs_never_shared(self):
+        nl = Netlist(share=True)
+        a = nl.add_input("a")
+        r1 = nl.dff(a)
+        r2 = nl.dff(a)
+        assert r1 != r2
+
+
+class TestTrees:
+    def test_and_tree_empty_is_one(self):
+        nl = Netlist()
+        assert nl.g_and_tree([]) == nl.const(1)
+
+    def test_or_tree_empty_is_zero(self):
+        nl = Netlist()
+        assert nl.g_or_tree([]) == nl.const(0)
+
+    def test_and_tree_depth_logarithmic(self):
+        nl = Netlist()
+        bits = [nl.add_input(f"b{i}") for i in range(16)]
+        root = nl.g_and_tree(bits)
+        levels = nl.levelize()
+        assert levels[root] == 4  # log2(16)
+
+
+class TestTraversal:
+    def test_topological_order_respects_fanins(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        g = nl.g_and(a, b)
+        h = nl.g_or(g, a)
+        order = nl.topological_order()
+        assert order.index(g) < order.index(h)
+
+    def test_depth(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        x = nl.g_and(a, b)
+        y = nl.g_or(x, b)
+        nl.set_output("o", y)
+        assert nl.depth() == 2
+
+    def test_register_breaks_depth(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        x = nl.g_and(a, b)
+        r = nl.dff(x)
+        y = nl.g_or(r, b)
+        nl.set_output("o", y)
+        assert nl.depth() == 1  # both sides of the register are 1 deep
+
+    def test_combinational_cycle_detected(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        g = nl.g_and(a, a if False else nl.const(1))  # placeholder gate
+        g = nl.g_and(a, nl.add_input("b"))
+        # Manually create a cycle g2 -> g3 -> g2.
+        from repro.rtl.netlist import Node
+
+        nl.nodes.append(Node(kind="and", fanins=(g, len(nl.nodes) + 1)))
+        nl.nodes.append(Node(kind="and", fanins=(len(nl.nodes) - 1, a)))
+        with pytest.raises(ValueError):
+            nl.topological_order()
+
+    def test_live_nodes(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        used = nl.g_and(a, b)
+        unused = nl.g_or(a, b)
+        nl.set_output("o", used)
+        alive = nl.live_nodes()
+        assert used in alive
+        assert unused not in alive
+
+    def test_fanout_counts(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        g = nl.g_and(a, b)
+        nl.g_or(g, a)
+        nl.set_output("o", g)
+        fanout = nl.fanout_counts()
+        assert fanout[g] == 2  # one gate reader + one output tap
+        assert fanout[a] == 2
+
+
+class TestBlocks:
+    def test_block_tagging(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        with nl.block("hcb0"):
+            g = nl.g_and(a, b)
+        h = nl.g_or(a, b)
+        assert nl.nodes[g].block == "hcb0"
+        assert nl.nodes[h].block is None
+        assert nl.blocks() == ["hcb0"]
+        assert nl.nodes_in_block("hcb0") == [g]
+
+    def test_nested_blocks_restore(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        with nl.block("outer"):
+            with nl.block("inner"):
+                g = nl.g_not(a)
+            h = nl.g_or(g, b)
+        assert nl.nodes[g].block == "inner"
+        assert nl.nodes[h].block == "outer"
+
+    def test_stats_keys(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        nl.set_output("o", nl.dff(nl.g_not(a)))
+        stats = nl.stats()
+        for key in ("nodes", "gates", "registers", "inputs", "outputs", "depth"):
+            assert key in stats

@@ -1,0 +1,92 @@
+"""Tests for notebook generation and the analytic latency model."""
+
+import json
+
+import pytest
+
+from repro.accelerator import AcceleratorConfig, LatencyModel, generate_accelerator
+from repro.flow import generate_notebook
+from repro.synthesis import implement_design
+from conftest import random_model
+
+
+class TestLatencyModel:
+    def test_paper_mnist_numbers(self):
+        """Paper Table I: MNIST at 50 MHz -> 0.32 us latency, 3.85M inf/s.
+
+        13 packets + 3 pipeline stages = 16 cycles = 0.32 us at 50 MHz;
+        II = 13 cycles -> 50e6/13 = 3 846 153 inf/s.
+        """
+        lat = LatencyModel(n_packets=13, pipeline_class_sum=True,
+                           pipeline_argmax=True)
+        assert lat.latency_cycles == 16
+        assert lat.latency_us(50.0) == pytest.approx(0.32)
+        assert lat.throughput_inf_per_s(50.0) == pytest.approx(3846153.8, rel=1e-4)
+
+    def test_paper_kws_numbers(self):
+        """KWS6: 377 bits -> 6 packets; 0.18 us and 8.33M inf/s at 50 MHz."""
+        lat = LatencyModel(n_packets=6, pipeline_class_sum=True,
+                           pipeline_argmax=True)
+        assert lat.latency_cycles == 9
+        assert lat.latency_us(50.0) == pytest.approx(0.18)
+        assert lat.throughput_inf_per_s(50.0) == pytest.approx(8333333.3, rel=1e-4)
+
+    def test_paper_cifar2_numbers(self):
+        """CIFAR-2: 1024 bits -> 16 packets; 0.38 us, 3.125M inf/s @50MHz."""
+        lat = LatencyModel(n_packets=16, pipeline_class_sum=True,
+                           pipeline_argmax=True)
+        assert lat.latency_cycles == 19
+        assert lat.latency_us(50.0) == pytest.approx(0.38)
+        assert lat.throughput_inf_per_s(50.0) == pytest.approx(3125000.0)
+
+    @pytest.mark.parametrize("ps,pa,stages", [
+        (False, False, 1), (True, False, 2), (False, True, 2), (True, True, 3),
+    ])
+    def test_stage_count(self, ps, pa, stages):
+        lat = LatencyModel(n_packets=5, pipeline_class_sum=ps, pipeline_argmax=pa)
+        assert lat.result_stage_count == stages
+        assert lat.latency_cycles == 5 + stages
+
+    def test_timeline_events(self):
+        lat = LatencyModel(n_packets=3, pipeline_class_sum=True,
+                           pipeline_argmax=True)
+        events = lat.pipeline_timeline()
+        assert events[0] == (0, "packet 0 -> HCB 0")
+        assert events[-1][1] == "result_valid high"
+        assert events[-1][0] == lat.first_result_cycle
+
+
+class TestNotebook:
+    def make_design(self):
+        model = random_model(seed=2)
+        return generate_accelerator(model, AcceleratorConfig(bus_width=8))
+
+    def test_valid_nbformat_json(self):
+        design = self.make_design()
+        nb = json.loads(generate_notebook(design, clock_mhz=50.0))
+        assert nb["nbformat"] == 4
+        assert any(c["cell_type"] == "markdown" for c in nb["cells"])
+        assert any(c["cell_type"] == "code" for c in nb["cells"])
+
+    def test_code_cells_are_valid_python(self):
+        design = self.make_design()
+        nb = json.loads(generate_notebook(design, clock_mhz=65.0, dataset_name="kws6"))
+        for cell in nb["cells"]:
+            if cell["cell_type"] == "code":
+                compile("".join(cell["source"]), "cell", "exec")
+
+    def test_notebook_references_design(self):
+        design = self.make_design()
+        text = generate_notebook(design, clock_mhz=50.0)
+        assert "matador_accel" in text
+        assert "CLOCK_MHZ = 50.0" in text
+        assert "run_stream" in text  # the FINN-style measurement
+
+    def test_bundle_includes_notebook(self, tmp_path, tiny_model):
+        from repro.flow.deploy import write_bundle
+
+        design = generate_accelerator(tiny_model, AcceleratorConfig(bus_width=8))
+        impl = implement_design(design)
+        files = write_bundle(tmp_path, design, impl, tiny_model)
+        assert (tmp_path / "validate.ipynb").exists()
+        json.loads((tmp_path / "validate.ipynb").read_text())

@@ -1,0 +1,115 @@
+"""Tests for netlist optimization passes (sharing, dead-code removal)."""
+
+import pytest
+
+from repro.flow.verify import netlists_equivalent
+from repro.rtl import Netlist, optimize, share_logic, strip_dead
+
+
+def duplicated_design():
+    """A netlist with sharing disabled: identical cones instantiated twice."""
+    nl = Netlist("dup", share=False)
+    a = nl.add_input("a")
+    b = nl.add_input("b")
+    c = nl.add_input("c")
+    g1 = nl.g_and(a, b)
+    g2 = nl.g_and(a, b)          # duplicate
+    h1 = nl.g_or(g1, c)
+    h2 = nl.g_or(g2, c)          # duplicate via duplicate child
+    nl.set_output("o1", h1)
+    nl.set_output("o2", h2)
+    return nl
+
+
+class TestShareLogic:
+    def test_merges_duplicates(self):
+        nl = duplicated_design()
+        shared = share_logic(nl)
+        assert shared.gate_count() < nl.gate_count()
+        assert shared.gate_count() == 2
+
+    def test_preserves_behavior(self):
+        nl = duplicated_design()
+        assert netlists_equivalent(nl, share_logic(nl), n_cycles=16)
+
+    def test_registers_preserved(self):
+        nl = Netlist("regs", share=False)
+        a = nl.add_input("a")
+        r1 = nl.dff(a, init=1)
+        r2 = nl.dff(a, init=0)
+        nl.set_output("o1", r1)
+        nl.set_output("o2", r2)
+        shared = share_logic(nl)
+        assert shared.register_count() == 2  # registers are never merged
+        assert netlists_equivalent(nl, shared, n_cycles=16)
+
+    def test_blocks_carried_over(self):
+        nl = Netlist("blk", share=False)
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        with nl.block("hcb0"):
+            g = nl.g_and(a, b)
+        nl.set_output("o", g)
+        shared = share_logic(nl)
+        assert "hcb0" in shared.blocks()
+
+
+class TestStripDead:
+    def test_removes_unreachable(self):
+        nl = Netlist("dead")
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        used = nl.g_and(a, b)
+        nl.g_or(a, b)  # dead
+        nl.g_xor(a, b)  # dead
+        nl.set_output("o", used)
+        cleaned = strip_dead(nl)
+        assert cleaned.gate_count() == 1
+        assert netlists_equivalent(nl, cleaned, n_cycles=8)
+
+    def test_keeps_register_feeding_output(self):
+        nl = Netlist("regdead")
+        a = nl.add_input("a")
+        r = nl.dff(nl.g_not(a))
+        nl.dff(a)  # dead register
+        nl.set_output("o", r)
+        cleaned = strip_dead(nl)
+        assert cleaned.register_count() == 1
+
+    def test_inputs_survive(self):
+        nl = Netlist("io")
+        a = nl.add_input("a")
+        nl.add_input("unused")
+        nl.set_output("o", nl.g_not(a))
+        cleaned = strip_dead(nl)
+        assert set(cleaned.inputs) == {"a", "unused"}
+
+
+class TestOptimize:
+    def test_report_counts(self):
+        nl = duplicated_design()
+        cleaned, report = optimize(nl)
+        assert report.gates_before == 4
+        assert report.gates_after == 2
+        assert report.gates_saved == 2
+        assert report.gate_saving_ratio == pytest.approx(0.5)
+        assert "gates 4 -> 2" in report.summary()
+
+    def test_equivalence_after_full_optimize(self):
+        nl = duplicated_design()
+        cleaned, _ = optimize(nl)
+        assert netlists_equivalent(nl, cleaned, n_cycles=16)
+
+    def test_optimize_on_generated_design(self, tiny_model):
+        """A DON'T TOUCH accelerator optimizes down toward the shared one."""
+        from repro.accelerator import AcceleratorConfig, generate_accelerator
+
+        dt = generate_accelerator(
+            tiny_model, AcceleratorConfig(bus_width=8, share_logic=False)
+        )
+        shared = generate_accelerator(
+            tiny_model, AcceleratorConfig(bus_width=8, share_logic=True)
+        )
+        optimized, report = optimize(dt.netlist)
+        assert report.gates_saved >= 0
+        assert optimized.gate_count() <= shared.netlist.gate_count() * 1.2

@@ -1,0 +1,169 @@
+"""Tests for the batched cycle-simulation kernel."""
+
+import numpy as np
+import pytest
+
+from repro.rtl import Netlist, bus_input
+from repro.simulator.core import CompiledNetlist
+
+
+class TestCombinational:
+    def test_gates(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        nl.set_output("and", nl.g_and(a, b))
+        nl.set_output("or", nl.g_or(a, b))
+        nl.set_output("xor", nl.g_xor(a, b))
+        nl.set_output("not", nl.g_not(a))
+        sim = CompiledNetlist(nl, batch=4)
+        sim.set_input("a", np.array([0, 0, 1, 1], dtype=np.uint8))
+        sim.set_input("b", np.array([0, 1, 0, 1], dtype=np.uint8))
+        sim.settle()
+        assert sim.output("and").tolist() == [0, 0, 0, 1]
+        assert sim.output("or").tolist() == [0, 1, 1, 1]
+        assert sim.output("xor").tolist() == [0, 1, 1, 0]
+        assert sim.output("not").tolist() == [1, 1, 0, 0]
+
+    def test_mux(self):
+        nl = Netlist()
+        s = nl.add_input("s")
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        nl.set_output("o", nl.g_mux(s, a, b))
+        sim = CompiledNetlist(nl, batch=2)
+        sim.set_input("s", np.array([1, 0], dtype=np.uint8))
+        sim.set_input("a", 1)
+        sim.set_input("b", 0)
+        sim.settle()
+        assert sim.output("o").tolist() == [1, 0]
+
+    def test_deep_chain_settles_one_pass(self):
+        nl = Netlist()
+        x = nl.add_input("x")
+        net = x
+        for _ in range(50):
+            net = nl.g_not(nl.g_not(nl.g_xor(net, nl.const(1))))
+        nl.set_output("o", net)
+        sim = CompiledNetlist(nl, batch=1)
+        sim.set_input("x", 1)
+        sim.settle()
+        assert sim.output("o")[0] in (0, 1)
+
+    def test_unknown_names_raise(self):
+        nl = Netlist()
+        nl.add_input("a")
+        sim = CompiledNetlist(nl, batch=1)
+        with pytest.raises(KeyError):
+            sim.set_input("zzz", 1)
+        with pytest.raises(KeyError):
+            sim.output("zzz")
+        with pytest.raises(KeyError):
+            sim.set_bus("zzz", 3)
+
+
+class TestSequential:
+    def test_dff_basic_delay(self):
+        nl = Netlist()
+        d = nl.add_input("d")
+        nl.set_output("q", nl.dff(d))
+        sim = CompiledNetlist(nl, batch=1)
+        out0 = sim.step(d=1)
+        assert out0["q"][0] == 0  # init value visible before first edge
+        out1 = sim.step(d=0)
+        assert out1["q"][0] == 1  # captured the 1
+
+    def test_dff_enable(self):
+        nl = Netlist()
+        d = nl.add_input("d")
+        en = nl.add_input("en")
+        nl.set_output("q", nl.dff(d, en=en))
+        sim = CompiledNetlist(nl, batch=1)
+        sim.step(d=1, en=0)
+        assert sim.output("q")[0] == 0  # enable low: held
+        sim.step(d=1, en=1)
+        assert sim.output("q")[0] == 1
+
+    def test_dff_sync_reset_wins(self):
+        nl = Netlist()
+        d = nl.add_input("d")
+        rst = nl.add_input("rst")
+        nl.set_output("q", nl.dff(d, rst=rst, init=1))
+        sim = CompiledNetlist(nl, batch=1)
+        sim.step(d=0, rst=0)
+        assert sim.output("q")[0] == 0
+        sim.step(d=1, rst=1)  # reset and data both asserted
+        assert sim.output("q")[0] == 1  # reset wins, back to init
+
+    def test_reset_restores_init(self):
+        nl = Netlist()
+        d = nl.add_input("d")
+        nl.set_output("q", nl.dff(d, init=1))
+        sim = CompiledNetlist(nl, batch=1)
+        sim.step(d=0)
+        assert sim.output("q")[0] == 0
+        sim.reset()
+        assert sim.output("q")[0] == 1
+        assert sim.cycle == 0
+
+    def test_counter(self):
+        """2-bit counter built from xor/and counts clock edges."""
+        nl = Netlist()
+        b0 = nl.dff(nl.const(0), name="b0")
+        b1 = nl.dff(nl.const(0), name="b1")
+        nl.nodes[b0].fanins = (nl.g_not(b0), nl.const(1), nl.const(0))
+        nl.nodes[b1].fanins = (nl.g_xor(b1, b0), nl.const(1), nl.const(0))
+        nl.set_output("v[0]", b0)
+        nl.set_output("v[1]", b1)
+        sim = CompiledNetlist(nl, batch=1)
+        seen = []
+        for _ in range(6):
+            seen.append(int(sim.output_bus("v")[0]))
+            sim.clock()
+        assert seen == [0, 1, 2, 3, 0, 1]
+
+
+class TestBatch:
+    def test_lanes_independent(self):
+        nl = Netlist()
+        d = nl.add_input("d")
+        nl.set_output("q", nl.dff(d))
+        sim = CompiledNetlist(nl, batch=3)
+        sim.step(d=np.array([1, 0, 1], dtype=np.uint8))
+        assert sim.output("q").tolist() == [1, 0, 1]
+
+    def test_bus_io(self):
+        nl = Netlist()
+        a = bus_input(nl, "a", 8)
+        for i, bit in enumerate(a):
+            nl.set_output(f"o[{i}]", bit)
+        sim = CompiledNetlist(nl, batch=4)
+        vals = np.array([0, 1, 170, 255], dtype=np.uint64)
+        sim.set_bus("a", vals)
+        sim.settle()
+        assert np.array_equal(sim.output_bus("o"), vals.astype(np.int64))
+
+    def test_signed_bus_read(self):
+        nl = Netlist()
+        a = bus_input(nl, "a", 4)
+        for i, bit in enumerate(a):
+            nl.set_output(f"o[{i}]", bit)
+        sim = CompiledNetlist(nl, batch=2)
+        sim.set_bus("a", np.array([15, 7], dtype=np.uint64))
+        sim.settle()
+        assert sim.output_bus("o", signed=True).tolist() == [-1, 7]
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            CompiledNetlist(Netlist(), batch=0)
+
+    def test_outputs_dict_mixes_scalars_and_buses(self):
+        nl = Netlist()
+        a = bus_input(nl, "a", 2)
+        nl.set_output("o[0]", a[0])
+        nl.set_output("o[1]", a[1])
+        nl.set_output("flag", nl.g_and(a[0], a[1]))
+        sim = CompiledNetlist(nl, batch=1)
+        out = sim.step(a=3)
+        assert out["o"][0] == 3
+        assert out["flag"][0] == 1

@@ -1,0 +1,225 @@
+"""Tests for the synthesis model: LUT mapping, resources, timing, power."""
+
+import numpy as np
+import pytest
+
+from repro.rtl import Netlist, bus_input, popcount
+from repro.synthesis import (
+    DEVICES,
+    PlatformOverhead,
+    TimingModel,
+    estimate_power,
+    estimate_resources,
+    estimate_timing,
+    implement_design,
+    implement_netlist,
+    map_greedy,
+    map_priority_cuts,
+)
+from repro.synthesis.power import PowerModel
+from conftest import random_model
+
+
+def and_chain(n, share=True):
+    nl = Netlist("chain", share=share)
+    bits = [nl.add_input(f"b{i}") for i in range(n)]
+    net = bits[0]
+    for b in bits[1:]:
+        net = nl.g_and(net, b)
+    nl.set_output("o", net)
+    return nl
+
+
+def adder_design(width=8):
+    nl = Netlist("adder")
+    a = bus_input(nl, "a", width)
+    out = popcount(nl, list(a))
+    for i, bit in enumerate(out):
+        nl.set_output(f"o[{i}]", bit)
+    return nl
+
+
+class TestGreedyMapping:
+    def test_chain_packs_into_luts(self):
+        nl = and_chain(12)
+        mapping = map_greedy(nl, k=6)
+        # 12-input AND = 11 gates -> ceil coverage with 6-input LUTs: 3 LUTs
+        assert mapping.n_luts <= 3
+        for lut in mapping.luts:
+            assert lut.n_inputs <= 6
+
+    def test_support_only_leaves(self):
+        nl = and_chain(20)
+        mapping = map_greedy(nl, k=6)
+        input_ids = set(nl.inputs.values())
+        lut_roots = {l.root for l in mapping.luts}
+        for lut in mapping.luts:
+            for s in lut.support:
+                assert s in input_ids or s in lut_roots
+
+    def test_inverters_are_free(self):
+        nl = Netlist("inv")
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        g = nl.g_and(nl.g_not(a), nl.g_not(b))
+        nl.set_output("o", g)
+        mapping = map_greedy(nl)
+        assert mapping.n_luts == 1
+
+    def test_multi_fanout_not_absorbed(self):
+        nl = Netlist("fan")
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        c = nl.add_input("c")
+        shared = nl.g_and(a, b)
+        nl.set_output("o1", nl.g_or(shared, c))
+        nl.set_output("o2", nl.g_xor(shared, c))
+        mapping = map_greedy(nl)
+        assert mapping.n_luts == 3  # shared node is its own LUT
+
+    def test_preserve_structure_one_lut_per_gate(self):
+        nl = and_chain(10, share=False)
+        mapping = map_greedy(nl, k=6, preserve_structure=True)
+        assert mapping.n_luts == nl.gate_count()
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            map_greedy(and_chain(4), k=1)
+
+    def test_depth_reported(self):
+        mapping = map_greedy(and_chain(36), k=6)
+        assert mapping.depth >= 2
+
+    def test_input_histogram(self):
+        mapping = map_greedy(and_chain(12), k=6)
+        hist = mapping.input_histogram()
+        assert sum(hist.values()) == mapping.n_luts
+
+
+class TestPriorityCuts:
+    def test_not_worse_than_greedy_on_chain(self):
+        nl = and_chain(16)
+        greedy = map_greedy(nl, k=6)
+        pc = map_priority_cuts(nl, k=6)
+        assert pc.n_luts <= greedy.n_luts + 1
+
+    def test_covers_outputs(self):
+        nl = adder_design(6)
+        pc = map_priority_cuts(nl, k=6)
+        assert pc.n_luts > 0
+
+
+class TestResources:
+    def test_report_contains_table_columns(self, tiny_model):
+        from repro.accelerator import AcceleratorConfig, generate_accelerator
+
+        design = generate_accelerator(tiny_model, AcceleratorConfig(bus_width=8))
+        impl = implement_design(design)
+        row = impl.table_row()
+        for col in ("LUTs", "Slice Registers", "F7 Mux", "F8 Mux", "Slice",
+                    "LUT as logic", "LUT as mem", "BRAM", "Total Pwr (W)",
+                    "Dyn Pwr (W)"):
+            assert col in row
+
+    def test_matador_uses_no_bram_beyond_platform(self, tiny_model):
+        """The central resource claim: the TM model lives in logic."""
+        from repro.accelerator import AcceleratorConfig, generate_accelerator
+
+        design = generate_accelerator(tiny_model, AcceleratorConfig(bus_width=8))
+        impl = implement_design(design)
+        assert impl.resources.bram36 == PlatformOverhead().bram36
+
+    def test_platform_none(self):
+        nl = and_chain(8)
+        impl = implement_netlist(nl, platform=PlatformOverhead.none())
+        assert impl.resources.bram36 == 0
+        assert impl.resources.lut_as_mem == 0
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError):
+            implement_netlist(and_chain(4), device="xcvu9p")
+
+    def test_utilization_and_fits(self):
+        nl = and_chain(8)
+        impl = implement_netlist(nl)
+        dev = DEVICES["xc7z020"]
+        util = impl.resources.utilization(dev)
+        assert 0 <= util["luts"] < 0.1
+        assert impl.resources.fits(dev)
+
+
+class TestTiming:
+    def test_deeper_design_is_slower(self):
+        shallow = estimate_timing(and_chain(8), map_greedy(and_chain(8)))
+        deep = estimate_timing(and_chain(200), map_greedy(and_chain(200)))
+        assert deep.critical_path_ns > shallow.critical_path_ns
+        assert deep.fmax_mhz < shallow.fmax_mhz
+
+    def test_arithmetic_blocks_faster_than_random_logic(self):
+        def tagged_chain(block):
+            nl = Netlist("t")
+            bits = [nl.add_input(f"b{i}") for i in range(64)]
+            with nl.block(block):
+                net = bits[0]
+                for b in bits[1:]:
+                    net = nl.g_and(net, b)
+            nl.set_output("o", net)
+            return nl
+
+        rand = tagged_chain("hcb0")
+        arith = tagged_chain("class_sum")
+        t_rand = estimate_timing(rand, map_greedy(rand))
+        t_arith = estimate_timing(arith, map_greedy(arith))
+        assert t_arith.critical_path_ns < t_rand.critical_path_ns
+
+    def test_clock_request_validated(self, tiny_model):
+        from repro.accelerator import AcceleratorConfig, generate_accelerator
+
+        design = generate_accelerator(tiny_model, AcceleratorConfig(bus_width=8))
+        with pytest.raises(ValueError):
+            implement_design(design, clock_mhz=1000.0)
+
+    def test_empty_design_hits_interface_ceiling(self):
+        nl = Netlist("wires")
+        a = nl.add_input("a")
+        nl.set_output("o", a)
+        rep = estimate_timing(nl, map_greedy(nl))
+        assert rep.fmax_mhz == TimingModel().f_ceiling_mhz
+
+
+class TestPower:
+    def make_report(self, luts, regs, bram=3.0):
+        from repro.synthesis.resources import ResourceReport
+
+        return ResourceReport(
+            device="xc7z020", luts=luts, lut_as_logic=luts, lut_as_mem=0,
+            registers=regs, slices=luts // 4, f7_muxes=0, f8_muxes=0,
+            bram36=bram,
+        )
+
+    def test_monotonic_in_resources(self):
+        small = estimate_power(self.make_report(1000, 1000), 50.0)
+        big = estimate_power(self.make_report(50000, 50000), 50.0)
+        assert big.total_w > small.total_w
+
+    def test_monotonic_in_clock(self):
+        rep = self.make_report(10000, 10000)
+        slow = estimate_power(rep, 25.0)
+        fast = estimate_power(rep, 100.0)
+        assert fast.dynamic_w > slow.dynamic_w
+
+    def test_ps_dominates_small_designs(self):
+        p = estimate_power(self.make_report(500, 500), 50.0)
+        assert p.ps_w / p.total_w > 0.8
+
+    def test_calibration_matador_mnist_zone(self):
+        """Paper Table I: MNIST MATADOR ~1.43 W total / ~1.29 W dynamic."""
+        p = estimate_power(self.make_report(8700, 17400), 50.0)
+        assert 1.30 < p.total_w < 1.55
+        assert 1.20 < p.dynamic_w < 1.40
+
+    def test_toggle_rate_scales_dynamic(self):
+        rep = self.make_report(20000, 20000, bram=100)
+        lazy = estimate_power(rep, 100.0, PowerModel(toggle_rate=0.125))
+        busy = estimate_power(rep, 100.0, PowerModel(toggle_rate=0.35))
+        assert busy.pl_dynamic_w > 2 * lazy.pl_dynamic_w
