@@ -31,6 +31,11 @@ SCALE = 5  # clause budgets = Table II / SCALE
 DATASETS = ("mnist", "kws6", "cifar2", "fmnist", "kmnist")
 RESULTS_DIR = Path(__file__).parent / "results"
 
+# Training engine for every benchmark TM.  Backends are bit-identical for
+# a given seed (see tests/test_backend_equivalence.py), so this only
+# changes how long the benchmark session takes.
+BACKEND = "vectorized"
+
 _DATA_SIZES = {
     "mnist": (700, 300),
     "kws6": (500, 250),
@@ -70,6 +75,7 @@ def get_trained_model(name):
             T=max(4, spec.T // 2),
             s=spec.s,
             seed=42,
+            backend=BACKEND,
         )
         t0 = time.perf_counter()
         tm.fit(ds.X_train, ds.y_train, epochs=_EPOCHS[name])

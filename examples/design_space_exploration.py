@@ -35,7 +35,8 @@ def sweep_clauses(ds, budgets):
     models = {}
     for budget in budgets:
         tm = TsetlinMachine(ds.n_classes, ds.n_features, n_clauses=budget,
-                            T=max(6, budget // 3), s=5.0, seed=7)
+                            T=max(6, budget // 3), s=5.0, seed=7,
+                            backend="vectorized")
         tm.fit(ds.X_train, ds.y_train, epochs=5)
         model = tm.export_model(f"cifar2_c{budget}")
         models[budget] = model

@@ -26,7 +26,9 @@ def main():
     ds = load_dataset("kws6", n_train=400, n_test=200, seed=0)
     print(f"dataset: {ds.name}, {ds.n_features} features, {ds.n_classes} classes")
 
-    # 2. Train.
+    # 2. Train.  The vectorized backend is bit-identical with the
+    #    reference per-sample trainer (same seed -> same model) but runs
+    #    the hot path on bit-packed, incrementally maintained state.
     tm = TsetlinMachine(
         n_classes=ds.n_classes,
         n_features=ds.n_features,
@@ -34,6 +36,7 @@ def main():
         T=15,
         s=4.0,
         seed=42,
+        backend="vectorized",
     )
     tm.fit(ds.X_train, ds.y_train, epochs=6)
     model = tm.export_model("kws6_quickstart")

@@ -66,6 +66,10 @@ def _add_flow_args(cmd):
     cmd.add_argument("--no-pipeline", action="store_true", help="disable pipelining")
     cmd.add_argument("--dont-touch", action="store_true", help="disable logic sharing")
     cmd.add_argument("--seed", type=int, default=42)
+    cmd.add_argument("--backend", default="vectorized",
+                     choices=("reference", "vectorized"),
+                     help="training engine (results are bit-identical; "
+                          "vectorized is much faster)")
     cmd.add_argument("--import-model", default=None, dest="model_path",
                      help="import a trained model instead of training")
     cmd.add_argument("--name", default="matador_accel")
@@ -84,6 +88,7 @@ def _config_from_args(args):
         s=args.s,
         epochs=args.epochs,
         train_seed=args.seed,
+        backend=args.backend,
         bus_width=args.bus_width,
         pipeline_class_sum=not args.no_pipeline,
         pipeline_argmax=not args.no_pipeline,

@@ -42,6 +42,7 @@ class FlowConfig:
     s: float = 5.0
     epochs: int = 8
     train_seed: int = 42
+    backend: str = "vectorized"  # training engine; bit-identical across backends
     bus_width: int = 64
     pipeline_class_sum: bool = True
     pipeline_argmax: bool = True
@@ -161,6 +162,7 @@ class MatadorFlow:
                 T=cfg.T,
                 s=cfg.s,
                 seed=cfg.train_seed,
+                backend=cfg.backend,
             )
             tm.fit(ds.X_train, ds.y_train, epochs=cfg.epochs)
             self.result.machine = tm

@@ -1,6 +1,13 @@
 """Tsetlin Machine substrate: automata, feedback, training, booleanization."""
 
 from .automata import AutomataTeam
+from .backend import (
+    BACKENDS,
+    ReferenceBackend,
+    TMBackend,
+    VectorizedBackend,
+    make_backend,
+)
 from .booleanize import (
     QuantileEncoder,
     ThermometerEncoder,
@@ -22,6 +29,11 @@ from .rng import (
 
 __all__ = [
     "AutomataTeam",
+    "BACKENDS",
+    "TMBackend",
+    "ReferenceBackend",
+    "VectorizedBackend",
+    "make_backend",
     "QuantileEncoder",
     "ThermometerEncoder",
     "ThresholdBinarizer",

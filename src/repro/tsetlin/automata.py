@@ -31,7 +31,14 @@ class AutomataTeam:
         state fits in a signed byte plus sign.
     rng:
         A :class:`repro.tsetlin.rng.TMRandom`; used for the random
-        middle-of-the-road initialization.
+        middle-of-the-road initialization.  Without an rng the team still
+        starts on the include/exclude boundary, but *deterministically
+        mixed*: automata alternate exclude/include along the literal axis,
+        giving the same ~50% include density as the coin-flip init without
+        consuming a random stream.  (Earlier versions silently initialized
+        every automaton to the exclude side, which left fresh teams with
+        zero includes — clauses could never fire at inference before
+        training.)
     """
 
     def __init__(self, shape, n_states=127, rng=None):
@@ -40,7 +47,10 @@ class AutomataTeam:
         self.n_states = int(n_states)
         self.shape = tuple(shape)
         if rng is None:
-            init_coin = np.zeros(self.shape, dtype=bool)
+            # Deterministic-but-mixed: alternate the include coin along the
+            # flattened team so density is ~0.5 and reproducible with no rng.
+            size = int(np.prod(self.shape)) if self.shape else 1
+            init_coin = (np.arange(size) % 2 == 1).reshape(self.shape)
         else:
             init_coin = rng.bernoulli(0.5, self.shape)
         # Initialize on the include/exclude boundary: N or N + 1.

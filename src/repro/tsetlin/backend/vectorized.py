@@ -1,0 +1,240 @@
+"""Vectorized backend — incremental include matrix + bit-packed clause eval.
+
+The reference trainer pays three per-sample costs that dwarf the actual
+learning signal: it rematerializes the full ``(classes, clauses, 2f)``
+include matrix from the automaton states, evaluates clauses against dense
+uint8 literal vectors, and draws a full ``(clauses, 2f)`` uniform block per
+Type I event even though only the masked clause rows consume it.
+
+This backend removes all three while staying **bit-identical** with
+:class:`~repro.tsetlin.backend.reference.ReferenceBackend`:
+
+* the include matrix is maintained *incrementally* — after feedback only
+  the clause rows that received it are re-thresholded and re-packed;
+* clause evaluation works on ``np.packbits``-packed literals and includes,
+  so one sample/bank evaluation is a ``(clauses, 2f/8)`` byte AND plus a
+  reduction (a clause fails iff any included literal is 0, i.e. iff
+  ``include & ~literals`` has any set bit);
+* Type I feedback draws only the uniform rows belonging to selected
+  clauses and *skips* the RNG stream past the rest (``TMRandom.skip`` —
+  O(log n) for PCG64's ``advance``), leaving the generator in exactly the
+  state the reference's full-block draw would.
+
+Because the RNG stream and the arithmetic on touched automata are
+identical, a machine trained on this backend has the same include matrix,
+bit for bit, as one trained on the reference backend with the same seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import TMBackend, literal_matrix, register_backend
+
+__all__ = ["VectorizedBackend"]
+
+# Soft cap (bytes) on one chunk of the batched packed evaluation.
+_BATCH_CHUNK_BYTES = 1 << 24
+
+
+@register_backend
+class VectorizedBackend(TMBackend):
+    """Batched/bit-packed backend, bit-identical with the reference."""
+
+    name = "vectorized"
+
+    def __init__(self, team):
+        super().__init__(team)
+        self._nlp = None  # packed ~literals from begin_fit
+        self._out_cache = None  # per-(class, sample) clause outputs
+        self.sync()
+
+    # -- lifecycle -----------------------------------------------------
+    def sync(self):
+        """Rebuild the include caches from ``team.state``."""
+        self._N = self.team.n_states
+        inc = np.ascontiguousarray(self.team.state > self._N)
+        self._inc = inc  # (C, K, F) bool
+        self._inc_packed = np.packbits(inc, axis=-1)  # (C, K, ceil(F/8))
+        if self._out_cache is not None:
+            # Everything cached is now suspect: mark every clause row newer
+            # than every sample's last refresh.
+            self._ver += 1
+            self._row_ver[:] = self._ver
+            self._class_ver[:] = self._ver
+
+    def begin_fit(self, L_all):
+        self.sync()
+        L = np.asarray(L_all, dtype=bool)
+        self._nlp = np.packbits(~L, axis=-1)
+        if L.ndim == 2:
+            # Incremental per-clause violation state: clause outputs per
+            # (class, sample), re-evaluated only for clause rows whose
+            # include set changed since the sample was last visited.
+            C, K, _ = self.team.shape
+            n = len(L)
+            self._ver = 1
+            self._out_cache = np.zeros((C, n, K), dtype=np.uint8)
+            self._row_ver = np.full((C, K), self._ver, dtype=np.int64)
+            self._class_ver = np.full(C, self._ver, dtype=np.int64)
+            self._samp_ver = np.zeros((C, n), dtype=np.int64)
+
+    def end_fit(self):
+        self._nlp = None
+        self._out_cache = None
+
+    # -- queries -------------------------------------------------------
+    def includes(self):
+        return self._inc
+
+    def _packed_not_literals(self, literals, lit_index):
+        if lit_index is not None and self._nlp is not None:
+            return self._nlp[lit_index]
+        return np.packbits(~literal_matrix(literals), axis=-1)
+
+    def bank_outputs(self, class_index, literals, lit_index=None):
+        if lit_index is not None and self._out_cache is not None:
+            row = self._out_cache[class_index, lit_index]
+            cv = self._class_ver[class_index]
+            sv = self._samp_ver[class_index, lit_index]
+            if sv != cv:
+                # Re-evaluate only the clause rows whose include set
+                # changed since this sample was last scored.
+                stale = np.flatnonzero(self._row_ver[class_index] > sv)
+                nl = self._nlp[lit_index]
+                violated = np.bitwise_and(
+                    self._inc_packed[class_index][stale], nl
+                ).any(axis=1)
+                row[stale] = ~violated
+                self._samp_ver[class_index, lit_index] = cv
+            return row
+        nl = self._packed_not_literals(literals, lit_index)  # (Fb,)
+        violated = np.bitwise_and(self._inc_packed[class_index], nl).any(axis=1)
+        return (~violated).view(np.uint8)
+
+    def batch_outputs(self, L, empty_output=0):
+        L = literal_matrix(L)
+        n = len(L)
+        nl = np.packbits(~L, axis=1)  # (n, Fb)
+        C, K, _ = self.team.shape
+        Fb = self._inc_packed.shape[-1]
+        incp = self._inc_packed.reshape(1, C * K, Fb)
+        out = np.empty((n, C * K), dtype=bool)
+        chunk = max(1, _BATCH_CHUNK_BYTES // max(1, C * K * Fb))
+        for a in range(0, n, chunk):
+            b = min(n, a + chunk)
+            v = np.bitwise_and(nl[a:b, None, :], incp)
+            np.logical_not(v.any(axis=2), out=out[a:b])
+        result = out.view(np.uint8).reshape(n, C, K)
+        if empty_output == 0:
+            nonempty = self._inc.any(axis=2)  # (C, K)
+            result = result & nonempty[np.newaxis].view(np.uint8)
+        return result
+
+    def patch_match(self, class_index, patch_literals, lit_index=None):
+        nl = self._packed_not_literals(patch_literals, lit_index)  # (P, Fb)
+        v = np.bitwise_and(nl[:, None, :], self._inc_packed[class_index][None])
+        return ~v.any(axis=2)  # (P, K)
+
+    # -- feedback ------------------------------------------------------
+    def _refresh_rows(self, class_index, rows, new_states):
+        inc_rows = new_states > self._N
+        changed = np.any(inc_rows != self._inc[class_index][rows], axis=1)
+        if not changed.any():
+            return
+        touched = rows[changed]
+        inc_touched = inc_rows[changed]
+        self._inc[class_index][touched] = inc_touched
+        self._inc_packed[class_index][touched] = np.packbits(inc_touched, axis=1)
+        if self._out_cache is not None:
+            self._ver += 1
+            self._row_ver[class_index][touched] = self._ver
+            self._class_ver[class_index] = self._ver
+
+    def _draw_rows(self, rng, rows, n_clauses, n_literals):
+        """Uniform draws for ``rows`` of a ``(n_clauses, n_literals)`` block.
+
+        Consumes the RNG stream exactly as ``rng.random((n_clauses,
+        n_literals))`` would — unused rows are skipped, not generated — so
+        every subsequent draw matches the reference backend's.
+        """
+        R = len(rows)
+        if R == n_clauses or not hasattr(rng, "skip"):
+            draws = rng.random((n_clauses, n_literals))
+            return draws if R == n_clauses else draws[rows]
+        first = int(rows[0])
+        last = int(rows[-1])
+        span = last - first + 1
+        runs = 1 + int(np.count_nonzero(np.diff(rows) > 1)) if R > 1 else 1
+        # Each rng call costs ~µs while generating a row costs ~ns·F; draw
+        # run-by-run only when the pattern is sparse enough that the extra
+        # calls beat materializing the unused rows inside the span.
+        if runs * 4 > span:
+            if first > 0:
+                rng.skip(first * n_literals)
+            block = rng.random((span, n_literals))
+            if last + 1 < n_clauses:
+                rng.skip((n_clauses - 1 - last) * n_literals)
+            return block if R == span else block[rows - first]
+        out = np.empty((R, n_literals))
+        pos = 0
+        i = 0
+        while i < R:
+            j = i
+            while j + 1 < R and rows[j + 1] == rows[j] + 1:
+                j += 1
+            start, stop = int(rows[i]), int(rows[j]) + 1
+            if start > pos:
+                rng.skip((start - pos) * n_literals)
+            out[i : j + 1] = rng.random((stop - start, n_literals))
+            pos = stop
+            i = j + 1
+        if pos < n_clauses:
+            rng.skip((n_clauses - pos) * n_literals)
+        return out
+
+    def apply_type_i(self, class_index, clause_mask, outputs, literals, s,
+                     rng, boost_true_positive=False, always_draw=False):
+        bank = self.team.state[class_index]
+        n_clauses, n_literals = bank.shape
+        clause_mask = np.asarray(clause_mask, dtype=bool)
+        if not clause_mask.any():
+            if always_draw:
+                rng.skip(n_clauses * n_literals)
+            return
+        rows = np.flatnonzero(clause_mask)
+        draws = self._draw_rows(rng, rows, n_clauses, n_literals)
+
+        lit = literal_matrix(literals)
+        lit = lit[np.newaxis, :] if lit.ndim == 1 else lit[rows]
+        fired = np.asarray(outputs, dtype=bool)[rows, np.newaxis]
+
+        low = draws < (1.0 / s)
+        # Mirrors the reference delta arithmetic on the selected rows only.
+        if boost_true_positive:
+            memorize = fired & lit  # high prob = 1.0 > any draw
+        else:
+            memorize = fired & lit & (draws < (s - 1.0) / s)
+        delta = memorize.astype(np.int16)
+        delta -= ((fired & ~lit) | ~fired) & low
+
+        st = bank[rows]
+        st += delta
+        np.clip(st, 1, 2 * self._N, out=st)
+        bank[rows] = st
+        self._refresh_rows(class_index, rows, st)
+
+    def apply_type_ii(self, class_index, clause_mask, outputs, literals):
+        mask = np.asarray(clause_mask, dtype=bool) & np.asarray(outputs, dtype=bool)
+        rows = np.flatnonzero(mask)
+        if rows.size == 0:
+            return
+        bank = self.team.state[class_index]
+        lit = literal_matrix(literals)
+        lit = lit[np.newaxis, :] if lit.ndim == 1 else lit[rows]
+        st = bank[rows]
+        # Step excluded automata of 0-valued literals one state toward
+        # include; the result never exceeds N + 1 <= 2N, so no clip needed.
+        st += (~lit & (st <= self._N)).astype(np.int16)
+        bank[rows] = st
+        self._refresh_rows(class_index, rows, st)

@@ -16,8 +16,8 @@ from __future__ import annotations
 import numpy as np
 
 from .automata import AutomataTeam
+from .backend import make_backend
 from .booleanize import literals_from_features
-from .feedback import clause_outputs, type_i_feedback, type_ii_feedback
 from .rng import NumpyRandom
 
 __all__ = ["CoalescedTsetlinMachine"]
@@ -27,11 +27,13 @@ class CoalescedTsetlinMachine:
     """Coalesced multi-output Tsetlin Machine.
 
     Parameters mirror :class:`repro.tsetlin.machine.TsetlinMachine`, except
-    ``n_clauses`` counts the *shared* pool, not clauses per class.
+    ``n_clauses`` counts the *shared* pool, not clauses per class; the
+    shared pool trains through the same pluggable ``backend`` engines.
     """
 
     def __init__(self, n_classes, n_features, n_clauses=64, T=20, s=3.9,
-                 n_states=127, boost_true_positive=True, rng=None, seed=42):
+                 n_states=127, boost_true_positive=True, rng=None, seed=42,
+                 backend="reference"):
         if n_classes < 2:
             raise ValueError("n_classes must be >= 2")
         if n_clauses < 1:
@@ -51,11 +53,12 @@ class CoalescedTsetlinMachine:
         # each class begins with balanced vote polarity.
         signs = np.where(np.arange(self.n_clauses) % 2 == 0, 1, -1)
         self.weights = np.tile(signs, (self.n_classes, 1)).astype(np.int32)
+        self.backend = make_backend(backend, self.team)
 
     # ------------------------------------------------------------------
     def includes(self):
-        """Shared include matrix ``(clauses, 2 * features)``."""
-        return self.team.actions()[0]
+        """Shared include matrix ``(clauses, 2 * features)`` (read-only)."""
+        return self.backend.includes()[0]
 
     def _check_features(self, X):
         X = np.asarray(X, dtype=np.uint8)
@@ -71,14 +74,7 @@ class CoalescedTsetlinMachine:
         """Shared pool outputs per sample: ``(samples, clauses)``."""
         X = self._check_features(X)
         L = literals_from_features(X).astype(bool)
-        inc = self.includes()
-        violations = np.einsum(
-            "nf,kf->nk", (~L).astype(np.uint8), inc.astype(np.uint8)
-        )
-        out = (violations == 0).astype(np.uint8)
-        if empty_output == 0:
-            out &= inc.any(axis=1)[np.newaxis, :].astype(np.uint8)
-        return out
+        return self.backend.batch_outputs(L, empty_output=empty_output)[:, 0, :]
 
     def class_sums(self, X, empty_output=0):
         out = self.clause_outputs_batch(X, empty_output=empty_output)
@@ -91,10 +87,15 @@ class CoalescedTsetlinMachine:
         return float(np.mean(self.predict(X) == np.asarray(y)))
 
     # ------------------------------------------------------------------
-    def _update_for_class(self, literals, cls, is_target):
-        """CoTM update of the shared pool and one class's weights."""
-        inc = self.team.actions()[0]
-        out = clause_outputs(inc, literals, empty_output=1)
+    def _update_for_class(self, literals, cls, is_target, lit_index=None):
+        """CoTM update of the shared pool and one class's weights.
+
+        Each class phase re-evaluates the live pool (the rival phase sees
+        the target phase's feedback), so ``begin_update`` runs per phase.
+        """
+        be = self.backend
+        be.begin_update()
+        out = be.bank_outputs(0, literals, lit_index)
         vote = int(np.dot(out.astype(np.int64), self.weights[cls]))
         T = self.T
         vote = max(-T, min(T, vote))
@@ -106,18 +107,18 @@ class CoalescedTsetlinMachine:
         if is_target:
             # Positive-weight clauses learn the pattern; negative-weight
             # clauses that fire are suppressed (Type II).
-            type_i_feedback(
-                self.team, 0, sel & w_pos, out, literals, self.s, self.rng,
+            be.apply_type_i(
+                0, sel & w_pos, out, literals, self.s, self.rng,
                 boost_true_positive=self.boost_true_positive,
             )
-            type_ii_feedback(self.team, 0, sel & ~w_pos, out, literals)
+            be.apply_type_ii(0, sel & ~w_pos, out, literals)
             # Weight update: firing selected clauses drift toward this class.
             self.weights[cls] += (sel & fired & w_pos).astype(np.int32)
             self.weights[cls] -= (sel & fired & ~w_pos).astype(np.int32)
         else:
-            type_ii_feedback(self.team, 0, sel & w_pos, out, literals)
-            type_i_feedback(
-                self.team, 0, sel & ~w_pos, out, literals, self.s, self.rng,
+            be.apply_type_ii(0, sel & w_pos, out, literals)
+            be.apply_type_i(
+                0, sel & ~w_pos, out, literals, self.s, self.rng,
                 boost_true_positive=self.boost_true_positive,
             )
             self.weights[cls] -= (sel & fired & w_pos).astype(np.int32)
@@ -130,17 +131,25 @@ class CoalescedTsetlinMachine:
         if y.min() < 0 or y.max() >= self.n_classes:
             raise ValueError("labels out of range for n_classes")
         L_all = literals_from_features(X)
-        order = np.arange(len(X))
-        for _ in range(epochs):
-            if shuffle:
-                order = order[np.argsort(self.rng.random((len(X),)))]
-            for idx in order:
-                target = int(y[idx])
-                self._update_for_class(L_all[idx], target, is_target=True)
-                rival = self.rng.integers(0, self.n_classes - 1)
-                if rival >= target:
-                    rival += 1
-                self._update_for_class(L_all[idx], rival, is_target=False)
+        self.backend.begin_fit(L_all)
+        try:
+            order = np.arange(len(X))
+            for _ in range(epochs):
+                if shuffle:
+                    order = order[np.argsort(self.rng.random((len(X),)))]
+                for idx in order:
+                    target = int(y[idx])
+                    self._update_for_class(
+                        L_all[idx], target, is_target=True, lit_index=idx
+                    )
+                    rival = self.rng.integers(0, self.n_classes - 1)
+                    if rival >= target:
+                        rival += 1
+                    self._update_for_class(
+                        L_all[idx], rival, is_target=False, lit_index=idx
+                    )
+        finally:
+            self.backend.end_fit()
         return self
 
     # ------------------------------------------------------------------

@@ -25,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from .automata import AutomataTeam
+from .backend import make_backend
 from .rng import NumpyRandom
 
 __all__ = ["ConvolutionalTsetlinMachine"]
@@ -48,7 +49,8 @@ class ConvolutionalTsetlinMachine:
 
     def __init__(self, n_classes, image_shape, patch_shape=(10, 10),
                  n_clauses=20, T=15, s=3.9, n_states=127,
-                 boost_true_positive=True, rng=None, seed=42):
+                 boost_true_positive=True, rng=None, seed=42,
+                 backend="reference"):
         if n_classes < 2:
             raise ValueError("n_classes must be >= 2")
         if n_clauses < 2 or n_clauses % 2:
@@ -77,6 +79,7 @@ class ConvolutionalTsetlinMachine:
             rng=self.rng,
         )
         self.polarity = np.where(np.arange(self.n_clauses) % 2 == 0, 1, -1)
+        self.backend = make_backend(backend, self.team)
         self._coord_bits = self._coordinate_features()
 
     # ------------------------------------------------------------------
@@ -122,7 +125,7 @@ class ConvolutionalTsetlinMachine:
     def clause_outputs_batch(self, X, empty_output=0):
         """(n, classes, clauses): 1 iff any patch satisfies the clause."""
         literals = self._patch_literals(self._patches(X))  # (n, P, 2f)
-        inc = self.team.actions()  # (C, K, 2f)
+        inc = self.backend.includes()  # (C, K, 2f)
         not_l = (1 - literals).astype(np.uint8)
         out = np.empty((len(literals), self.n_classes, self.n_clauses), dtype=np.uint8)
         for c in range(self.n_classes):
@@ -147,17 +150,15 @@ class ConvolutionalTsetlinMachine:
     # ------------------------------------------------------------------
     # Training
     # ------------------------------------------------------------------
-    def _clause_patch_state(self, literals, class_index):
+    def _clause_patch_state(self, literals, class_index, lit_index=None):
         """Per clause: output bit and one randomly chosen matching patch.
 
         ``literals``: (P, 2f) for one sample.  Returns ``(out, chosen)``
         where ``chosen[k]`` is a patch literal vector for clause k (the
         matching patch if it fired, else an arbitrary patch — unused).
         """
-        inc = self.team.actions()[class_index]  # (K, 2f)
-        v = np.einsum("pf,kf->pk", (1 - literals).astype(np.uint8),
-                      inc.astype(np.uint8))  # (P, K)
-        match = v == 0
+        match = self.backend.patch_match(class_index, literals,
+                                         lit_index=lit_index)  # (P, K)
         out = match.any(axis=0).astype(np.uint8)
         chosen = np.zeros((self.n_clauses, literals.shape[1]), dtype=np.uint8)
         draws = self.rng.random((self.n_clauses,))
@@ -167,50 +168,37 @@ class ConvolutionalTsetlinMachine:
             chosen[k] = literals[pick]
         return out, chosen
 
-    def _type_i(self, class_index, sel, out, chosen):
-        states = self.team.state[class_index]
-        n_lit = states.shape[1]
-        low = 1.0 / self.s
-        high = 1.0 if self.boost_true_positive else (self.s - 1.0) / self.s
-        draws = self.rng.random((self.n_clauses, n_lit))
-        fired = (out.astype(bool) & sel)[:, np.newaxis]
-        quiet = (~out.astype(bool) & sel)[:, np.newaxis]
-        lit = chosen.astype(bool)
-        delta = np.zeros_like(states, dtype=np.int16)
-        delta += (fired & lit & (draws < high)).astype(np.int16)
-        delta -= (fired & ~lit & (draws < low)).astype(np.int16)
-        delta -= (quiet & (draws < low)).astype(np.int16)
-        states += delta
-        np.clip(states, 1, 2 * self.team.n_states, out=states)
+    def _update_one(self, literals, target, lit_index=None):
+        """One CTM update; feedback runs on each clause's chosen patch.
 
-    def _type_ii(self, class_index, sel, out, chosen):
-        states = self.team.state[class_index]
-        fired = (out.astype(bool) & sel)[:, np.newaxis]
-        lit = chosen.astype(bool)
-        excluded = states <= self.team.n_states
-        states += (fired & ~lit & excluded).astype(np.int16)
-        np.clip(states, 1, 2 * self.team.n_states, out=states)
-
-    def _update_one(self, literals, target):
+        The CTM's historical RNG convention draws the ``(clauses,
+        literals)`` Type I block even when no clause is selected, hence
+        ``always_draw=True``.
+        """
+        be = self.backend
         T = self.T
         pos = self.polarity > 0
 
-        out, chosen = self._clause_patch_state(literals, target)
+        out, chosen = self._clause_patch_state(literals, target, lit_index)
         vote = int(np.dot(out.astype(np.int32), self.polarity))
         vote = max(-T, min(T, vote))
         sel = self.rng.bernoulli((T - vote) / (2.0 * T), (self.n_clauses,))
-        self._type_i(target, sel & pos, out, chosen)
-        self._type_ii(target, sel & ~pos, out, chosen)
+        be.apply_type_i(target, sel & pos, out, chosen, self.s, self.rng,
+                        boost_true_positive=self.boost_true_positive,
+                        always_draw=True)
+        be.apply_type_ii(target, sel & ~pos, out, chosen)
 
         rival = self.rng.integers(0, self.n_classes - 1)
         if rival >= target:
             rival += 1
-        out_r, chosen_r = self._clause_patch_state(literals, rival)
+        out_r, chosen_r = self._clause_patch_state(literals, rival, lit_index)
         vote_r = int(np.dot(out_r.astype(np.int32), self.polarity))
         vote_r = max(-T, min(T, vote_r))
         sel_r = self.rng.bernoulli((T + vote_r) / (2.0 * T), (self.n_clauses,))
-        self._type_ii(rival, sel_r & pos, out_r, chosen_r)
-        self._type_i(rival, sel_r & ~pos, out_r, chosen_r)
+        be.apply_type_ii(rival, sel_r & pos, out_r, chosen_r)
+        be.apply_type_i(rival, sel_r & ~pos, out_r, chosen_r, self.s,
+                        self.rng, boost_true_positive=self.boost_true_positive,
+                        always_draw=True)
 
     def fit(self, X, y, epochs=10, shuffle=True):
         X = np.asarray(X, dtype=np.uint8)
@@ -218,10 +206,15 @@ class ConvolutionalTsetlinMachine:
         if y.min() < 0 or y.max() >= self.n_classes:
             raise ValueError("labels out of range")
         all_literals = self._patch_literals(self._patches(X))
-        order = np.arange(len(X))
-        for _ in range(epochs):
-            if shuffle:
-                order = order[np.argsort(self.rng.random((len(X),)))]
-            for idx in order:
-                self._update_one(all_literals[idx], int(y[idx]))
+        self.backend.begin_fit(all_literals)
+        try:
+            order = np.arange(len(X))
+            for _ in range(epochs):
+                if shuffle:
+                    order = order[np.argsort(self.rng.random((len(X),)))]
+                for idx in order:
+                    self._update_one(all_literals[idx], int(y[idx]),
+                                     lit_index=idx)
+        finally:
+            self.backend.end_fit()
         return self

@@ -50,8 +50,19 @@ def clause_outputs(include, literals, empty_output=1):
     return out.astype(np.uint8)
 
 
+def _literal_rows(literals):
+    """Normalize literals to a broadcastable ``(clauses or 1, 2f)`` bool array.
+
+    Accepts a single literal vector ``(2f,)`` (flat/coalesced machines) or a
+    per-clause literal matrix ``(clauses, 2f)`` (convolutional machines,
+    where every clause reinforces against its own chosen patch).
+    """
+    lit = np.asarray(literals, dtype=bool)
+    return lit[np.newaxis, :] if lit.ndim == 1 else lit
+
+
 def type_i_feedback(team, class_index, clause_mask, outputs, literals, s, rng,
-                    boost_true_positive=False):
+                    boost_true_positive=False, always_draw=False):
     """Apply Type I feedback to the selected clauses of one class.
 
     Parameters
@@ -67,7 +78,9 @@ def type_i_feedback(team, class_index, clause_mask, outputs, literals, s, rng,
         ``(clauses,)`` clause outputs for this datapoint (training
         convention: empty clauses output 1).
     literals:
-        ``(2 * features,)`` 0/1 literal values for the datapoint.
+        ``(2 * features,)`` 0/1 literal values for the datapoint, or a
+        ``(clauses, 2 * features)`` matrix of per-clause literals (the
+        convolutional machine's chosen patches).
     s:
         Specificity hyperparameter (``s >= 1``); larger values produce more
         specific (more-include) clauses.
@@ -76,13 +89,19 @@ def type_i_feedback(team, class_index, clause_mask, outputs, literals, s, rng,
     boost_true_positive:
         If True, strengthen matching literals with probability 1 instead of
         ``(s - 1) / s``.
+    always_draw:
+        If True, consume the ``(clauses, literals)`` random block even when
+        no clause is selected (the convolutional machine's historical RNG
+        draw order); if False, skip the draw on an empty mask.
     """
     states = team.state[class_index]
     n_clauses, n_literals = states.shape
     clause_mask = np.asarray(clause_mask, dtype=bool)
     if not clause_mask.any():
+        if always_draw:
+            rng.random((n_clauses, n_literals))
         return
-    lit = np.asarray(literals, dtype=bool)[np.newaxis, :]
+    lit = _literal_rows(literals)
     out1 = (np.asarray(outputs, dtype=bool) & clause_mask)[:, np.newaxis]
     out0 = (~np.asarray(outputs, dtype=bool) & clause_mask)[:, np.newaxis]
 
@@ -115,7 +134,7 @@ def type_ii_feedback(team, class_index, clause_mask, outputs, literals):
     clause_mask = np.asarray(clause_mask, dtype=bool)
     if not clause_mask.any():
         return
-    lit = np.asarray(literals, dtype=bool)[np.newaxis, :]
+    lit = _literal_rows(literals)
     fired = (np.asarray(outputs, dtype=bool) & clause_mask)[:, np.newaxis]
     excluded = states <= team.n_states
 

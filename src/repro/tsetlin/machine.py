@@ -22,8 +22,8 @@ from __future__ import annotations
 import numpy as np
 
 from .automata import AutomataTeam
+from .backend import make_backend
 from .booleanize import literals_from_features
-from .feedback import clause_outputs, type_i_feedback, type_ii_feedback
 from .rng import NumpyRandom
 
 __all__ = ["TsetlinMachine", "TrainingLog"]
@@ -78,10 +78,17 @@ class TsetlinMachine:
     rng:
         A :class:`repro.tsetlin.rng.TMRandom`; defaults to a seeded
         :class:`NumpyRandom`.
+    backend:
+        Training/inference engine: ``"reference"`` (the seed per-sample
+        path), ``"vectorized"`` (bit-packed incremental engine,
+        bit-identical results, much faster), or a
+        :class:`repro.tsetlin.backend.TMBackend` subclass (it is
+        constructed against this machine's automata team).
     """
 
     def __init__(self, n_classes, n_features, n_clauses=20, T=15, s=3.9,
-                 n_states=127, boost_true_positive=True, rng=None, seed=42):
+                 n_states=127, boost_true_positive=True, rng=None, seed=42,
+                 backend="reference"):
         if n_classes < 2:
             raise ValueError("n_classes must be >= 2")
         if n_clauses < 2 or n_clauses % 2 != 0:
@@ -105,14 +112,19 @@ class TsetlinMachine:
         # Polarity alternates [+1, -1, +1, ...] along the clause index
         # (Fig. 1a of the paper).
         self.polarity = np.where(np.arange(self.n_clauses) % 2 == 0, 1, -1)
+        self.backend = make_backend(backend, self.team)
         self.log = TrainingLog()
 
     # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
     def includes(self):
-        """Include matrix ``(classes, clauses, 2 * features)`` (bool)."""
-        return self.team.actions()
+        """Include matrix ``(classes, clauses, 2 * features)`` (bool).
+
+        Backends may return an internal cache; treat the result as
+        read-only (``export_model`` copies it).
+        """
+        return self.backend.includes()
 
     def _check_features(self, X):
         X = np.asarray(X, dtype=np.uint8)
@@ -127,22 +139,12 @@ class TsetlinMachine:
     def clause_outputs_batch(self, X, empty_output=0):
         """Clause outputs for a batch: ``(samples, classes, clauses)``.
 
-        Vectorized across the batch: a clause fails iff any included literal
-        is 0 for that sample.
+        Vectorized across the batch by the backend: a clause fails iff any
+        included literal is 0 for that sample.
         """
         X = self._check_features(X)
         L = literals_from_features(X).astype(bool)  # (n, 2f)
-        inc = self.includes()  # (C, K, 2f)
-        # For each sample/class/clause: violated iff any include & ~literal.
-        # einsum over the literal axis with uint8 counts violations.
-        not_l = (~L).astype(np.uint8)
-        inc_u8 = inc.astype(np.uint8)
-        violations = np.einsum("nf,ckf->nck", not_l, inc_u8)
-        out = (violations == 0).astype(np.uint8)
-        if empty_output == 0:
-            nonempty = inc.any(axis=2)  # (C, K)
-            out &= nonempty[np.newaxis, :, :].astype(np.uint8)
-        return out
+        return self.backend.batch_outputs(L, empty_output=empty_output)
 
     def class_sums(self, X, empty_output=0):
         """Polarity-weighted vote totals: ``(samples, classes)`` int array."""
@@ -166,41 +168,50 @@ class TsetlinMachine:
     # ------------------------------------------------------------------
     # Training
     # ------------------------------------------------------------------
-    def _update_one(self, literals, target):
-        """Single-datapoint update: target class + one sampled rival."""
-        inc = self.team.actions()
+    def _update_one(self, literals, target, lit_index=None):
+        """Single-datapoint update: target class + one sampled rival.
+
+        The backend supplies clause evaluation and feedback application;
+        this method fixes the orchestration (and thus the RNG draw order),
+        which is identical across backends.  Both banks of one update are
+        evaluated against the pre-update include matrix (the rival bank is
+        untouched by the target's feedback, so live-cache backends agree
+        with the reference snapshot).
+        """
+        be = self.backend
+        be.begin_update()
         T = self.T
 
         # --- target class -------------------------------------------------
-        out_t = clause_outputs(inc[target], literals, empty_output=1)
+        out_t = be.bank_outputs(target, literals, lit_index)
         vote_t = int(np.dot(out_t.astype(np.int32), self.polarity))
         vote_t = max(-T, min(T, vote_t))
         p_t = (T - vote_t) / (2.0 * T)
         sel = self.rng.bernoulli(p_t, (self.n_clauses,))
         pos = self.polarity > 0
-        type_i_feedback(
-            self.team, target, sel & pos, out_t, literals, self.s, self.rng,
+        be.apply_type_i(
+            target, sel & pos, out_t, literals, self.s, self.rng,
             boost_true_positive=self.boost_true_positive,
         )
-        type_ii_feedback(self.team, target, sel & ~pos, out_t, literals)
+        be.apply_type_ii(target, sel & ~pos, out_t, literals)
 
         # --- one rival class ----------------------------------------------
         rival = self.rng.integers(0, self.n_classes - 1)
         if rival >= target:
             rival += 1
-        out_r = clause_outputs(inc[rival], literals, empty_output=1)
+        out_r = be.bank_outputs(rival, literals, lit_index)
         vote_r = int(np.dot(out_r.astype(np.int32), self.polarity))
         vote_r = max(-T, min(T, vote_r))
         p_r = (T + vote_r) / (2.0 * T)
         sel_r = self.rng.bernoulli(p_r, (self.n_clauses,))
-        type_ii_feedback(self.team, rival, sel_r & pos, out_r, literals)
-        type_i_feedback(
-            self.team, rival, sel_r & ~pos, out_r, literals, self.s, self.rng,
+        be.apply_type_ii(rival, sel_r & pos, out_r, literals)
+        be.apply_type_i(
+            rival, sel_r & ~pos, out_r, literals, self.s, self.rng,
             boost_true_positive=self.boost_true_positive,
         )
 
     def fit(self, X, y, epochs=10, X_val=None, y_val=None, shuffle=True,
-            progress=None):
+            progress=None, track_metrics=True):
         """Train for ``epochs`` passes over ``(X, y)``.
 
         Parameters
@@ -215,6 +226,10 @@ class TsetlinMachine:
             Re-shuffle sample order every epoch.
         progress:
             Optional callable ``progress(epoch, log_entry)``.
+        track_metrics:
+            Evaluate train (and val) accuracy each epoch and record it in
+            :attr:`log`.  Disable for pure-throughput runs where the
+            per-epoch evaluation pass would dominate.
         """
         X = self._check_features(X)
         y = np.asarray(y, dtype=np.int64)
@@ -224,20 +239,28 @@ class TsetlinMachine:
             raise ValueError("labels out of range for n_classes")
         L_all = literals_from_features(X)
 
-        order = np.arange(len(X))
-        for epoch in range(epochs):
-            if shuffle:
-                perm = np.argsort(self.rng.random((len(X),)))
-                order = order[perm]
-            for idx in order:
-                self._update_one(L_all[idx], int(y[idx]))
-            train_acc = self.evaluate(X, y)
-            val_acc = None
-            if X_val is not None and y_val is not None:
-                val_acc = self.evaluate(X_val, y_val)
-            self.log.record(epoch, train_acc, self.team.include_fraction(), val_acc)
-            if progress is not None:
-                progress(epoch, self.log.last())
+        self.backend.begin_fit(L_all)
+        try:
+            order = np.arange(len(X))
+            for epoch in range(epochs):
+                if shuffle:
+                    perm = np.argsort(self.rng.random((len(X),)))
+                    order = order[perm]
+                for idx in order:
+                    self._update_one(L_all[idx], int(y[idx]), lit_index=idx)
+                if not track_metrics:
+                    continue
+                train_acc = self.evaluate(X, y)
+                val_acc = None
+                if X_val is not None and y_val is not None:
+                    val_acc = self.evaluate(X_val, y_val)
+                self.log.record(
+                    epoch, train_acc, self.team.include_fraction(), val_acc
+                )
+                if progress is not None:
+                    progress(epoch, self.log.last())
+        finally:
+            self.backend.end_fit()
         return self
 
     # ------------------------------------------------------------------

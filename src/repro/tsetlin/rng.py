@@ -13,6 +13,14 @@ All generators expose the same two methods used by the trainer:
     Uniform floats in ``[0, 1)`` with the given shape.
 ``bernoulli(p, shape)``
     Boolean array of the given shape, ``True`` with probability ``p``.
+``skip(n)``
+    Advance the stream past ``n`` draws without materializing them.  The
+    vectorized training backend uses this to stay bit-identical with the
+    reference per-sample update (which draws a full ``(clauses, literals)``
+    block) while only generating the rows that masked clauses actually
+    consume.  Generators that can jump (PCG64 via ``advance``, the
+    cyclostationary bank via its stride) do so in O(1)/O(log n); the base
+    implementation falls back to draw-and-discard.
 """
 
 from __future__ import annotations
@@ -47,12 +55,31 @@ class TMRandom:
         span = high - low
         return low + int(self.random(()) * span)
 
+    def skip(self, n):
+        """Advance the stream as if ``n`` uniforms had been drawn."""
+        n = int(n)
+        if n > 0:
+            self.random((n,))
+
 
 class NumpyRandom(TMRandom):
-    """Adapter wrapping a :class:`numpy.random.Generator`."""
+    """Adapter wrapping a :class:`numpy.random.Generator`.
+
+    ``skip`` jumps the PCG64 stream with ``advance`` — one 64-bit word per
+    float64 draw, so advancing by ``n`` lands exactly where ``random((n,))``
+    would.  One wrinkle: bounded ``integers()`` consumes 32-bit halves and
+    buffers the spare half in the generator state; ``advance()`` clears
+    that buffer while ``random()`` preserves it.  To keep skipped and
+    unskipped streams bit-identical, the first ``skip`` after an
+    ``integers`` call stashes the buffered half and the next ``integers``
+    call restores it (float draws never touch it).
+    """
 
     def __init__(self, seed=None):
         self._gen = np.random.default_rng(seed)
+        self._advance = getattr(self._gen.bit_generator, "advance", None)
+        # None = buffer state unknown (must inspect); False = known empty.
+        self._spare_uint = None if self._advance is not None else False
 
     def random(self, shape):
         return self._gen.random(shape)
@@ -61,7 +88,29 @@ class NumpyRandom(TMRandom):
         return self._gen.random(shape) < p
 
     def integers(self, low, high):
+        spare = self._spare_uint
+        if spare is not None and spare is not False:
+            bg = self._gen.bit_generator
+            state = bg.state
+            state["has_uint32"] = 1
+            state["uinteger"] = spare
+            bg.state = state
+        self._spare_uint = None
         return int(self._gen.integers(low, high))
+
+    def skip(self, n):
+        n = int(n)
+        if n <= 0:
+            return
+        if self._advance is None:  # exotic bit generator without advance()
+            self._gen.random((n,))
+            return
+        if self._spare_uint is None:
+            state = self._gen.bit_generator.state
+            self._spare_uint = (
+                state["uinteger"] if state.get("has_uint32") else False
+            )
+        self._advance(n)
 
 
 class XorShift128Plus(TMRandom):
@@ -144,6 +193,11 @@ class CyclostationaryRandom(TMRandom):
         if shape == ():
             return vals[0]
         return vals.reshape(shape)
+
+    def skip(self, n):
+        # Replay position advances by a fixed stride per draw, so a skip is
+        # a single modular multiply-accumulate.
+        self._pos = int((self._pos + self._stride * int(n)) % self._size)
 
 
 def make_rng(kind="numpy", seed=None):

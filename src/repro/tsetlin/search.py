@@ -60,7 +60,8 @@ class SearchResult:
         return frontier
 
 
-def _train_eval(ds_train, ds_val, n_clauses, T, s, epochs, seed):
+def _train_eval(ds_train, ds_val, n_clauses, T, s, epochs, seed,
+                backend="vectorized"):
     X_train, y_train = ds_train
     X_val, y_val = ds_val
     tm = TsetlinMachine(
@@ -70,6 +71,7 @@ def _train_eval(ds_train, ds_val, n_clauses, T, s, epochs, seed):
         T=T,
         s=s,
         seed=seed,
+        backend=backend,
     )
     tm.fit(X_train, y_train, epochs=epochs)
     acc = tm.evaluate(X_val, y_val)
@@ -85,14 +87,16 @@ def _train_eval(ds_train, ds_val, n_clauses, T, s, epochs, seed):
 
 def search_clause_budget(X_train, y_train, X_val, y_val, target_accuracy=None,
                          start=4, max_clauses=256, epochs=5, s=4.0, seed=0,
-                         tolerance=0.005):
+                         tolerance=0.005, backend="vectorized"):
     """Find the smallest clause budget that suffices.
 
     Doubles the budget from ``start`` until the target accuracy is met
     (or accuracy improves by less than ``tolerance`` — saturation), then
     refines between the last two budgets with one bisection step.
 
-    Returns ``(SearchResult, best_machine)``.
+    Candidates train on the ``backend`` engine (default the vectorized
+    one — results are bit-identical with the reference backend, so only
+    the wall-clock changes).  Returns ``(SearchResult, best_machine)``.
     """
     if start < 2 or start % 2:
         raise ValueError("start must be an even integer >= 2")
@@ -105,7 +109,8 @@ def search_clause_budget(X_train, y_train, X_val, y_val, target_accuracy=None,
     prev_acc = -1.0
     while budget <= max_clauses:
         T = max(2, budget // 2)
-        point, tm = _train_eval(ds_train, ds_val, budget, T, s, epochs, seed)
+        point, tm = _train_eval(ds_train, ds_val, budget, T, s, epochs, seed,
+                                backend=backend)
         evaluated.append(point)
         machines[budget] = tm
         met = target_accuracy is not None and point.accuracy >= target_accuracy
@@ -123,7 +128,8 @@ def search_clause_budget(X_train, y_train, X_val, y_val, target_accuracy=None,
         mid += mid % 2
         if lo < mid < hi:
             T = max(2, mid // 2)
-            point, tm = _train_eval(ds_train, ds_val, mid, T, s, epochs, seed)
+            point, tm = _train_eval(ds_train, ds_val, mid, T, s, epochs, seed,
+                                    backend=backend)
             evaluated.append(point)
             machines[mid] = tm
 
@@ -144,12 +150,13 @@ def search_clause_budget(X_train, y_train, X_val, y_val, target_accuracy=None,
 
 def grid_search(X_train, y_train, X_val, y_val, clause_grid=(8, 16),
                 T_grid=(8, 15), s_grid=(3.0, 5.0), epochs=4, seed=0,
-                halving=True):
+                halving=True, backend="vectorized"):
     """Grid search with optional successive halving on training epochs.
 
     With ``halving``, every configuration first trains for ``epochs // 2``
     epochs; only the top half continues to the full budget — the search
-    scheme of ref [18] scaled to laptop budgets.
+    scheme of ref [18] scaled to laptop budgets.  All candidates train on
+    the ``backend`` engine (bit-identical across backends).
     """
     ds_train = (X_train, y_train)
     ds_val = (X_val, y_val)
@@ -160,7 +167,8 @@ def grid_search(X_train, y_train, X_val, y_val, clause_grid=(8, 16),
 
     first_round = []
     for c, t, s in configs:
-        point, _ = _train_eval(ds_train, ds_val, c, t, s, stage_epochs, seed)
+        point, _ = _train_eval(ds_train, ds_val, c, t, s, stage_epochs, seed,
+                               backend=backend)
         first_round.append(point)
 
     evaluated = list(first_round)
@@ -170,7 +178,8 @@ def grid_search(X_train, y_train, X_val, y_val, clause_grid=(8, 16),
         finals = []
         for p in survivors:
             point, _ = _train_eval(
-                ds_train, ds_val, p.n_clauses, p.T, p.s, epochs, seed
+                ds_train, ds_val, p.n_clauses, p.T, p.s, epochs, seed,
+                backend=backend,
             )
             finals.append(point)
         evaluated.extend(finals)

@@ -1,0 +1,28 @@
+"""Importable shared test helpers.
+
+Lives in its own module (rather than ``conftest.py``) because both
+``tests/`` and ``benchmarks/`` ship a ``conftest.py``; when pytest adds
+both directories to ``sys.path`` the module name ``conftest`` is
+ambiguous and ``from conftest import ...`` resolves to whichever was
+imported first.  A uniquely named module sidesteps the clash.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model import TMModel
+
+
+def random_model(n_classes=3, n_clauses=8, n_features=24, density=0.12,
+                 seed=0, name="rand"):
+    """A random (untrained) include matrix — enough for structural tests."""
+    rng = np.random.default_rng(seed)
+    include = rng.random((n_classes, n_clauses, 2 * n_features)) < density
+    # Avoid contradictory literals so clause outputs are non-trivial.
+    pos = include[:, :, :n_features]
+    neg = include[:, :, n_features:]
+    both = pos & neg
+    neg &= ~both
+    include = np.concatenate([pos, neg], axis=2)
+    return TMModel(include=include, n_features=n_features, name=name)

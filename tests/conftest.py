@@ -2,26 +2,16 @@
 
 from __future__ import annotations
 
-import numpy as np
+import sys
+from pathlib import Path
+
 import pytest
 
-from repro.data import load_dataset
-from repro.model import TMModel
-from repro.tsetlin import TsetlinMachine
+sys.path.insert(0, str(Path(__file__).parent))
 
-
-def random_model(n_classes=3, n_clauses=8, n_features=24, density=0.12,
-                 seed=0, name="rand"):
-    """A random (untrained) include matrix — enough for structural tests."""
-    rng = np.random.default_rng(seed)
-    include = rng.random((n_classes, n_clauses, 2 * n_features)) < density
-    # Avoid contradictory literals so clause outputs are non-trivial.
-    pos = include[:, :, :n_features]
-    neg = include[:, :, n_features:]
-    both = pos & neg
-    neg &= ~both
-    include = np.concatenate([pos, neg], axis=2)
-    return TMModel(include=include, n_features=n_features, name=name)
+from _fixtures import random_model  # noqa: E402  (shared, importable helper)
+from repro.data import load_dataset  # noqa: E402
+from repro.tsetlin import TsetlinMachine  # noqa: E402
 
 
 @pytest.fixture(scope="session")

@@ -15,7 +15,7 @@ from repro.accelerator import (
 from repro.model import TMModel
 from repro.rtl import Netlist, bus_const, bus_input
 from repro.simulator.core import CompiledNetlist
-from conftest import random_model
+from _fixtures import random_model
 
 
 class TestController:

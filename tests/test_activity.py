@@ -12,7 +12,7 @@ from repro.synthesis import (
     measure_activity,
     power_from_activity,
 )
-from conftest import random_model
+from _fixtures import random_model
 
 
 def toggler_netlist():

@@ -12,10 +12,14 @@ class TestInit:
         team = AutomataTeam((2, 3, 8), n_states=10, rng=NumpyRandom(0))
         assert set(np.unique(team.state)) <= {10, 11}
 
-    def test_no_rng_starts_excluded(self):
+    def test_no_rng_is_deterministic_but_mixed(self):
         team = AutomataTeam((2, 2, 4), n_states=5)
-        assert (team.state == 5).all()
-        assert team.include_count() == 0
+        # Boundary init, alternating exclude/include: reproducible without
+        # an rng, but not the degenerate all-exclude state.
+        assert set(np.unique(team.state)) == {5, 6}
+        assert team.include_fraction() == pytest.approx(0.5)
+        clone = AutomataTeam((2, 2, 4), n_states=5)
+        assert np.array_equal(team.state, clone.state)
 
     def test_invalid_states(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,150 @@
+"""Backend equivalence: reference and vectorized must be bit-identical.
+
+The vectorized backend's whole contract is "same trained model, less
+time": identical RNG stream consumption, identical automaton arithmetic,
+therefore identical include matrices and predictions for a given seed.
+These tests pin that contract for all three machine variants and all RNG
+kinds, plus the serialization/staleness paths around it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.tsetlin import (
+    AutomataTeam,
+    CoalescedTsetlinMachine,
+    ConvolutionalTsetlinMachine,
+    TsetlinMachine,
+    make_rng,
+)
+from repro.tsetlin.backend import BACKENDS, ReferenceBackend, VectorizedBackend, make_backend
+
+
+def _dataset(n=60, f=32, n_classes=3, seed=0):
+    rng = np.random.default_rng(seed)
+    protos = rng.random((n_classes, f)) < 0.5
+    y = rng.integers(0, n_classes, n)
+    flip = rng.random((n, f)) < 0.08
+    X = (protos[y] ^ flip).astype(np.uint8)
+    return X, y
+
+
+class TestFlatEquivalence:
+    @pytest.mark.parametrize("rng_kind", ["numpy", "xorshift", "cyclostationary"])
+    def test_bit_identical_training(self, rng_kind):
+        X, y = _dataset()
+        machines = {}
+        for backend in ("reference", "vectorized"):
+            tm = TsetlinMachine(
+                3, 32, n_clauses=10, T=6, s=3.5,
+                rng=make_rng(rng_kind, seed=11), backend=backend,
+            )
+            tm.fit(X, y, epochs=3)
+            machines[backend] = tm
+        ref, vec = machines["reference"], machines["vectorized"]
+        assert np.array_equal(ref.team.state, vec.team.state)
+        assert np.array_equal(ref.includes(), vec.includes())
+        assert np.array_equal(ref.predict(X), vec.predict(X))
+        assert np.array_equal(ref.class_sums(X), vec.class_sums(X))
+
+    def test_boost_false_also_identical(self):
+        X, y = _dataset()
+        trained = [
+            TsetlinMachine(3, 32, n_clauses=8, T=5, s=4.0, seed=3,
+                           boost_true_positive=False, backend=b).fit(X, y, epochs=2)
+            for b in ("reference", "vectorized")
+        ]
+        assert np.array_equal(trained[0].team.state, trained[1].team.state)
+
+    def test_training_log_matches(self):
+        X, y = _dataset()
+        logs = []
+        for b in ("reference", "vectorized"):
+            tm = TsetlinMachine(3, 32, n_clauses=8, T=5, seed=2, backend=b)
+            tm.fit(X, y, epochs=2)
+            logs.append([e["train_accuracy"] for e in tm.log.epochs])
+        assert logs[0] == logs[1]
+
+
+class TestCoalescedEquivalence:
+    def test_bit_identical_training(self):
+        X, y = _dataset()
+        machines = [
+            CoalescedTsetlinMachine(3, 32, n_clauses=14, T=8, seed=21,
+                                    backend=b).fit(X, y, epochs=3)
+            for b in ("reference", "vectorized")
+        ]
+        assert np.array_equal(machines[0].team.state, machines[1].team.state)
+        assert np.array_equal(machines[0].weights, machines[1].weights)
+        assert np.array_equal(machines[0].predict(X), machines[1].predict(X))
+
+
+class TestConvolutionalEquivalence:
+    def test_bit_identical_training(self):
+        rng = np.random.default_rng(5)
+        X = (rng.random((30, 64)) < 0.5).astype(np.uint8)
+        y = rng.integers(0, 2, 30)
+        machines = [
+            ConvolutionalTsetlinMachine(2, (8, 8), patch_shape=(5, 5),
+                                        n_clauses=8, T=6, seed=13,
+                                        backend=b).fit(X, y, epochs=2)
+            for b in ("reference", "vectorized")
+        ]
+        assert np.array_equal(machines[0].team.state, machines[1].team.state)
+        assert np.array_equal(machines[0].predict(X), machines[1].predict(X))
+
+
+class TestBackendPlumbing:
+    def test_registry_and_factory(self):
+        assert set(BACKENDS) >= {"reference", "vectorized"}
+        team = AutomataTeam((2, 4, 8), n_states=9)
+        assert isinstance(make_backend("reference", team), ReferenceBackend)
+        assert isinstance(make_backend(VectorizedBackend, team), VectorizedBackend)
+        be = VectorizedBackend(team)
+        assert make_backend(be, team) is be
+        with pytest.raises(ValueError):
+            make_backend("no-such-backend", team)
+        with pytest.raises(ValueError):
+            make_backend(be, AutomataTeam((2, 4, 8), n_states=9))
+
+    def test_batch_outputs_agree_on_random_state(self):
+        team = AutomataTeam((3, 6, 16), n_states=5, rng=make_rng("numpy", 4))
+        ref = ReferenceBackend(team)
+        vec = VectorizedBackend(team)
+        L = np.random.default_rng(0).random((9, 16)) < 0.5
+        for empty in (0, 1):
+            assert np.array_equal(
+                ref.batch_outputs(L, empty_output=empty),
+                vec.batch_outputs(L, empty_output=empty),
+            )
+
+    def test_vectorized_sync_after_external_mutation(self):
+        team = AutomataTeam((2, 4, 12), n_states=7, rng=make_rng("numpy", 8))
+        vec = VectorizedBackend(team)
+        team.state[:] = 2 * team.n_states  # all include, behind the cache
+        assert not vec.includes().all()  # cache is stale by design
+        vec.sync()
+        assert vec.includes().all()
+
+
+class TestSerializationRoundTrip:
+    def test_automata_team_round_trip(self):
+        team = AutomataTeam((3, 6, 10), n_states=31, rng=make_rng("numpy", 17))
+        team.state[1, 2, 3] = 60
+        clone = AutomataTeam.from_dict(team.to_dict())
+        assert clone.n_states == team.n_states
+        assert clone.shape == team.shape
+        assert clone.state.dtype == team.state.dtype
+        assert np.array_equal(clone.state, team.state)
+
+    def test_trained_state_round_trips_through_backend(self):
+        X, y = _dataset()
+        tm = TsetlinMachine(3, 32, n_clauses=8, T=5, seed=2,
+                            backend="vectorized")
+        tm.fit(X, y, epochs=2)
+        clone = TsetlinMachine(3, 32, n_clauses=8, T=5, seed=999,
+                               backend="vectorized")
+        clone.team.state[:] = AutomataTeam.from_dict(tm.team.to_dict()).state
+        clone.backend.sync()
+        assert np.array_equal(clone.includes(), tm.includes())
+        assert np.array_equal(clone.predict(X), tm.predict(X))

@@ -7,7 +7,7 @@ from repro.accelerator import AcceleratorConfig, generate_accelerator
 from repro.flow.verify import netlists_equivalent
 from repro.rtl import Netlist
 from repro.simulator import AcceleratorSimulator, build_testbench
-from conftest import random_model
+from _fixtures import random_model
 
 
 class TestSimulatorErrors:

@@ -13,7 +13,7 @@ from repro.model.expressions import (
     model_snippet,
     shared_expression_pool,
 )
-from conftest import random_model
+from _fixtures import random_model
 
 
 class TestClauseExpression:

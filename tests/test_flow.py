@@ -11,7 +11,7 @@ from repro.flow import FlowConfig, MatadorFlow, verify_design
 from repro.flow.cli import main
 from repro.flow.deploy import deployment_report, generate_host_driver, write_bundle
 from repro.synthesis import implement_design
-from conftest import random_model
+from _fixtures import random_model
 
 
 def tiny_flow_config(**overrides):

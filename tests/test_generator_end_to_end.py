@@ -5,7 +5,7 @@ import pytest
 
 from repro.accelerator import AcceleratorConfig, generate_accelerator
 from repro.simulator import AcceleratorSimulator, build_testbench
-from conftest import random_model
+from _fixtures import random_model
 
 
 def hw_sw_match(model, config, n_vectors=24, seed=0):

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.model import TMModel
-from conftest import random_model
+from _fixtures import random_model
 
 
 class TestConstruction:

@@ -7,7 +7,7 @@ import pytest
 from repro.accelerator import AcceleratorConfig, LatencyModel, generate_accelerator
 from repro.flow import generate_notebook
 from repro.synthesis import implement_design
-from conftest import random_model
+from _fixtures import random_model
 
 
 class TestLatencyModel:

@@ -22,7 +22,7 @@ from repro.rtl import Netlist, emit_verilog, optimize, parse_verilog
 from repro.rtl.netlist import GATE_KINDS
 from repro.simulator.core import CompiledNetlist
 from repro.synthesis import map_greedy
-from conftest import random_model
+from _fixtures import random_model
 
 
 @st.composite

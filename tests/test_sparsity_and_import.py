@@ -14,7 +14,7 @@ from repro.model import (
     import_state_dump,
 )
 from repro.model.importer import ImportError_
-from conftest import random_model
+from _fixtures import random_model
 
 
 class TestSparsityReport:

@@ -17,7 +17,7 @@ from repro.synthesis import (
     map_priority_cuts,
 )
 from repro.synthesis.power import PowerModel
-from conftest import random_model
+from _fixtures import random_model
 
 
 def and_chain(n, share=True):
