@@ -1,0 +1,100 @@
+"""Serving-throughput benchmark: packed batched inference vs per-sample.
+
+Measures requests/sec of the :class:`repro.serving.InferenceEngine`
+packed path at batch sizes {1, 8, 64, 256} against the per-sample
+baseline (one generic ``model.predict(x)`` call per request — the only
+serving story before the serving subsystem existed), on an MNIST-scale
+model (10 classes, 784 features, 128 clauses/class).
+
+Two assertions pin the serving contract:
+
+* the packed batched path is **>= 5x** faster than per-sample predict at
+  batch 64 (the default ``Batcher`` size trigger);
+* a full micro-batched serving session with a
+  :class:`~repro.serving.DifferentialChecker` attached replays at least
+  one served batch through the cycle-accurate simulator with identical
+  predictions and bit-identical winning class sums.
+
+The JSON payload lands in ``benchmarks/results/serve_throughput.json``
+(uploaded as a CI artifact) so the serving perf trajectory is recorded
+across PRs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _harness import save_results
+from repro.accelerator import AcceleratorConfig, generate_accelerator
+from repro.serving import Batcher, DifferentialChecker, Registry, serve_benchmark
+from repro.tsetlin import TsetlinMachine
+
+BATCH_SIZES = (1, 8, 64, 256)
+MIN_SPEEDUP_AT_64 = 5.0
+
+N_CLASSES = 10
+N_FEATURES = 784
+N_CLAUSES = 128
+
+
+def _served_model(seed=9):
+    """A briefly trained MNIST-scale machine (structure > accuracy here)."""
+    rng = np.random.default_rng(seed)
+    protos = rng.random((N_CLASSES, N_FEATURES)) < 0.5
+    y = rng.integers(0, N_CLASSES, 80)
+    X = (protos[y] ^ (rng.random((80, N_FEATURES)) < 0.05)).astype(np.uint8)
+    tm = TsetlinMachine(N_CLASSES, N_FEATURES, n_clauses=N_CLAUSES, T=12,
+                        s=5.0, seed=seed, backend="vectorized")
+    tm.fit(X, y, epochs=2, track_metrics=False)
+    return tm.export_model("serve_bench")
+
+
+def test_serve_throughput_and_differential():
+    model = _served_model()
+    payload = serve_benchmark(model, batch_sizes=BATCH_SIZES, repeats=3)
+
+    # --- the >=5x packed-vs-per-sample contract at the default batch ----
+    speedup_64 = payload["batch_sizes"]["64"]["speedup_vs_per_sample"]
+    assert speedup_64 >= MIN_SPEEDUP_AT_64, (
+        f"packed batched inference is only {speedup_64:.2f}x the per-sample "
+        f"path at batch 64 (need >= {MIN_SPEEDUP_AT_64}x)"
+    )
+
+    # --- differential replay of actually-served batches -----------------
+    # Small model for the simulator leg (compile cost scales with gates);
+    # the check is about served-batch equality, not width.
+    small_rng = np.random.default_rng(3)
+    sX = (small_rng.random((96, 20)) < 0.5).astype(np.uint8)
+    sy = small_rng.integers(0, 3, 96)
+    small = TsetlinMachine(3, 20, n_clauses=8, T=5, seed=4,
+                           backend="vectorized")
+    small.fit(sX, sy, epochs=2, track_metrics=False)
+    smodel = small.export_model("serve_diff")
+    design = generate_accelerator(smodel, AcceleratorConfig(name="serve_diff"))
+
+    registry = Registry()
+    engine = registry.publish("serve_diff", smodel)
+    checker = DifferentialChecker(design, fraction=0.5, seed=0)
+    batcher = Batcher(engine, max_batch=16, max_delay=None,
+                      observers=[checker])
+    tickets = [batcher.submit(x) for x in sX]
+    batcher.flush()
+
+    assert all(t.done for t in tickets)
+    assert [t.result() for t in tickets] == smodel.predict(sX).tolist()
+    assert checker.batches_checked >= 1, "no served batch was replayed"
+    assert checker.clean, f"differential mismatch: {checker.mismatches}"
+
+    payload["differential"] = checker.report()
+    payload["batcher"] = batcher.stats.to_dict()
+    path = save_results("serve_throughput.json", payload)
+
+    print()
+    print(f"serve throughput (per-sample baseline "
+          f"{payload['per_sample_baseline_rps']:.0f} req/s):")
+    for b in BATCH_SIZES:
+        row = payload["batch_sizes"][str(b)]
+        print(f"  batch {b:>3d}: {row['requests_per_s']:>10.0f} req/s "
+              f"({row['speedup_vs_per_sample']:.1f}x)")
+    print(f"  differential: {checker.summary()}")
+    print(f"  results: {path}")

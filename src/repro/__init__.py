@@ -18,6 +18,13 @@ Quickstart::
 from .accelerator import AcceleratorConfig, AcceleratorDesign, generate_accelerator
 from .flow import FlowConfig, FlowResult, MatadorFlow, verify_design
 from .model import TMModel, analyze_sharing, analyze_sparsity
+from .serving import (
+    Batcher,
+    DifferentialChecker,
+    InferenceEngine,
+    Registry,
+    snapshot_engine,
+)
 from .simulator import AcceleratorSimulator
 from .synthesis import implement_design
 from .tsetlin import CoalescedTsetlinMachine, TsetlinMachine
@@ -39,5 +46,10 @@ __all__ = [
     "implement_design",
     "CoalescedTsetlinMachine",
     "TsetlinMachine",
+    "Batcher",
+    "DifferentialChecker",
+    "InferenceEngine",
+    "Registry",
+    "snapshot_engine",
     "__version__",
 ]

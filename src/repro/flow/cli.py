@@ -10,11 +10,16 @@ flow stages as subcommands:
    matador datasets
    matador table2
    matador emit --dataset mnist --clauses 20 --outdir rtl/
+   matador serve --dataset kws6 --requests 512 --max-batch 64
+   matador bench-serve --dataset mnist --batch-sizes 1,8,64,256
 
 ``run`` executes train -> analyze -> generate -> implement -> verify and
 optionally writes the deployment bundle; ``emit`` stops after RTL
-generation.  JSON flow configs (``--config flow.json``) reproduce runs
-exactly.
+generation.  ``serve`` trains (or imports) a model, publishes it to a
+serving registry and drives micro-batched request traffic through the
+packed inference engine with differential sim-vs-software checking;
+``bench-serve`` measures packed-batch vs per-sample serving throughput.
+JSON flow configs (``--config flow.json``) reproduce runs exactly.
 """
 
 from __future__ import annotations
@@ -22,6 +27,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
+
+import numpy as np
 
 from ..baselines.topologies import TABLE_II
 from ..data.loaders import DATASET_REGISTRY
@@ -46,6 +54,38 @@ def build_parser():
     emit = sub.add_parser("emit", help="generate RTL only")
     _add_flow_args(emit)
     emit.add_argument("--outdir", required=True, help="directory for RTL artifacts")
+
+    serve = sub.add_parser(
+        "serve", help="serve micro-batched inference with differential checking"
+    )
+    _add_flow_args(serve)
+    serve.add_argument("--requests", type=int, default=256,
+                       help="number of single-sample requests to drive")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="micro-batch size trigger")
+    serve.add_argument("--max-delay-us", type=float, default=2000.0,
+                       help="micro-batch deadline in microseconds")
+    serve.add_argument("--check-fraction", type=float, default=0.1,
+                       help="fraction of served batches replayed through "
+                            "the cycle-accurate simulator")
+    serve.add_argument("--no-check", action="store_true",
+                       help="skip accelerator generation and differential "
+                            "checking")
+    serve.add_argument("--json", action="store_true",
+                       help="print machine-readable serving stats")
+
+    bench = sub.add_parser(
+        "bench-serve", help="measure packed vs per-sample serving throughput"
+    )
+    _add_flow_args(bench)
+    bench.add_argument("--batch-sizes", default="1,8,64,256",
+                       help="comma-separated batch widths to measure")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timed repetitions per point (best-of)")
+    bench.add_argument("--json", action="store_true",
+                       help="print the benchmark payload as JSON")
+    bench.add_argument("--save", default=None,
+                       help="also write the JSON payload to this path")
 
     sub.add_parser("datasets", help="list available datasets")
     sub.add_parser("table2", help="print the Table II model configurations")
@@ -131,6 +171,98 @@ def _cmd_emit(args, out):
     return 0
 
 
+def _cmd_serve(args, out):
+    from ..serving import Batcher, DifferentialChecker, Registry
+
+    if args.requests < 1:
+        print("serve: --requests must be >= 1", file=out)
+        return 2
+    config = _config_from_args(args)
+    flow = MatadorFlow(
+        config,
+        progress=lambda stage, sec: print(f"  [{stage}] {sec:.2f}s", file=out),
+    )
+    ds = flow.load_data()
+    model = flow.train()
+
+    registry = Registry()
+    engine = registry.publish(config.name, model)
+    checker = None
+    if not args.no_check:
+        design = flow.generate()
+        # Record mismatches instead of raising so the session finishes,
+        # reports, and exits 1 — the CLI's divergence contract.
+        checker = DifferentialChecker(
+            design, fraction=args.check_fraction, seed=config.train_seed,
+            raise_on_mismatch=False,
+        )
+    batcher = Batcher(
+        engine,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay_us * 1e-6,
+        observers=[checker] if checker is not None else (),
+    )
+
+    # Drive request traffic: test-set samples, one request at a time.
+    n = args.requests
+    X = ds.X_test[np.arange(n) % len(ds.X_test)]
+    y = ds.y_test[np.arange(n) % len(ds.y_test)]
+    t0 = time.perf_counter()
+    tickets = [batcher.submit(x) for x in X]
+    batcher.flush()
+    elapsed = time.perf_counter() - t0
+    correct = sum(t.result() == int(lbl) for t, lbl in zip(tickets, y))
+
+    stats = {
+        "model": f"{engine.name}:v{engine.version}",
+        "requests": n,
+        "elapsed_s": round(elapsed, 4),
+        "requests_per_s": round(n / elapsed, 1) if elapsed > 0 else None,
+        "accuracy": round(correct / n, 4),
+        "batcher": batcher.stats.to_dict(),
+        "differential": checker.report() if checker is not None else None,
+    }
+    if args.json:
+        print(json.dumps(stats, indent=1), file=out)
+    else:
+        print(
+            f"served {n} requests as {batcher.stats.n_batches} batches "
+            f"(mean size {batcher.stats.mean_batch_size:.1f}) in "
+            f"{elapsed:.3f}s = {stats['requests_per_s']:.0f} req/s, "
+            f"accuracy {stats['accuracy']:.4f}",
+            file=out,
+        )
+        if checker is not None:
+            print(checker.summary(), file=out)
+    if checker is not None and not checker.clean:
+        return 1
+    return 0
+
+
+def _cmd_bench_serve(args, out):
+    from ..serving import format_benchmark, serve_benchmark
+
+    config = _config_from_args(args)
+    flow = MatadorFlow(
+        config,
+        progress=lambda stage, sec: print(f"  [{stage}] {sec:.2f}s", file=out),
+    )
+    flow.load_data()
+    model = flow.train()
+    batch_sizes = tuple(int(b) for b in args.batch_sizes.split(","))
+    payload = serve_benchmark(model, batch_sizes=batch_sizes,
+                              repeats=args.repeats, seed=config.train_seed)
+    if args.json:
+        print(json.dumps(payload, indent=1), file=out)
+    else:
+        print(format_benchmark(payload), file=out)
+    if args.save:
+        with open(args.save, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=1)
+        print(f"saved: {args.save}", file=out)
+    return 0
+
+
 def _cmd_datasets(out):
     for name in sorted(DATASET_REGISTRY):
         print(name, file=out)
@@ -157,6 +289,10 @@ def main(argv=None, out=None):
         return _cmd_run(args, out)
     if args.command == "emit":
         return _cmd_emit(args, out)
+    if args.command == "serve":
+        return _cmd_serve(args, out)
+    if args.command == "bench-serve":
+        return _cmd_bench_serve(args, out)
     if args.command == "datasets":
         return _cmd_datasets(out)
     if args.command == "table2":

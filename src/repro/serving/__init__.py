@@ -1,0 +1,45 @@
+"""Batched inference serving for trained Tsetlin models.
+
+The serving counterpart of the pluggable training engine
+(:mod:`repro.tsetlin.backend`): pack a model snapshot once, answer
+requests with bit-packed kernels, coalesce single-sample traffic into
+micro-batches, version snapshots so training can continue behind a live
+registry, and continuously cross-check served batches against the
+cycle-accurate simulator of the generated accelerator.
+
+Layer map::
+
+    InferenceEngine       packed-literal batched inference on one frozen
+                          model snapshot (flat / coalesced / conv)
+    Batcher               size+deadline micro-batching scheduler with
+                          per-batch observers
+    Registry              named, versioned snapshot store (publish ->
+                          serve while training continues)
+    DifferentialChecker   batcher observer replaying sampled served
+                          batches through repro.simulator.design_sim,
+                          asserting prediction + winner-class-sum
+                          equality with the silicon
+    serve_benchmark       packed-vs-per-sample throughput measurement
+                          (CLI `bench-serve`, benchmarks suite)
+"""
+
+from .batcher import Batcher, BatcherStats, Ticket
+from .differential import DifferentialChecker, DifferentialMismatch
+from .engine import ConvolutionalInferenceEngine, InferenceEngine, snapshot_engine
+from .registry import ModelNotFound, Registry
+from .bench import format_benchmark, serve_benchmark
+
+__all__ = [
+    "Batcher",
+    "BatcherStats",
+    "Ticket",
+    "DifferentialChecker",
+    "DifferentialMismatch",
+    "ConvolutionalInferenceEngine",
+    "InferenceEngine",
+    "snapshot_engine",
+    "ModelNotFound",
+    "Registry",
+    "format_benchmark",
+    "serve_benchmark",
+]

@@ -1,0 +1,179 @@
+"""Micro-batching scheduler: coalesce single requests into packed batches.
+
+The packed engine's cost per sample collapses with batch size (one packed
+include matrix amortized over the whole batch), so a serving front-end
+should never evaluate requests one at a time.  :class:`Batcher` queues
+single-sample requests and flushes them through one
+:meth:`~repro.serving.engine.InferenceEngine.predict_with_sums` call when
+either
+
+* the queue reaches ``max_batch`` (size trigger), or
+* the oldest queued request has waited ``max_delay`` seconds (deadline
+  trigger, checked on every submit), or
+* a caller forces it (:meth:`flush`, or :meth:`Ticket.result` on a
+  pending ticket — a blocking read never waits on future traffic).
+
+The scheduler is deliberately synchronous and single-threaded: flush
+points are deterministic functions of the submit sequence and the
+injected ``clock``, which is what lets the tests (and the differential
+checker) replay served batches exactly.  Observers registered on the
+batcher see every flushed batch ``(X, class_sums, predictions)`` — the
+hook the :class:`~repro.serving.differential.DifferentialChecker` uses.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+__all__ = ["Batcher", "Ticket", "BatcherStats"]
+
+
+class Ticket:
+    """Handle for one submitted request."""
+
+    __slots__ = ("_batcher", "done", "prediction", "class_sums", "batch_id")
+
+    def __init__(self, batcher):
+        self._batcher = batcher
+        self.done = False
+        self.prediction = None
+        self.class_sums = None
+        self.batch_id = None
+
+    def result(self):
+        """The predicted class; forces a flush if still pending."""
+        if not self.done:
+            self._batcher.flush()
+        return self.prediction
+
+
+class BatcherStats:
+    """Aggregate serving counters for one batcher."""
+
+    def __init__(self):
+        self.n_requests = 0
+        self.n_batches = 0
+        self.n_samples = 0
+        self.size_flushes = 0
+        self.deadline_flushes = 0
+        self.forced_flushes = 0
+
+    @property
+    def mean_batch_size(self):
+        return self.n_samples / self.n_batches if self.n_batches else 0.0
+
+    def to_dict(self):
+        return {
+            "requests": self.n_requests,
+            "batches": self.n_batches,
+            "samples": self.n_samples,
+            "mean_batch_size": round(self.mean_batch_size, 3),
+            "size_flushes": self.size_flushes,
+            "deadline_flushes": self.deadline_flushes,
+            "forced_flushes": self.forced_flushes,
+        }
+
+
+class Batcher:
+    """Coalesces single-sample requests into engine-sized batches.
+
+    Parameters
+    ----------
+    engine:
+        An :class:`~repro.serving.engine.InferenceEngine` (anything with
+        ``predict_with_sums`` and ``n_features``).
+    max_batch:
+        Size trigger; a full queue flushes immediately.
+    max_delay:
+        Deadline in seconds for the oldest queued request, checked on
+        every submit.  ``None`` disables the deadline (flush on size or
+        force only).
+    clock:
+        Monotonic time source; injectable for deterministic tests.
+    observers:
+        Callables invoked after every flush as ``obs(X, class_sums,
+        predictions)``.
+    """
+
+    def __init__(self, engine, max_batch=64, max_delay=0.002,
+                 clock=time.monotonic, observers=()):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_delay is not None and max_delay < 0:
+            raise ValueError("max_delay must be >= 0 (or None)")
+        self.engine = engine
+        self.max_batch = int(max_batch)
+        self.max_delay = max_delay
+        self._clock = clock
+        self.observers = list(observers)
+        self._queue = []   # (sample, ticket)
+        self._oldest = None  # clock() of the oldest queued request
+        self.stats = BatcherStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self):
+        """Number of queued, not-yet-served requests."""
+        return len(self._queue)
+
+    def add_observer(self, observer):
+        self.observers.append(observer)
+
+    def submit(self, x):
+        """Queue one sample; returns a :class:`Ticket`.
+
+        May flush synchronously (size or deadline trigger), in which case
+        the returned ticket is already ``done``.
+        """
+        x = np.asarray(x, dtype=np.uint8)
+        if x.ndim != 1:
+            raise ValueError("submit() takes a single sample; use "
+                             "predict() on the engine for batches")
+        if x.shape[0] != self.engine.n_features:
+            raise ValueError(
+                f"expected {self.engine.n_features} features, got {x.shape[0]}"
+            )
+        now = self._clock()
+        deadline_hit = (
+            self.max_delay is not None
+            and self._oldest is not None
+            and now - self._oldest >= self.max_delay
+        )
+        if deadline_hit:
+            self._flush(reason="deadline")
+        ticket = Ticket(self)
+        self._queue.append((x, ticket))
+        if self._oldest is None:
+            self._oldest = now
+        self.stats.n_requests += 1
+        if len(self._queue) >= self.max_batch:
+            self._flush(reason="size")
+        return ticket
+
+    def flush(self):
+        """Serve everything queued now; returns the number served."""
+        return self._flush(reason="forced")
+
+    # ------------------------------------------------------------------
+    def _flush(self, reason):
+        if not self._queue:
+            return 0
+        queue, self._queue = self._queue, []
+        self._oldest = None
+        X = np.stack([x for x, _ in queue])
+        predictions, sums = self.engine.predict_with_sums(X)
+        st = self.stats
+        st.n_batches += 1
+        st.n_samples += len(queue)
+        setattr(st, f"{reason}_flushes", getattr(st, f"{reason}_flushes") + 1)
+        batch_id = st.n_batches
+        for i, (_, ticket) in enumerate(queue):
+            ticket.done = True
+            ticket.prediction = int(predictions[i])
+            ticket.class_sums = sums[i]
+            ticket.batch_id = batch_id
+        for obs in self.observers:
+            obs(X, sums, predictions)
+        return len(queue)

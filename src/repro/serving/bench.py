@@ -1,0 +1,120 @@
+"""Serving throughput measurement shared by the CLI and the benchmarks.
+
+Two measurements matter for the serving engine:
+
+* **packed batched path** — ``InferenceEngine.predict`` on whole batches
+  (what the batcher flushes);
+* **per-sample baseline** — the pre-serving way: one
+  ``model.predict(x)`` call per request, paying the generic
+  ``batch_outputs`` setup every time.
+
+``serve_benchmark`` times both over a grid of batch sizes and reports
+requests/sec plus the speedup of the packed path at every size; the
+``bench-serve`` CLI command and ``benchmarks/test_serve_throughput.py``
+both consume it, so the number the CI artifact records is the number the
+CLI prints.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .engine import InferenceEngine, snapshot_engine
+
+__all__ = ["serve_benchmark", "format_benchmark"]
+
+
+def _best_rate(fn, n_requests, repeats):
+    """Requests/sec, best of ``repeats`` (least-noise estimator)."""
+    best = 0.0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        dt = time.perf_counter() - t0
+        best = max(best, n_requests / dt if dt > 0 else 0.0)
+    return best
+
+
+def serve_benchmark(model, batch_sizes=(1, 8, 64, 256), n_requests=None,
+                    repeats=3, seed=0, baseline_requests=64):
+    """Measure packed-batch vs per-sample serving throughput.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.model.TMModel` (or machine) to serve.
+    batch_sizes:
+        Batch widths to measure the packed path at.
+    n_requests:
+        Requests per timed run; defaults to enough for the largest batch.
+    repeats:
+        Timed repetitions per point (best-of).
+    baseline_requests:
+        How many single-sample ``model.predict`` calls to time for the
+        per-sample baseline.
+
+    Returns a JSON-ready dict with per-batch-size requests/sec, the
+    per-sample baseline, and ``speedup`` (packed rps / baseline rps).
+    """
+    engine = snapshot_engine(model) if not isinstance(model, InferenceEngine) \
+        else model
+    sw = model if not isinstance(model, InferenceEngine) else None
+    rng = np.random.default_rng(seed)
+    max_b = max(batch_sizes)
+    n_requests = n_requests or max(256, max_b * 4)
+    X = (rng.random((max(n_requests, max_b), engine.n_features)) < 0.5).astype(
+        np.uint8
+    )
+
+    # Per-sample baseline: one generic predict call per request.
+    target = sw if sw is not None else engine
+    Xb = X[:baseline_requests]
+
+    def per_sample():
+        for row in Xb:
+            target.predict(row)
+
+    baseline_rps = _best_rate(per_sample, len(Xb), repeats)
+
+    results = {}
+    for b in batch_sizes:
+        n_batches = max(1, n_requests // b)
+        served = n_batches * b
+
+        def packed():
+            for i in range(n_batches):
+                engine.predict(X[(i * b) % (len(X) - b + 1):][:b])
+
+        rps = _best_rate(packed, served, repeats)
+        results[int(b)] = {
+            "requests_per_s": round(rps, 1),
+            "batches": n_batches,
+            "speedup_vs_per_sample": round(rps / baseline_rps, 2)
+            if baseline_rps else None,
+        }
+
+    return {
+        "engine": repr(engine),
+        "n_features": engine.n_features,
+        "n_classes": engine.n_classes,
+        "n_clauses": engine.n_clauses,
+        "per_sample_baseline_rps": round(baseline_rps, 1),
+        "batch_sizes": {str(b): results[int(b)] for b in batch_sizes},
+    }
+
+
+def format_benchmark(payload):
+    """Plain-text table of a :func:`serve_benchmark` payload."""
+    lines = [
+        f"serving benchmark: {payload['engine']}",
+        f"per-sample baseline: {payload['per_sample_baseline_rps']:.0f} req/s",
+        f"{'batch':>6s}  {'req/s':>12s}  {'speedup':>8s}",
+    ]
+    for b, row in payload["batch_sizes"].items():
+        lines.append(
+            f"{b:>6s}  {row['requests_per_s']:>12.0f}  "
+            f"{row['speedup_vs_per_sample']:>7.1f}x"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,248 @@
+"""Packed-literal batched inference engine over frozen model snapshots.
+
+Training mutates automata in place; serving must not observe that.  An
+:class:`InferenceEngine` therefore freezes one *snapshot* of a model —
+the include matrix bit-packed once (``np.packbits``), the vote-weight
+matrix copied — and answers every subsequent request with the same
+byte-AND kernels the :class:`~repro.tsetlin.backend.VectorizedBackend`
+trains with (:mod:`repro.tsetlin.backend.packed`).  Packing per snapshot
+instead of per request is what the generic ``batch_outputs`` path cannot
+do: it re-derives the include matrix from whatever backend happens to be
+attached, every call.
+
+Three snapshot shapes cover the machine zoo:
+
+* flat machines / :class:`~repro.model.TMModel` — per-class clause banks
+  ``(C, K, 2f)`` voted by alternating polarity (or attached weights);
+* coalesced machines — one shared bank ``(1, K, 2f)`` voted by the
+  learned ``(C, K)`` weight matrix (served without replicating the pool
+  per class, unlike ``export_model``);
+* convolutional machines — per-class banks over patch literals, a clause
+  firing iff **any** patch satisfies it
+  (:class:`ConvolutionalInferenceEngine`).
+
+All three reproduce the reference software semantics bit for bit (empty
+clauses pruned, argmax ties toward the lower class index), which is what
+lets :class:`~repro.serving.differential.DifferentialChecker` replay
+served batches through the cycle-accurate simulator and demand equality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tsetlin.booleanize import literals_from_features
+from ..tsetlin.backend.packed import (
+    pack_include,
+    pack_not_literals,
+    packed_class_sums,
+    packed_clause_outputs,
+)
+from ..tsetlin.coalesced import CoalescedTsetlinMachine
+from ..tsetlin.convolutional import ConvolutionalTsetlinMachine
+from ..tsetlin.inference import argmax_lowest
+
+__all__ = ["InferenceEngine", "ConvolutionalInferenceEngine", "snapshot_engine"]
+
+
+class InferenceEngine:
+    """Batched inference over one frozen include-matrix snapshot.
+
+    Parameters
+    ----------
+    include:
+        Boolean include matrix ``(banks, clauses, 2 * n_features)`` —
+        ``banks`` is ``n_classes`` for per-class clause banks or 1 for a
+        coalesced shared pool.  Copied (the snapshot must not alias live
+        training state).
+    weights:
+        Integer vote weights ``(n_classes, clauses)``.
+    n_features:
+        Boolean input width (half the literal count).
+    name, version:
+        Snapshot identity, stamped by :class:`~repro.serving.registry.
+        Registry` on publish.
+    """
+
+    def __init__(self, include, weights, n_features, name="model", version=0):
+        include = np.array(include, dtype=bool)  # snapshot copy
+        if include.ndim != 3:
+            raise ValueError("include must be (banks, clauses, 2*features)")
+        if include.shape[2] != 2 * n_features:
+            raise ValueError(
+                f"include has {include.shape[2]} literal columns, expected "
+                f"{2 * n_features}"
+            )
+        weights = np.array(weights, dtype=np.int32)
+        if weights.ndim != 2 or weights.shape[1] != include.shape[1]:
+            raise ValueError("weights must be (classes, clauses)")
+        if include.shape[0] not in (1, weights.shape[0]):
+            raise ValueError(
+                f"{include.shape[0]} clause banks cannot vote for "
+                f"{weights.shape[0]} classes"
+            )
+        self.include = include
+        self.include.setflags(write=False)
+        self.weights = weights
+        self.weights.setflags(write=False)
+        self.n_features = int(n_features)
+        self.name = str(name)
+        self.version = int(version)
+        self._inc_packed, self._nonempty = pack_include(include)
+        # Serving counters (read by the batcher stats and the CLI).
+        self.requests_served = 0
+        self.samples_served = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_classes(self):
+        return self.weights.shape[0]
+
+    @property
+    def n_clauses(self):
+        return self.include.shape[1]
+
+    def _check_features(self, X):
+        X = np.asarray(X, dtype=np.uint8)
+        if X.ndim == 1:
+            X = X[np.newaxis, :]
+        if X.shape[1] != self.n_features:
+            raise ValueError(
+                f"expected {self.n_features} boolean features, got {X.shape[1]}"
+            )
+        return X
+
+    # ------------------------------------------------------------------
+    def class_sums(self, X):
+        """Vote totals ``(samples, classes)`` int32, empty clauses pruned."""
+        X = self._check_features(X)
+        nlp = pack_not_literals(literals_from_features(X).astype(bool))
+        sums = packed_class_sums(nlp, self._inc_packed, self._nonempty,
+                                 self.weights)
+        self.requests_served += 1
+        self.samples_served += len(X)
+        return sums
+
+    def predict(self, X):
+        """Predicted class per sample (ties toward the lower index)."""
+        return argmax_lowest(self.class_sums(X))
+
+    def predict_with_sums(self, X):
+        """``(predictions, class_sums)`` from a single packed evaluation."""
+        sums = self.class_sums(X)
+        return argmax_lowest(sums), sums
+
+    def evaluate(self, X, y):
+        return float(np.mean(self.predict(X) == np.asarray(y)))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_model(cls, model, name=None, version=0):
+        """Snapshot a :class:`~repro.model.TMModel` (flat or weighted)."""
+        return cls(
+            include=model.include,
+            weights=model.vote_weights(),
+            n_features=model.n_features,
+            name=name if name is not None else model.name,
+            version=version,
+        )
+
+    def __repr__(self):
+        return (
+            f"{type(self).__name__}(name={self.name!r}, v{self.version}, "
+            f"classes={self.n_classes}, clauses={self.n_clauses}, "
+            f"features={self.n_features}, banks={self.include.shape[0]})"
+        )
+
+
+class ConvolutionalInferenceEngine(InferenceEngine):
+    """Patch-OR inference snapshot of a convolutional machine.
+
+    Clause semantics follow the CTM: a clause fires for a sample iff any
+    ``(patch_h, patch_w)`` window's literal vector (pixels + thermometer
+    coordinates) satisfies it.  The patch geometry is copied from the
+    machine at snapshot time.
+    """
+
+    def __init__(self, include, weights, image_shape, patch_shape, coord_bits,
+                 name="ctm", version=0):
+        self.image_h, self.image_w = map(int, image_shape)
+        self.patch_h, self.patch_w = map(int, patch_shape)
+        self.rows = self.image_h - self.patch_h + 1
+        self.cols = self.image_w - self.patch_w + 1
+        self.n_patches = self.rows * self.cols
+        self._coord_bits = np.array(coord_bits, dtype=np.uint8)
+        n_patch_features = include.shape[2] // 2
+        super().__init__(include, weights, n_patch_features,
+                         name=name, version=version)
+        # The engine's request width is the flat image, not patch features.
+        self.n_features = self.image_h * self.image_w
+
+    def _patch_literals(self, X):
+        """(samples, patches, 2 * patch_features) literal tensor."""
+        X = self._check_features(X)
+        imgs = X.reshape(-1, self.image_h, self.image_w)
+        n = len(imgs)
+        windows = np.lib.stride_tricks.sliding_window_view(
+            imgs, (self.patch_h, self.patch_w), axis=(1, 2)
+        )
+        pixels = windows.reshape(n, self.n_patches, self.patch_h * self.patch_w)
+        coords = np.broadcast_to(
+            self._coord_bits[np.newaxis],
+            (n, self.n_patches, self._coord_bits.shape[1]),
+        )
+        patches = np.concatenate([pixels, coords], axis=2)
+        return np.concatenate([patches, 1 - patches], axis=2)
+
+    def class_sums(self, X):
+        lit = self._patch_literals(X)  # (n, P, 2f)
+        n, P, _ = lit.shape
+        nlp = pack_not_literals(lit.astype(bool).reshape(n * P, -1))
+        per_patch = packed_clause_outputs(nlp, self._inc_packed)  # (nP, C, K)
+        fired = per_patch.reshape(n, P, *per_patch.shape[1:]).any(axis=1)
+        fired &= self._nonempty[np.newaxis]
+        sums = np.einsum(
+            "nck,ck->nc", fired.astype(np.int32), self.weights
+        )
+        self.requests_served += 1
+        self.samples_served += n
+        return sums
+
+    @classmethod
+    def from_machine(cls, machine, name="ctm", version=0):
+        return cls(
+            include=machine.backend.includes(),
+            weights=machine.vote_weights(),
+            image_shape=(machine.image_h, machine.image_w),
+            patch_shape=(machine.patch_h, machine.patch_w),
+            coord_bits=machine._coord_bits,
+            name=name,
+            version=version,
+        )
+
+
+def snapshot_engine(source, name=None, version=0):
+    """Snapshot any model/machine kind into the right engine.
+
+    Accepts a :class:`~repro.model.TMModel`, a flat
+    :class:`~repro.tsetlin.TsetlinMachine`, a
+    :class:`~repro.tsetlin.CoalescedTsetlinMachine` (served as a single
+    shared bank — no per-class replication), or a
+    :class:`~repro.tsetlin.ConvolutionalTsetlinMachine`.
+    """
+    if isinstance(source, ConvolutionalTsetlinMachine):
+        return ConvolutionalInferenceEngine.from_machine(
+            source, name=name or "ctm", version=version
+        )
+    if isinstance(source, CoalescedTsetlinMachine):
+        return InferenceEngine(
+            include=source.includes()[np.newaxis],
+            weights=source.vote_weights(),
+            n_features=source.n_features,
+            name=name or "cotm",
+            version=version,
+        )
+    if hasattr(source, "export_model"):  # flat machine
+        model = source.export_model(name or "tm")
+        return InferenceEngine.from_model(model, name=name, version=version)
+    return InferenceEngine.from_model(source, name=name, version=version)

@@ -1,0 +1,98 @@
+"""Versioned multi-model registry: publish snapshots, serve while training.
+
+Serving and training race on the same automata unless publication copies.
+``Registry.publish`` snapshots whatever it is given (machine or frozen
+model) into an immutable :class:`~repro.serving.engine.InferenceEngine`
+and assigns it the next version number under its name — so a training
+loop can keep calling ``fit`` on the very machine it just published and
+the served predictions stay pinned to the published snapshot until the
+next ``publish``.
+
+Version resolution: ``engine(name)`` returns the latest version,
+``engine(name, version=n)`` a specific one (old versions stay queryable
+until :meth:`retire`), which gives rollback for free.
+"""
+
+from __future__ import annotations
+
+from .engine import snapshot_engine
+
+__all__ = ["Registry", "ModelNotFound"]
+
+
+class ModelNotFound(KeyError):
+    """Unknown model name or version."""
+
+
+class Registry:
+    """Name -> version -> frozen engine store."""
+
+    def __init__(self):
+        self._models = {}  # name -> {version: engine}
+        self._next_version = {}  # name -> int
+
+    # ------------------------------------------------------------------
+    def publish(self, name, source):
+        """Snapshot ``source`` under ``name``; returns the new engine.
+
+        ``source`` may be a trained machine (flat, coalesced, or
+        convolutional) or a :class:`~repro.model.TMModel`.  The snapshot
+        copies the include matrix, so continued training of the source
+        does not affect this (or any) published version.
+        """
+        version = self._next_version.get(name, 0) + 1
+        engine = snapshot_engine(source, name=name, version=version)
+        self._models.setdefault(name, {})[version] = engine
+        self._next_version[name] = version
+        return engine
+
+    def engine(self, name, version=None):
+        """The engine for ``name`` (latest version unless pinned)."""
+        try:
+            versions = self._models[name]
+        except KeyError:
+            raise ModelNotFound(
+                f"no model named {name!r}; published: {sorted(self._models)}"
+            ) from None
+        if version is None:
+            version = max(versions)
+        try:
+            return versions[version]
+        except KeyError:
+            raise ModelNotFound(
+                f"model {name!r} has no version {version}; "
+                f"available: {sorted(versions)}"
+            ) from None
+
+    def predict(self, name, X, version=None):
+        """Convenience: route a batch through the named engine."""
+        return self.engine(name, version).predict(X)
+
+    # ------------------------------------------------------------------
+    def names(self):
+        return sorted(self._models)
+
+    def versions(self, name):
+        if name not in self._models:
+            raise ModelNotFound(f"no model named {name!r}")
+        return sorted(self._models[name])
+
+    def latest_version(self, name):
+        return max(self.versions(name))
+
+    def retire(self, name, version):
+        """Drop one published version (the last one cannot be retired)."""
+        versions = self._models.get(name, {})
+        if version not in versions:
+            raise ModelNotFound(f"model {name!r} has no version {version}")
+        if len(versions) == 1:
+            raise ValueError(
+                f"cannot retire the only remaining version of {name!r}"
+            )
+        del versions[version]
+
+    def __contains__(self, name):
+        return name in self._models
+
+    def __len__(self):
+        return len(self._models)

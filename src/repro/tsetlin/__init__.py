@@ -17,6 +17,7 @@ from .booleanize import (
 from .coalesced import CoalescedTsetlinMachine
 from .convolutional import ConvolutionalTsetlinMachine
 from .feedback import clause_outputs, type_i_feedback, type_ii_feedback
+from .inference import InferenceMixin, argmax_lowest
 from .machine import TrainingLog, TsetlinMachine
 from .search import SearchPoint, SearchResult, grid_search, search_clause_budget
 from .rng import (
@@ -43,6 +44,8 @@ __all__ = [
     "clause_outputs",
     "type_i_feedback",
     "type_ii_feedback",
+    "InferenceMixin",
+    "argmax_lowest",
     "TrainingLog",
     "TsetlinMachine",
     "CyclostationaryRandom",

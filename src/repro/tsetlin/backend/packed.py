@@ -1,0 +1,109 @@
+"""Bit-packed clause evaluation kernels shared by training and serving.
+
+A Tsetlin clause fails on a sample iff any *included* literal is 0, i.e.
+iff ``include & ~literals`` has any set bit.  Packing both operands with
+``np.packbits`` turns one clause/sample evaluation into a byte-wise AND
+over ``ceil(2f / 8)`` bytes plus an any-reduction — the same kernel the
+generated hardware's AND planes implement, which is why the packed path
+is bit-identical with the dense reference semantics.
+
+These kernels are the single implementation behind:
+
+* :meth:`VectorizedBackend.batch_outputs` (training-side inference),
+* :meth:`TMBackend.packed_predict` (the fast path every backend offers),
+* :class:`repro.serving.InferenceEngine` (the serving engine, which packs
+  the include matrix once per model snapshot and reuses it per request).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pack_include",
+    "pack_not_literals",
+    "packed_clause_outputs",
+    "packed_class_sums",
+]
+
+# Soft cap (bytes) on one chunk of the batched packed evaluation; keeps
+# the (samples, clauses, bytes) AND intermediate inside cache-friendly
+# working sets for large batches.
+BATCH_CHUNK_BYTES = 1 << 24
+
+
+def pack_include(include):
+    """Pack an include matrix along its literal axis.
+
+    Returns ``(inc_packed, nonempty)`` where ``inc_packed`` packs the
+    trailing axis with :func:`np.packbits` and ``nonempty`` is the
+    per-clause any-include mask (shape = ``include.shape[:-1]``) used to
+    prune empty clauses under the hardware convention.
+    """
+    include = np.asarray(include, dtype=bool)
+    return np.packbits(include, axis=-1), include.any(axis=-1)
+
+
+def pack_not_literals(L):
+    """Pack the *complement* of a literal matrix along its last axis.
+
+    The kernels consume ``~L`` packed: a clause is violated iff
+    ``include & ~L`` is non-zero anywhere.
+    """
+    return np.packbits(~np.asarray(L, dtype=bool), axis=-1)
+
+
+def packed_clause_outputs(nlp, inc_packed, nonempty=None,
+                          chunk_bytes=BATCH_CHUNK_BYTES):
+    """Clause outputs ``(samples, clauses...)`` from packed operands.
+
+    Parameters
+    ----------
+    nlp:
+        Packed ``~literals``, shape ``(samples, bytes)``.
+    inc_packed:
+        Packed include matrix, shape ``(clauses..., bytes)`` — any number
+        of leading clause axes (e.g. ``(C, K)`` or flat ``(C * K,)``).
+    nonempty:
+        Optional bool mask of shape ``inc_packed.shape[:-1]``; when given,
+        clauses with no includes are forced to 0 (the hardware pruning
+        convention).  When omitted, empty clauses output 1.
+
+    Returns a uint8 array of shape ``(samples, *clauses)``.
+    """
+    nlp = np.asarray(nlp, dtype=np.uint8)
+    if nlp.ndim == 1:
+        nlp = nlp[np.newaxis]
+    n = len(nlp)
+    clause_shape = inc_packed.shape[:-1]
+    nbytes = inc_packed.shape[-1]
+    flat = inc_packed.reshape(1, -1, nbytes)
+    n_rows = flat.shape[1]
+    out = np.empty((n, n_rows), dtype=bool)
+    chunk = max(1, chunk_bytes // max(1, n_rows * nbytes))
+    for a in range(0, n, chunk):
+        b = min(n, a + chunk)
+        v = np.bitwise_and(nlp[a:b, None, :], flat)
+        np.logical_not(v.any(axis=2), out=out[a:b])
+    result = out.view(np.uint8).reshape((n,) + clause_shape)
+    if nonempty is not None:
+        result = result & np.asarray(nonempty)[np.newaxis].view(np.uint8)
+    return result
+
+
+def packed_class_sums(nlp, inc_packed, nonempty, weights,
+                      chunk_bytes=BATCH_CHUNK_BYTES):
+    """Class sums ``(samples, classes)`` straight from packed operands.
+
+    ``inc_packed``/``nonempty`` carry clause axes ``(banks, clauses)``
+    where ``banks`` is either ``n_classes`` (per-class clause banks) or 1
+    (a coalesced shared pool).  ``weights`` is the ``(classes, clauses)``
+    integer vote-weight matrix; the shared-pool case broadcasts the single
+    bank against every class's weights.
+    """
+    out = packed_clause_outputs(nlp, inc_packed, nonempty,
+                                chunk_bytes=chunk_bytes).astype(np.int32)
+    weights = np.asarray(weights, dtype=np.int32)
+    if out.shape[1] == 1 and weights.shape[0] != 1:
+        return out[:, 0, :] @ weights.T
+    return np.einsum("nck,ck->nc", out, weights)

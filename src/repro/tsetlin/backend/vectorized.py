@@ -30,11 +30,9 @@ from __future__ import annotations
 import numpy as np
 
 from .base import TMBackend, literal_matrix, register_backend
+from .packed import pack_not_literals, packed_class_sums, packed_clause_outputs
 
 __all__ = ["VectorizedBackend"]
-
-# Soft cap (bytes) on one chunk of the batched packed evaluation.
-_BATCH_CHUNK_BYTES = 1 << 24
 
 
 @register_backend
@@ -113,23 +111,16 @@ class VectorizedBackend(TMBackend):
         return (~violated).view(np.uint8)
 
     def batch_outputs(self, L, empty_output=0):
-        L = literal_matrix(L)
-        n = len(L)
-        nl = np.packbits(~L, axis=1)  # (n, Fb)
-        C, K, _ = self.team.shape
-        Fb = self._inc_packed.shape[-1]
-        incp = self._inc_packed.reshape(1, C * K, Fb)
-        out = np.empty((n, C * K), dtype=bool)
-        chunk = max(1, _BATCH_CHUNK_BYTES // max(1, C * K * Fb))
-        for a in range(0, n, chunk):
-            b = min(n, a + chunk)
-            v = np.bitwise_and(nl[a:b, None, :], incp)
-            np.logical_not(v.any(axis=2), out=out[a:b])
-        result = out.view(np.uint8).reshape(n, C, K)
-        if empty_output == 0:
-            nonempty = self._inc.any(axis=2)  # (C, K)
-            result = result & nonempty[np.newaxis].view(np.uint8)
-        return result
+        nl = pack_not_literals(literal_matrix(L))  # (n, Fb)
+        nonempty = self._inc.any(axis=2) if empty_output == 0 else None
+        return packed_clause_outputs(nl, self._inc_packed, nonempty)
+
+    def packed_class_sums(self, L, weights):
+        # Reuses the incrementally maintained packed includes — no re-pack.
+        nl = pack_not_literals(literal_matrix(L))
+        return packed_class_sums(
+            nl, self._inc_packed, self._inc.any(axis=2), weights
+        )
 
     def patch_match(self, class_index, patch_literals, lit_index=None):
         nl = self._packed_not_literals(patch_literals, lit_index)  # (P, Fb)

@@ -18,12 +18,13 @@ import numpy as np
 from .automata import AutomataTeam
 from .backend import make_backend
 from .booleanize import literals_from_features
+from .inference import InferenceMixin
 from .rng import NumpyRandom
 
 __all__ = ["CoalescedTsetlinMachine"]
 
 
-class CoalescedTsetlinMachine:
+class CoalescedTsetlinMachine(InferenceMixin):
     """Coalesced multi-output Tsetlin Machine.
 
     Parameters mirror :class:`repro.tsetlin.machine.TsetlinMachine`, except
@@ -60,31 +61,21 @@ class CoalescedTsetlinMachine:
         """Shared include matrix ``(clauses, 2 * features)`` (read-only)."""
         return self.backend.includes()[0]
 
-    def _check_features(self, X):
-        X = np.asarray(X, dtype=np.uint8)
-        if X.ndim == 1:
-            X = X[np.newaxis, :]
-        if X.shape[1] != self.n_features:
-            raise ValueError(
-                f"expected {self.n_features} boolean features, got {X.shape[1]}"
-            )
-        return X
-
     def clause_outputs_batch(self, X, empty_output=0):
         """Shared pool outputs per sample: ``(samples, clauses)``."""
+        return self.clause_votes(X, empty_output=empty_output)[:, 0, :]
+
+    # InferenceMixin primitives: one shared bank voted by learned weights.
+    def clause_votes(self, X, empty_output=0):
         X = self._check_features(X)
         L = literals_from_features(X).astype(bool)
-        return self.backend.batch_outputs(L, empty_output=empty_output)[:, 0, :]
+        return self.backend.batch_outputs(L, empty_output=empty_output)
 
-    def class_sums(self, X, empty_output=0):
-        out = self.clause_outputs_batch(X, empty_output=empty_output)
-        return out.astype(np.int32) @ self.weights.T
+    def vote_weights(self):
+        return self.weights
 
-    def predict(self, X):
-        return np.argmax(self.class_sums(X), axis=1)
-
-    def evaluate(self, X, y):
-        return float(np.mean(self.predict(X) == np.asarray(y)))
+    def _flat_literals(self, X):
+        return literals_from_features(self._check_features(X)).astype(bool)
 
     # ------------------------------------------------------------------
     def _update_for_class(self, literals, cls, is_target, lit_index=None):

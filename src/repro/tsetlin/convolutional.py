@@ -26,12 +26,13 @@ import numpy as np
 
 from .automata import AutomataTeam
 from .backend import make_backend
+from .inference import InferenceMixin
 from .rng import NumpyRandom
 
 __all__ = ["ConvolutionalTsetlinMachine"]
 
 
-class ConvolutionalTsetlinMachine:
+class ConvolutionalTsetlinMachine(InferenceMixin):
     """Multiclass convolutional TM over 2-D boolean images.
 
     Parameters
@@ -95,15 +96,14 @@ class ConvolutionalTsetlinMachine:
                 coords[p, self.rows - 1 :] = (np.arange(1, self.cols) <= c)
         return coords
 
+    @property
+    def n_features(self):
+        """Flat boolean input width: ``image_h * image_w`` pixels."""
+        return self.image_h * self.image_w
+
     def _patches(self, X):
         """Extract patch feature matrices: (n, P, n_patch_features)."""
-        X = np.asarray(X, dtype=np.uint8)
-        if X.ndim == 1:
-            X = X[np.newaxis, :]
-        if X.shape[1] != self.image_h * self.image_w:
-            raise ValueError(
-                f"expected {self.image_h * self.image_w} pixels, got {X.shape[1]}"
-            )
+        X = self._check_features(X)
         imgs = X.reshape(-1, self.image_h, self.image_w)
         n = len(imgs)
         windows = np.lib.stride_tricks.sliding_window_view(
@@ -137,15 +137,11 @@ class ConvolutionalTsetlinMachine:
             out &= nonempty[np.newaxis].astype(np.uint8)
         return out
 
-    def class_sums(self, X, empty_output=0):
-        out = self.clause_outputs_batch(X, empty_output=empty_output)
-        return np.einsum("nck,k->nc", out.astype(np.int32), self.polarity)
+    # InferenceMixin primitives: per-class banks voted by polarity.
+    clause_votes = clause_outputs_batch
 
-    def predict(self, X):
-        return np.argmax(self.class_sums(X), axis=1)
-
-    def evaluate(self, X, y):
-        return float(np.mean(self.predict(X) == np.asarray(y)))
+    def vote_weights(self):
+        return np.tile(self.polarity, (self.n_classes, 1)).astype(np.int32)
 
     # ------------------------------------------------------------------
     # Training

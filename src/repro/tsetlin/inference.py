@@ -1,0 +1,103 @@
+"""Shared inference surface for every Tsetlin machine variant.
+
+The flat, coalesced, and convolutional machines all reduce inference to
+the same three steps — clause outputs, vote-weighted class sums, argmax
+with ties broken toward the lower class index (the generated argmax tree
+uses strictly-greater comparisons, so hardware and software must agree on
+this).  Before this mixin each machine re-implemented the trio; now they
+only supply two primitives:
+
+``clause_votes(X, empty_output=0)``
+    ``(samples, banks, clauses)`` uint8 clause outputs, where ``banks``
+    is ``n_classes`` for per-class clause banks or 1 for a coalesced
+    shared pool.
+
+``vote_weights()``
+    ``(classes, clauses)`` int vote weights — alternating ±1 polarity
+    for vanilla/convolutional machines, the learned weight matrix for
+    coalesced ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["InferenceMixin", "argmax_lowest"]
+
+
+def argmax_lowest(class_sums):
+    """Winning class per row, ties toward the **lower** class index.
+
+    ``np.argmax`` already returns the first maximal index; naming the
+    convention here keeps the tie-breaking contract (shared with the
+    generated argmax comparison tree) explicit and testable in one place.
+    """
+    return np.argmax(class_sums, axis=1)
+
+
+class InferenceMixin:
+    """``class_sums`` / ``predict`` / ``evaluate`` over machine primitives."""
+
+    def vote_weights(self):
+        """Integer vote weights ``(classes, clauses)``."""
+        raise NotImplementedError
+
+    def clause_votes(self, X, empty_output=0):
+        """Clause outputs ``(samples, banks, clauses)`` uint8."""
+        raise NotImplementedError
+
+    def _check_features(self, X):
+        """Validate and normalize ``X`` to ``(samples, n_features)`` uint8."""
+        X = np.asarray(X, dtype=np.uint8)
+        if X.ndim == 1:
+            X = X[np.newaxis, :]
+        if X.shape[1] != self.n_features:
+            raise ValueError(
+                f"expected {self.n_features} boolean features, got {X.shape[1]}"
+            )
+        return X
+
+    def _flat_literals(self, X):
+        """Literal matrix ``(samples, 2f)`` for the packed fast path.
+
+        ``None`` (the default) means the machine's clause semantics are
+        not a flat literal AND (convolutional patch-OR machines), so the
+        packed backend route does not apply and :meth:`packed_class_sums`
+        falls back to :meth:`class_sums`.
+        """
+        return None
+
+    def class_sums(self, X, empty_output=0):
+        """Vote totals ``(samples, classes)`` int32.
+
+        Hardware convention by default: clauses with no includes are
+        pruned (``empty_output=0``), matching the generated accelerator.
+        """
+        out = np.asarray(self.clause_votes(X, empty_output=empty_output),
+                         dtype=np.int32)
+        weights = np.asarray(self.vote_weights(), dtype=np.int32)
+        if out.shape[1] == 1 and weights.shape[0] != 1:
+            # Shared clause pool: one bank voted through per-class weights.
+            return out[:, 0, :] @ weights.T
+        return np.einsum("nck,ck->nc", out, weights)
+
+    def packed_class_sums(self, X):
+        """Class sums via the backend's bit-packed kernel (bit-identical
+        with :meth:`class_sums` under the hardware empty-clause pruning)."""
+        L = self._flat_literals(X)
+        if L is None:
+            return self.class_sums(X)
+        return self.backend.packed_class_sums(L, self.vote_weights())
+
+    def predict(self, X):
+        """Predicted class index per sample (ties toward lower index).
+
+        Routed through the packed fast path; the dense semantic
+        definition is ``argmax_lowest(self.class_sums(X))``, which the
+        packed kernels reproduce bit for bit.
+        """
+        return argmax_lowest(self.packed_class_sums(X))
+
+    def evaluate(self, X, y):
+        """Classification accuracy on ``(X, y)``."""
+        return float(np.mean(self.predict(X) == np.asarray(y)))

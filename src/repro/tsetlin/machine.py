@@ -24,6 +24,7 @@ import numpy as np
 from .automata import AutomataTeam
 from .backend import make_backend
 from .booleanize import literals_from_features
+from .inference import InferenceMixin
 from .rng import NumpyRandom
 
 __all__ = ["TsetlinMachine", "TrainingLog"]
@@ -56,7 +57,7 @@ class TrainingLog:
         return len(self.epochs)
 
 
-class TsetlinMachine:
+class TsetlinMachine(InferenceMixin):
     """Vanilla multiclass Tsetlin Machine.
 
     Parameters
@@ -126,16 +127,6 @@ class TsetlinMachine:
         """
         return self.backend.includes()
 
-    def _check_features(self, X):
-        X = np.asarray(X, dtype=np.uint8)
-        if X.ndim == 1:
-            X = X[np.newaxis, :]
-        if X.shape[1] != self.n_features:
-            raise ValueError(
-                f"expected {self.n_features} boolean features, got {X.shape[1]}"
-            )
-        return X
-
     def clause_outputs_batch(self, X, empty_output=0):
         """Clause outputs for a batch: ``(samples, classes, clauses)``.
 
@@ -146,24 +137,14 @@ class TsetlinMachine:
         L = literals_from_features(X).astype(bool)  # (n, 2f)
         return self.backend.batch_outputs(L, empty_output=empty_output)
 
-    def class_sums(self, X, empty_output=0):
-        """Polarity-weighted vote totals: ``(samples, classes)`` int array."""
-        out = self.clause_outputs_batch(X, empty_output=empty_output)
-        return np.einsum("nck,k->nc", out.astype(np.int32), self.polarity)
+    # InferenceMixin primitives: per-class clause banks voted by polarity.
+    clause_votes = clause_outputs_batch
 
-    def predict(self, X):
-        """Predicted class index per sample (argmax of class sums).
+    def vote_weights(self):
+        return np.tile(self.polarity, (self.n_classes, 1)).astype(np.int32)
 
-        Ties break toward the lower class index, matching the generated
-        argmax comparison tree (strictly-greater comparisons).
-        """
-        sums = self.class_sums(X)
-        return np.argmax(sums, axis=1)
-
-    def evaluate(self, X, y):
-        """Classification accuracy on ``(X, y)``."""
-        y = np.asarray(y)
-        return float(np.mean(self.predict(X) == y))
+    def _flat_literals(self, X):
+        return literals_from_features(self._check_features(X)).astype(bool)
 
     # ------------------------------------------------------------------
     # Training

@@ -1,0 +1,384 @@
+"""Unit tests for the serving subsystem: engine, batcher, registry, checker."""
+
+import numpy as np
+import pytest
+
+from _fixtures import random_model
+from repro.accelerator import AcceleratorConfig, generate_accelerator
+from repro.serving import (
+    Batcher,
+    ConvolutionalInferenceEngine,
+    DifferentialChecker,
+    DifferentialMismatch,
+    InferenceEngine,
+    ModelNotFound,
+    Registry,
+    format_benchmark,
+    serve_benchmark,
+    snapshot_engine,
+)
+from repro.tsetlin import (
+    CoalescedTsetlinMachine,
+    ConvolutionalTsetlinMachine,
+    TsetlinMachine,
+)
+
+
+def _data(n=40, f=16, n_classes=3, seed=0):
+    rng = np.random.default_rng(seed)
+    protos = rng.random((n_classes, f)) < 0.5
+    y = rng.integers(0, n_classes, n)
+    X = (protos[y] ^ (rng.random((n, f)) < 0.08)).astype(np.uint8)
+    return X, y
+
+
+# ----------------------------------------------------------------------
+# InferenceEngine
+# ----------------------------------------------------------------------
+class TestInferenceEngine:
+    def test_matches_model_semantics(self):
+        model = random_model(n_classes=4, n_clauses=10, n_features=24, seed=3)
+        X = (np.random.default_rng(1).random((50, 24)) < 0.5).astype(np.uint8)
+        eng = InferenceEngine.from_model(model)
+        assert np.array_equal(eng.class_sums(X), model.class_sums(X))
+        assert np.array_equal(eng.predict(X), model.predict(X))
+
+    def test_predict_with_sums_consistent(self):
+        model = random_model(seed=7)
+        X = (np.random.default_rng(2).random((9, 24)) < 0.5).astype(np.uint8)
+        eng = InferenceEngine.from_model(model)
+        preds, sums = eng.predict_with_sums(X)
+        assert np.array_equal(preds, np.argmax(sums, axis=1))
+        assert sums.shape == (9, model.n_classes)
+
+    def test_single_sample_and_counters(self):
+        model = random_model(seed=5)
+        eng = InferenceEngine.from_model(model)
+        x = np.zeros(model.n_features, dtype=np.uint8)
+        assert eng.predict(x).shape == (1,)
+        eng.predict((np.zeros((3, model.n_features), dtype=np.uint8)))
+        assert eng.requests_served == 2
+        assert eng.samples_served == 4
+
+    def test_snapshot_isolated_from_training(self):
+        X, y = _data()
+        tm = TsetlinMachine(3, 16, n_clauses=8, T=5, seed=1,
+                            backend="vectorized")
+        tm.fit(X, y, epochs=1)
+        eng = snapshot_engine(tm)
+        before = eng.predict(X).copy()
+        tm.fit(X, y, epochs=4)  # keep training the same machine
+        assert np.array_equal(eng.predict(X), before)
+        assert not np.array_equal(tm.includes(), eng.include)
+
+    def test_coalesced_served_as_shared_bank(self):
+        X, y = _data()
+        co = CoalescedTsetlinMachine(3, 16, n_clauses=12, T=5, seed=2,
+                                     backend="vectorized")
+        co.fit(X, y, epochs=2)
+        eng = snapshot_engine(co)
+        assert eng.include.shape[0] == 1  # no per-class replication
+        assert np.array_equal(eng.predict(X), co.predict(X))
+        assert np.array_equal(eng.class_sums(X), co.class_sums(X))
+        # ... and also agrees with the replicated export_model artifact.
+        model = co.export_model()
+        assert np.array_equal(eng.class_sums(X), model.class_sums(X))
+
+    def test_convolutional_engine(self):
+        rng = np.random.default_rng(4)
+        X = (rng.random((20, 36)) < 0.5).astype(np.uint8)
+        y = rng.integers(0, 2, 20)
+        ctm = ConvolutionalTsetlinMachine(2, (6, 6), patch_shape=(3, 3),
+                                          n_clauses=6, T=4, seed=3)
+        ctm.fit(X, y, epochs=1)
+        eng = snapshot_engine(ctm)
+        assert isinstance(eng, ConvolutionalInferenceEngine)
+        assert eng.n_features == 36  # flat image width, not patch features
+        assert np.array_equal(eng.class_sums(X), ctm.class_sums(X))
+        assert np.array_equal(eng.predict(X), ctm.predict(X))
+
+    def test_validation_errors(self):
+        model = random_model(seed=0)
+        eng = InferenceEngine.from_model(model)
+        with pytest.raises(ValueError, match="boolean features"):
+            eng.predict(np.zeros((2, model.n_features + 1), dtype=np.uint8))
+        with pytest.raises(ValueError, match="weights"):
+            InferenceEngine(model.include, np.zeros((3, 99)), model.n_features)
+        with pytest.raises(ValueError, match="banks"):
+            InferenceEngine(model.include[:2], np.ones((5, model.n_clauses)),
+                            model.n_features)
+
+    def test_engine_include_is_frozen(self):
+        eng = InferenceEngine.from_model(random_model(seed=1))
+        with pytest.raises(ValueError):
+            eng.include[0, 0, 0] = True
+        with pytest.raises(ValueError):
+            eng.weights[0, 0] = 7
+
+
+# ----------------------------------------------------------------------
+# Batcher
+# ----------------------------------------------------------------------
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestBatcher:
+    def _engine(self, seed=0):
+        return InferenceEngine.from_model(random_model(seed=seed))
+
+    def test_size_trigger(self):
+        eng = self._engine()
+        b = Batcher(eng, max_batch=4, max_delay=None)
+        xs = (np.random.default_rng(0).random((7, eng.n_features)) < 0.5
+              ).astype(np.uint8)
+        tickets = [b.submit(x) for x in xs]
+        assert [t.done for t in tickets] == [True] * 4 + [False] * 3
+        assert b.pending == 3
+        assert b.flush() == 3
+        assert all(t.done for t in tickets)
+        assert b.stats.size_flushes == 1
+        assert b.stats.forced_flushes == 1
+
+    def test_results_match_direct_predict(self):
+        eng = self._engine(seed=2)
+        model = random_model(seed=2)
+        X = (np.random.default_rng(1).random((10, eng.n_features)) < 0.5
+             ).astype(np.uint8)
+        b = Batcher(eng, max_batch=3, max_delay=None)
+        tickets = [b.submit(x) for x in X]
+        b.flush()
+        assert [t.result() for t in tickets] == model.predict(X).tolist()
+        expected_sums = model.class_sums(X)
+        for i, t in enumerate(tickets):
+            assert np.array_equal(t.class_sums, expected_sums[i])
+
+    def test_deadline_trigger_with_fake_clock(self):
+        eng = self._engine()
+        clock = FakeClock()
+        b = Batcher(eng, max_batch=100, max_delay=0.010, clock=clock)
+        x = np.zeros(eng.n_features, dtype=np.uint8)
+        t1 = b.submit(x)
+        clock.t = 0.005
+        t2 = b.submit(x)
+        assert not t1.done and b.pending == 2
+        clock.t = 0.011  # oldest (t1) has now waited >= 10ms
+        t3 = b.submit(x)
+        assert t1.done and t2.done  # flushed before t3 was queued
+        assert not t3.done and b.pending == 1
+        assert b.stats.deadline_flushes == 1
+
+    def test_result_forces_flush(self):
+        eng = self._engine()
+        b = Batcher(eng, max_batch=100, max_delay=None)
+        t = b.submit(np.zeros(eng.n_features, dtype=np.uint8))
+        assert not t.done
+        assert t.result() is not None
+        assert t.done and b.pending == 0
+
+    def test_observers_see_served_batches(self):
+        eng = self._engine()
+        seen = []
+        b = Batcher(eng, max_batch=2, max_delay=None,
+                    observers=[lambda X, s, p: seen.append((X, s, p))])
+        xs = (np.random.default_rng(3).random((4, eng.n_features)) < 0.5
+              ).astype(np.uint8)
+        for x in xs:
+            b.submit(x)
+        assert len(seen) == 2
+        X0, sums0, preds0 = seen[0]
+        assert X0.shape == (2, eng.n_features)
+        assert sums0.shape == (2, eng.n_classes)
+        assert np.array_equal(preds0, np.argmax(sums0, axis=1))
+
+    def test_submit_rejects_batches_and_bad_width(self):
+        eng = self._engine()
+        b = Batcher(eng)
+        with pytest.raises(ValueError, match="single sample"):
+            b.submit(np.zeros((2, eng.n_features), dtype=np.uint8))
+        with pytest.raises(ValueError, match="features"):
+            b.submit(np.zeros(eng.n_features + 1, dtype=np.uint8))
+
+    def test_flush_on_empty_queue(self):
+        b = Batcher(self._engine())
+        assert b.flush() == 0
+        assert b.stats.n_batches == 0
+
+    def test_stats_dict(self):
+        eng = self._engine()
+        b = Batcher(eng, max_batch=2, max_delay=None)
+        for _ in range(5):
+            b.submit(np.zeros(eng.n_features, dtype=np.uint8))
+        b.flush()
+        d = b.stats.to_dict()
+        assert d["requests"] == 5
+        assert d["batches"] == 3
+        assert d["samples"] == 5
+        assert d["mean_batch_size"] == pytest.approx(5 / 3, abs=1e-3)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_publish_versions_and_pinning(self):
+        X, y = _data()
+        tm = TsetlinMachine(3, 16, n_clauses=8, T=5, seed=1,
+                            backend="vectorized")
+        tm.fit(X, y, epochs=1)
+        reg = Registry()
+        e1 = reg.publish("tm", tm)
+        p1 = reg.predict("tm", X)
+        tm.fit(X, y, epochs=4)
+        e2 = reg.publish("tm", tm)
+        assert (e1.version, e2.version) == (1, 2)
+        assert reg.versions("tm") == [1, 2]
+        assert reg.latest_version("tm") == 2
+        # latest serves v2, but v1 stays pinned and unchanged
+        assert reg.engine("tm") is e2
+        assert np.array_equal(reg.predict("tm", X, version=1), p1)
+
+    def test_multi_model_and_errors(self):
+        reg = Registry()
+        reg.publish("a", random_model(seed=1, name="a"))
+        reg.publish("b", random_model(seed=2, name="b"))
+        assert reg.names() == ["a", "b"]
+        assert "a" in reg and "zzz" not in reg
+        assert len(reg) == 2
+        with pytest.raises(ModelNotFound):
+            reg.engine("zzz")
+        with pytest.raises(ModelNotFound):
+            reg.engine("a", version=9)
+        with pytest.raises(ModelNotFound):
+            reg.versions("zzz")
+
+    def test_retire(self):
+        reg = Registry()
+        model = random_model(seed=3)
+        reg.publish("m", model)
+        reg.publish("m", model)
+        reg.retire("m", 1)
+        assert reg.versions("m") == [2]
+        with pytest.raises(ValueError, match="only remaining"):
+            reg.retire("m", 2)
+        with pytest.raises(ModelNotFound):
+            reg.retire("m", 1)
+
+
+# ----------------------------------------------------------------------
+# DifferentialChecker
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def small_serving():
+    rng = np.random.default_rng(11)
+    X = (rng.random((64, 18)) < 0.5).astype(np.uint8)
+    y = rng.integers(0, 3, 64)
+    tm = TsetlinMachine(3, 18, n_clauses=6, T=4, seed=6, backend="vectorized")
+    tm.fit(X, y, epochs=2, track_metrics=False)
+    model = tm.export_model("diff")
+    design = generate_accelerator(model, AcceleratorConfig(name="diff"))
+    return model, design, X
+
+
+class TestDifferentialChecker:
+    def test_clean_serving_session(self, small_serving):
+        model, design, X = small_serving
+        checker = DifferentialChecker(design, fraction=1.0)
+        b = Batcher(InferenceEngine.from_model(model), max_batch=8,
+                    max_delay=None, observers=[checker])
+        for x in X[:24]:
+            b.submit(x)
+        b.flush()
+        assert checker.batches_seen == 3
+        assert checker.batches_checked == 3
+        assert checker.samples_checked == 24
+        assert checker.clean
+        assert "OK" in checker.summary()
+
+    def test_first_batch_always_checked(self, small_serving):
+        model, design, X = small_serving
+        checker = DifferentialChecker(design, fraction=0.0)
+        b = Batcher(InferenceEngine.from_model(model), max_batch=8,
+                    max_delay=None, observers=[checker])
+        for x in X[:24]:
+            b.submit(x)
+        b.flush()
+        assert checker.batches_seen == 3
+        assert checker.batches_checked == 1
+
+    def test_prediction_mismatch_raises(self, small_serving):
+        model, design, X = small_serving
+        checker = DifferentialChecker(design, fraction=1.0)
+        sums = model.class_sums(X[:4])
+        preds = model.predict(X[:4]).copy()
+        preds[0] = (preds[0] + 1) % model.n_classes  # corrupt one lane
+        with pytest.raises(DifferentialMismatch, match="diverged"):
+            checker(X[:4], sums, preds)
+        assert not checker.clean
+        assert checker.mismatches[0]["bad_lanes"] == [0]
+
+    def test_winner_sum_mismatch_recorded_without_raise(self, small_serving):
+        model, design, X = small_serving
+        checker = DifferentialChecker(design, fraction=1.0,
+                                      raise_on_mismatch=False)
+        sums = model.class_sums(X[:4]).copy()
+        preds = model.predict(X[:4])
+        sums[1, preds[1]] += 1  # corrupt the winning sum only
+        assert checker(X[:4], sums, preds) is False
+        rec = checker.mismatches[0]
+        assert rec["bad_lanes"] == [1]
+        assert rec["hw_predictions"] == rec["sw_predictions"]
+        assert "MISMATCH" in checker.summary()
+
+    def test_non_power_of_two_batch_padded_and_sims_bounded(self, small_serving):
+        """Odd batch widths (deadline flushes) are padded to the next power
+        of two, so the compiled-simulator cache stays bounded."""
+        model, design, X = small_serving
+        checker = DifferentialChecker(design, fraction=1.0)
+        for n in (3, 5, 6, 7):
+            assert checker(X[:n], model.class_sums(X[:n]),
+                           model.predict(X[:n])) is True
+        assert checker.samples_checked == 3 + 5 + 6 + 7
+        assert set(checker._sims) <= {4, 8}  # not one sim per width
+
+    def test_max_lanes_truncation(self, small_serving):
+        model, design, X = small_serving
+        checker = DifferentialChecker(design, fraction=1.0, max_lanes=4)
+        sums = model.class_sums(X[:10])
+        preds = model.predict(X[:10])
+        assert checker(X[:10], sums, preds) is True
+        assert checker.samples_checked == 4
+
+    def test_report_payload(self, small_serving):
+        model, design, X = small_serving
+        checker = DifferentialChecker(design, fraction=1.0)
+        checker(X[:4], model.class_sums(X[:4]), model.predict(X[:4]))
+        r = checker.report()
+        assert r == {
+            "batches_seen": 1,
+            "batches_checked": 1,
+            "samples_checked": 4,
+            "check_fraction_configured": 1.0,
+            "mismatched_batches": 0,
+            "clean": True,
+        }
+
+
+# ----------------------------------------------------------------------
+# Benchmark helper
+# ----------------------------------------------------------------------
+class TestServeBenchmark:
+    def test_payload_shape_and_formatting(self):
+        model = random_model(n_classes=3, n_clauses=6, n_features=16, seed=8)
+        payload = serve_benchmark(model, batch_sizes=(1, 4), n_requests=16,
+                                  repeats=1, baseline_requests=8)
+        assert set(payload["batch_sizes"]) == {"1", "4"}
+        for row in payload["batch_sizes"].values():
+            assert row["requests_per_s"] > 0
+        text = format_benchmark(payload)
+        assert "per-sample baseline" in text
+        assert "batch" in text

@@ -1,0 +1,142 @@
+"""Property-based differential tests for the serving engine.
+
+For hypothesis-drawn machine shapes and automaton states, the packed
+serving engine must agree exactly with the machine's own inference
+(``InferenceEngine.predict == machine.predict``) for all three machine
+kinds, and — for the hardware-supported kinds (flat and coalesced; the
+accelerator path does not cover convolutional machines, as in the paper)
+— with the cycle-accurate simulation of the generated accelerator:
+identical predictions and bit-identical winning class sums.
+
+Machine states are drawn as arbitrary automaton matrices (not trained),
+so the properties cover degenerate corners training rarely produces:
+all-empty clause banks, contradictory literals, single-clause pools.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.accelerator import AcceleratorConfig, generate_accelerator
+from repro.serving import snapshot_engine
+from repro.simulator import AcceleratorSimulator
+from repro.tsetlin import (
+    CoalescedTsetlinMachine,
+    ConvolutionalTsetlinMachine,
+    TsetlinMachine,
+)
+
+_slow = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+_fast = settings(max_examples=25, deadline=None)
+
+
+def _randomize(machine, seed):
+    """Arbitrary automaton states in [1, 2N] + resync of backend caches."""
+    rng = np.random.default_rng(seed)
+    team = machine.team
+    team.state[:] = rng.integers(1, 2 * team.n_states + 1, team.state.shape)
+    machine.backend.sync()
+    return rng
+
+
+def _inputs(rng, n, f):
+    return (rng.random((n, f)) < 0.5).astype(np.uint8)
+
+
+def _assert_sim_agrees(model, engine, X):
+    """Predictions + winning class sums: engine == compiled netlist."""
+    design = generate_accelerator(model, AcceleratorConfig(name="prop"))
+    report = AcceleratorSimulator(design, batch=len(X)).run_batch(X)
+    preds, sums = engine.predict_with_sums(X)
+    assert np.array_equal(report.predictions, preds)
+    assert np.array_equal(
+        report.class_sums_of_winner, sums[np.arange(len(X)), preds]
+    )
+
+
+# ----------------------------------------------------------------------
+@given(
+    n_classes=st.integers(2, 3),
+    n_clauses=st.sampled_from([2, 4, 6]),
+    n_features=st.integers(3, 10),
+    n_samples=st.integers(1, 6),
+    seed=st.integers(0, 2**32 - 1),
+)
+@_slow
+def test_flat_engine_machine_simulator_agree(n_classes, n_clauses, n_features,
+                                             n_samples, seed):
+    tm = TsetlinMachine(n_classes, n_features, n_clauses=n_clauses, T=4,
+                        seed=0, backend="vectorized")
+    rng = _randomize(tm, seed)
+    X = _inputs(rng, n_samples, n_features)
+    engine = snapshot_engine(tm)
+    assert np.array_equal(engine.predict(X), tm.predict(X))
+    assert np.array_equal(engine.class_sums(X), tm.class_sums(X))
+    _assert_sim_agrees(tm.export_model("prop"), engine, X)
+
+
+@given(
+    n_classes=st.integers(2, 3),
+    n_clauses=st.integers(1, 6),
+    n_features=st.integers(3, 10),
+    n_samples=st.integers(1, 6),
+    seed=st.integers(0, 2**32 - 1),
+)
+@_slow
+def test_coalesced_engine_machine_simulator_agree(n_classes, n_clauses,
+                                                  n_features, n_samples, seed):
+    co = CoalescedTsetlinMachine(n_classes, n_features, n_clauses=n_clauses,
+                                 T=4, seed=0, backend="vectorized")
+    rng = _randomize(co, seed)
+    # Arbitrary signed weights too — the served quantity is the weighted sum.
+    co.weights[:] = rng.integers(-3, 4, co.weights.shape)
+    X = _inputs(rng, n_samples, n_features)
+    engine = snapshot_engine(co)
+    assert np.array_equal(engine.predict(X), co.predict(X))
+    assert np.array_equal(engine.class_sums(X), co.class_sums(X))
+    _assert_sim_agrees(co.export_model("prop"), engine, X)
+
+
+@given(
+    n_classes=st.integers(2, 3),
+    n_clauses=st.sampled_from([2, 4]),
+    image=st.sampled_from([(4, 4), (5, 4), (6, 6)]),
+    patch=st.sampled_from([(2, 2), (3, 3)]),
+    n_samples=st.integers(1, 5),
+    seed=st.integers(0, 2**32 - 1),
+)
+@_fast
+def test_convolutional_engine_machine_agree(n_classes, n_clauses, image,
+                                            patch, n_samples, seed):
+    ctm = ConvolutionalTsetlinMachine(n_classes, image, patch_shape=patch,
+                                      n_clauses=n_clauses, T=4, seed=0,
+                                      backend="vectorized")
+    rng = _randomize(ctm, seed)
+    X = _inputs(rng, n_samples, image[0] * image[1])
+    engine = snapshot_engine(ctm)
+    assert np.array_equal(engine.class_sums(X), ctm.class_sums(X))
+    assert np.array_equal(engine.predict(X), ctm.predict(X))
+
+
+@given(
+    n_classes=st.integers(2, 4),
+    n_clauses=st.sampled_from([2, 4, 8]),
+    n_features=st.integers(3, 12),
+    n_samples=st.integers(1, 8),
+    seed=st.integers(0, 2**32 - 1),
+)
+@_fast
+def test_engine_matches_reference_backend_machine(n_classes, n_clauses,
+                                                  n_features, n_samples, seed):
+    """Snapshot equality is backend-independent (reference machine too)."""
+    tm = TsetlinMachine(n_classes, n_features, n_clauses=n_clauses, T=4,
+                        seed=0, backend="reference")
+    rng = _randomize(tm, seed)
+    X = _inputs(rng, n_samples, n_features)
+    engine = snapshot_engine(tm)
+    assert np.array_equal(engine.predict(X), tm.predict(X))
+    assert np.array_equal(engine.class_sums(X), tm.class_sums(X))
