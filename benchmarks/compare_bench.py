@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate: fresh results vs committed baselines.
+
+CI runs the benchmark suite (which writes ``benchmarks/results/*.json``)
+and then this script, which compares the fresh numbers against the JSON
+baselines committed under ``benchmarks/baselines/`` and fails the build
+when any gated metric regresses by more than ``--max-regression``
+(default 30%).
+
+Gated metrics are *ratios* (vectorized-vs-reference training speedup,
+packed-vs-per-sample serving speedup), which are stable across runner
+hardware generations; absolute rates are reported for the artifact trail
+but never gated.  Refresh the baselines after an intentional perf change
+with::
+
+    python benchmarks/compare_bench.py --update
+
+Exit codes: 0 = within budget, 1 = regression or missing data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).parent
+
+# filename -> dotted paths of gated (higher-is-better) ratio metrics.
+GATES = {
+    "train_throughput.json": (
+        "cold_speedup",
+        "steady_speedup",
+    ),
+    "serve_throughput.json": (
+        "batch_sizes.1.speedup_vs_per_sample",
+        "batch_sizes.64.speedup_vs_per_sample",
+        "batch_sizes.256.speedup_vs_per_sample",
+    ),
+}
+
+# Reported (never gated) context metrics, when present.
+REPORTED = {
+    "train_throughput.json": ("steady_vectorized_samples_per_sec",),
+    "serve_throughput.json": ("per_sample_baseline_rps",),
+}
+
+
+def lookup(payload, dotted):
+    value = payload
+    for part in dotted.split("."):
+        if not isinstance(value, dict) or part not in value:
+            return None
+        value = value[part]
+    return value
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError):
+        return None
+
+
+def update_baselines(baselines, results, out):
+    baselines.mkdir(parents=True, exist_ok=True)
+    wrote = 0
+    for filename in sorted(GATES):
+        payload = load(results / filename)
+        if payload is None:
+            print(f"update: {filename}: no fresh result, skipped", file=out)
+            continue
+        text = json.dumps(payload, indent=1, sort_keys=True) + "\n"
+        (baselines / filename).write_text(text, encoding="utf-8")
+        print(f"update: wrote {baselines / filename}", file=out)
+        wrote += 1
+    return 0 if wrote else 1
+
+
+def compare(baselines, results, max_regression, out):
+    failures = []
+    rows = []
+    for filename in sorted(GATES):
+        base = load(baselines / filename)
+        fresh = load(results / filename)
+        if base is None:
+            failures.append(f"{filename}: missing baseline (commit with --update)")
+            continue
+        if fresh is None:
+            failures.append(f"{filename}: missing fresh result (benchmarks not run?)")
+            continue
+        for metric in GATES[filename]:
+            base_value = lookup(base, metric)
+            fresh_value = lookup(fresh, metric)
+            if base_value is None:
+                failures.append(f"{filename}:{metric}: not in baseline")
+                continue
+            if fresh_value is None:
+                failures.append(f"{filename}:{metric}: not in fresh result")
+                continue
+            floor = base_value * (1.0 - max_regression)
+            ok = fresh_value >= floor
+            rows.append((filename, metric, base_value, fresh_value, floor, ok))
+            if not ok:
+                failures.append(
+                    f"{filename}:{metric}: {fresh_value:.2f} < floor {floor:.2f} "
+                    f"(baseline {base_value:.2f}, -{max_regression:.0%} budget)"
+                )
+        for metric in REPORTED.get(filename, ()):
+            value = lookup(fresh, metric)
+            if value is not None:
+                print(f"info: {filename}:{metric} = {value}", file=out)
+
+    if rows:
+        width = max(len(f"{f}:{m}") for f, m, *_ in rows)
+        header = "metric".ljust(width)
+        print(f"{header}  baseline     fresh      floor   ", file=out)
+        for filename, metric, base_value, fresh_value, floor, ok in rows:
+            status = "ok" if ok else "REGRESSION"
+            label = f"{filename}:{metric}".ljust(width)
+            print(
+                f"{label}  {base_value:8.2f}  {fresh_value:8.2f}  "
+                f"{floor:8.2f}  {status}",
+                file=out,
+            )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=out)
+    if failures:
+        return 1
+    budget = f"{max_regression:.0%}"
+    print(f"benchmark gate: {len(rows)} metrics within {budget} of baseline", file=out)
+    return 0
+
+
+def main(argv=None, out=None):
+    out = out if out is not None else sys.stdout
+    parser = argparse.ArgumentParser(
+        description="fail the build on >max-regression benchmark drops",
+    )
+    parser.add_argument(
+        "--baselines",
+        default=str(HERE / "baselines"),
+        help="directory of committed baseline JSONs",
+    )
+    parser.add_argument(
+        "--results",
+        default=str(HERE / "results"),
+        help="directory of fresh benchmark JSONs",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="allowed fractional drop per gated metric",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baselines from the fresh results",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.max_regression < 1.0:
+        print("--max-regression must be in [0, 1)", file=out)
+        return 2
+    baselines = Path(args.baselines)
+    results = Path(args.results)
+    if args.update:
+        return update_baselines(baselines, results, out)
+    return compare(baselines, results, args.max_regression, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,7 @@ silicon step itself).
 
 import math
 
-from _harness import format_table, get_matador_design, get_trained_model, save_results
+from _harness import format_table, get_trained_model, save_results
 from repro.accelerator import AcceleratorConfig, generate_accelerator
 
 

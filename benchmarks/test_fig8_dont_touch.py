@@ -11,7 +11,7 @@ preservation (no cone absorption).
 
 import numpy as np
 
-from _harness import format_table, get_trained_model, save_results, verify_equivalence
+from _harness import format_table, get_trained_model, save_results
 from repro.accelerator import AcceleratorConfig, generate_accelerator
 from repro.simulator import AcceleratorSimulator
 from repro.synthesis import implement_design

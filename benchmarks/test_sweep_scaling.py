@@ -1,0 +1,91 @@
+"""Sweep-subsystem scaling benchmark: fan-out speedup + cache identity.
+
+Two contracts of ``repro.sweep`` are measured and asserted on a 12-point
+(clauses x T) KWS6 grid:
+
+* **parallel scaling** — ``run_sweep(jobs=4)`` must finish the grid at
+  least 2x faster than ``jobs=1`` (skipped on machines with fewer than
+  4 usable cores, where a process pool cannot physically deliver 2x);
+* **resume identity** — a second run over a warm cache must complete
+  from cache alone and emit bit-identical JSON/CSV reports, and the
+  parallel run must report exactly what the serial run reported.
+
+Results land in ``benchmarks/results/sweep_scaling.json`` for the CI
+artifact trail.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import save_results
+from repro.flow import FlowConfig
+from repro.sweep import SweepSpec, available_cpus, run_sweep
+
+MIN_PARALLEL_SPEEDUP = 2.0
+PARALLEL_JOBS = 4
+
+_results = {}
+
+
+def sweep_spec():
+    base = FlowConfig(
+        dataset="kws6", n_train=280, n_test=120, s=4.0, epochs=3,
+        verify_samples=4,
+    )
+    spec = SweepSpec.from_grid(
+        base=base,
+        clauses_per_class=[8, 12, 16, 20],
+        T=[8, 12, 16],
+    )
+    assert len(spec) == 12
+    return spec
+
+
+@pytest.fixture(scope="module")
+def serial_run(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("sweep_cache")
+    result = run_sweep(sweep_spec(), jobs=1, cache_dir=cache_dir)
+    assert not result.errors, [p.error for p in result.errors]
+    _results.update({
+        "grid_points": len(result),
+        "serial_elapsed_s": round(result.elapsed_s, 3),
+        "cpus_available": available_cpus(),
+    })
+    return cache_dir, result
+
+
+def test_resume_completes_from_cache_bit_identically(serial_run):
+    cache_dir, fresh = serial_run
+    resumed = run_sweep(sweep_spec(), jobs=1, cache_dir=cache_dir)
+    assert all(point.cached for point in resumed.points)
+    assert resumed.to_json() == fresh.to_json()
+    assert resumed.to_csv() == fresh.to_csv()
+    _results.update({
+        "resume_elapsed_s": round(resumed.elapsed_s, 4),
+        "resume_speedup": round(fresh.elapsed_s / resumed.elapsed_s, 1)
+        if resumed.elapsed_s > 0 else None,
+    })
+    save_results("sweep_scaling.json", _results)
+
+
+def test_parallel_speedup_at_4_workers(serial_run):
+    if available_cpus() < PARALLEL_JOBS:
+        pytest.skip(
+            f"needs >= {PARALLEL_JOBS} usable CPUs to demonstrate "
+            f"{MIN_PARALLEL_SPEEDUP}x scaling, have {available_cpus()}"
+        )
+    _cache_dir, serial = serial_run
+    fanned = run_sweep(sweep_spec(), jobs=PARALLEL_JOBS, cache_dir=None)
+    assert not fanned.errors, [p.error for p in fanned.errors]
+    # Same work, same report — the pool changes only the wall clock.
+    assert fanned.to_json() == serial.to_json()
+
+    speedup = serial.elapsed_s / fanned.elapsed_s
+    _results.update({
+        "parallel_jobs": PARALLEL_JOBS,
+        "parallel_elapsed_s": round(fanned.elapsed_s, 3),
+        "parallel_speedup": round(speedup, 2),
+    })
+    save_results("sweep_scaling.json", _results)
+    assert speedup >= MIN_PARALLEL_SPEEDUP, _results

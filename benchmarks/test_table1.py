@@ -23,7 +23,6 @@ from _harness import (
     finn_row,
     format_table,
     get_matador_design,
-    get_matador_impl,
     matador_row,
     save_results,
     verify_equivalence,

@@ -1,100 +1,75 @@
-"""Design space exploration — what the MATADOR GUI guides users through.
+"""Design space exploration — what the MATADOR GUI guides users through,
+now powered by the ``repro.sweep`` subsystem.
 
-For an image-classification task (the CIFAR-2 vehicles-vs-animals set)
-this example sweeps the two main design knobs:
+For the CIFAR-2 vehicles-vs-animals task this example fans a grid over
+the two main design knobs:
 
 * clause budget (accuracy vs LUTs at constant throughput), and
 * channel bandwidth (throughput vs packets at constant accuracy),
 
-then prints the resulting design points so a user can pick the
-operating point for their resource/latency budget — the "best model size
-and performance for the given application" the paper derives from the
-bandwidth-driven property.
+across a process pool with an on-disk result cache, then prints the
+evaluated points with their Pareto-front membership so a user can pick
+the operating point for their resource/latency budget.  Re-running the
+script resumes from the cache and completes in milliseconds — delete
+``.matador_sweep_example`` to recompute.
 
 Run:  python examples/design_space_exploration.py
 """
 
-from repro.accelerator import AcceleratorConfig, generate_accelerator
-from repro.data import load_dataset
-from repro.synthesis import implement_design
-from repro.tsetlin import TsetlinMachine
+from repro.flow import FlowConfig
+from repro.sweep import SweepSpec, available_cpus, run_sweep
 
-
-def row_format(rows):
-    cols = list(rows[0])
-    widths = {c: max(len(str(c)), *(len(str(r[c])) for r in rows)) for c in cols}
-    lines = ["  ".join(c.ljust(widths[c]) for c in cols)]
-    lines.append("-" * len(lines[0]))
-    for r in rows:
-        lines.append("  ".join(str(r[c]).ljust(widths[c]) for c in cols))
-    return "\n".join(lines)
-
-
-def sweep_clauses(ds, budgets):
-    rows = []
-    models = {}
-    for budget in budgets:
-        tm = TsetlinMachine(ds.n_classes, ds.n_features, n_clauses=budget,
-                            T=max(6, budget // 3), s=5.0, seed=7,
-                            backend="vectorized")
-        tm.fit(ds.X_train, ds.y_train, epochs=5)
-        model = tm.export_model(f"cifar2_c{budget}")
-        models[budget] = model
-        design = generate_accelerator(model, AcceleratorConfig(name=f"c{budget}"))
-        impl = implement_design(design)
-        rows.append({
-            "clauses/class": budget,
-            "accuracy (%)": round(100 * model.evaluate(ds.X_test, ds.y_test), 1),
-            "LUTs": impl.resources.luts,
-            "regs": impl.resources.registers,
-            "fmax (MHz)": round(impl.timing.fmax_mhz, 1),
-            "II (cyc)": design.latency.initiation_interval,
-        })
-    return rows, models
-
-
-def sweep_bandwidth(model, widths):
-    rows = []
-    for width in widths:
-        design = generate_accelerator(
-            model, AcceleratorConfig(bus_width=width, name=f"bw{width}")
-        )
-        impl = implement_design(design)
-        clock = impl.clock_mhz
-        rows.append({
-            "bus (bits)": width,
-            "packets": design.n_packets,
-            "latency (us)": round(design.latency.latency_us(clock), 3),
-            "throughput (inf/s)": f"{design.latency.throughput_inf_per_s(clock):,.0f}",
-            "LUTs": impl.resources.luts,
-            "clock (MHz)": round(clock, 1),
-        })
-    return rows
+CACHE_DIR = ".matador_sweep_example"
 
 
 def main():
-    ds = load_dataset("cifar2", n_train=500, n_test=250, seed=0)
-    print(f"dataset: {ds.name} ({ds.n_features} features, "
-          f"classes: {ds.metadata['classes']})\n")
+    jobs = min(4, available_cpus())
+    base = FlowConfig(
+        dataset="cifar2", n_train=500, n_test=250, s=5.0, epochs=5,
+        train_seed=7,
+    )
 
     print("=== sweep 1: clause budget (accuracy vs area) ===")
-    clause_rows, models = sweep_clauses(ds, budgets=(10, 20, 40, 80))
-    print(row_format(clause_rows))
+    spec = SweepSpec.from_grid(
+        base=base,
+        clauses_per_class=[10, 20, 40, 80],
+        T=[12],
+    )
+    result = run_sweep(spec, jobs=jobs, cache_dir=CACHE_DIR, resume=True)
+    print(result.table(columns=(
+        "clauses_per_class", "accuracy", "luts", "latency_us",
+        "total_power_w",
+    )))
+    print(result.summary())
 
     # Pick the smallest budget within 2% of the best accuracy.
-    best = max(r["accuracy (%)"] for r in clause_rows)
-    chosen = next(r for r in clause_rows if r["accuracy (%)"] >= best - 2.0)
-    budget = chosen["clauses/class"]
+    best_acc = max(p.metric("accuracy") for p in result.ok_points)
+    chosen = min(
+        (p for p in result.ok_points
+         if p.metric("accuracy") >= best_acc - 0.02),
+        key=lambda p: p.config["clauses_per_class"],
+    )
+    budget = chosen.config["clauses_per_class"]
     print(f"\nchosen operating point: {budget} clauses/class "
-          f"({chosen['accuracy (%)']}% @ {chosen['LUTs']} LUTs)\n")
+          f"({100 * chosen.metric('accuracy'):.1f}% @ "
+          f"{chosen.metric('luts')} LUTs)\n")
 
     print("=== sweep 2: channel bandwidth (latency vs interface) ===")
-    bw_rows = sweep_bandwidth(models[budget], widths=(8, 16, 32, 64))
-    print(row_format(bw_rows))
+    spec = SweepSpec.from_grid(
+        base=base,
+        clauses_per_class=[budget],
+        T=[12],
+        bus_width=[8, 16, 32, 64],
+    )
+    result = run_sweep(spec, jobs=jobs, cache_dir=CACHE_DIR, resume=True)
+    print(result.table(columns=(
+        "bus_width", "n_packets", "latency_us", "throughput_inf_per_s",
+        "luts", "clock_mhz",
+    )))
 
-    print("\nThe II column is exactly ceil(1024 / W) packets: the "
-          "architecture is bandwidth-driven, so the channel — not the "
-          "model size — sets the throughput.")
+    print("\nThe initiation interval is exactly ceil(features / W) "
+          "packets: the architecture is bandwidth-driven, so the channel "
+          "— not the model size — sets the throughput.")
 
 
 if __name__ == "__main__":

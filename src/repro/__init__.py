@@ -26,6 +26,7 @@ from .serving import (
     snapshot_engine,
 )
 from .simulator import AcceleratorSimulator
+from .sweep import SweepResult, SweepSpec, run_sweep
 from .synthesis import implement_design
 from .tsetlin import CoalescedTsetlinMachine, TsetlinMachine
 
@@ -51,5 +52,8 @@ __all__ = [
     "InferenceEngine",
     "Registry",
     "snapshot_engine",
+    "SweepResult",
+    "SweepSpec",
+    "run_sweep",
     "__version__",
 ]

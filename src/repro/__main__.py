@@ -1,0 +1,8 @@
+"""``python -m repro`` — the MATADOR CLI under its package name."""
+
+import sys
+
+from .flow.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

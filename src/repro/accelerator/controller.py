@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from ..rtl.arith import Bus, bus_const, bus_dff, equals_const, mux_bus, ripple_add
+from ..rtl.arith import Bus, bus_const, equals_const, mux_bus, ripple_add
 
 __all__ = ["ControllerSignals", "build_controller"]
 

@@ -20,7 +20,7 @@ last packet, before any overwrite by the next datapoint can occur.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .factor import factor_cubes
 

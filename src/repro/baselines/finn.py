@@ -27,7 +27,7 @@ sparse MATADOR logic; see :mod:`repro.synthesis.power` for calibration.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..synthesis.power import PowerModel, estimate_power
 from ..synthesis.resources import ResourceReport

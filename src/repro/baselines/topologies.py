@@ -8,7 +8,7 @@ docs can never drift apart.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["FinnTopology", "MatadorConfigSpec", "TABLE_II", "finn_topology", "matador_spec"]
 

@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 
 from .datasets import (
-    Dataset,
     make_cifar2_like,
     make_fmnist_like,
     make_kmnist_like,

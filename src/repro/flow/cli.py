@@ -12,6 +12,8 @@ flow stages as subcommands:
    matador emit --dataset mnist --clauses 20 --outdir rtl/
    matador serve --dataset kws6 --requests 512 --max-batch 64
    matador bench-serve --dataset mnist --batch-sizes 1,8,64,256
+   matador sweep --dataset kws6 --clauses 8,16,24 --T 10,20 --jobs 4 \\
+       --resume --report pareto.json
 
 ``run`` executes train -> analyze -> generate -> implement -> verify and
 optionally writes the deployment bundle; ``emit`` stops after RTL
@@ -19,7 +21,11 @@ generation.  ``serve`` trains (or imports) a model, publishes it to a
 serving registry and drives micro-batched request traffic through the
 packed inference engine with differential sim-vs-software checking;
 ``bench-serve`` measures packed-batch vs per-sample serving throughput.
-JSON flow configs (``--config flow.json``) reproduce runs exactly.
+``sweep`` fans a design-space grid across a process pool with a
+content-addressed result cache (``--resume`` recovers crashed or repeated
+sweeps instantly) and emits Pareto-annotated JSON/CSV reports.  JSON flow
+configs (``--config flow.json``) reproduce runs exactly; the same CLI is
+installed as both ``matador`` and ``repro`` (``python -m repro``).
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ import argparse
 import json
 import sys
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -87,6 +94,12 @@ def build_parser():
     bench.add_argument("--save", default=None,
                        help="also write the JSON payload to this path")
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="parallel design-space exploration with a resumable cache",
+    )
+    _add_sweep_args(sweep)
+
     sub.add_parser("datasets", help="list available datasets")
     sub.add_parser("table2", help="print the Table II model configurations")
     return parser
@@ -110,9 +123,57 @@ def _add_flow_args(cmd):
                      choices=("reference", "vectorized"),
                      help="training engine (results are bit-identical; "
                           "vectorized is much faster)")
+    cmd.add_argument("--model-family", default="flat", dest="model_family",
+                     choices=("flat", "coalesced", "convolutional"),
+                     help="TM family to train (convolutional is "
+                          "software/serving-only: hardware stages render n/a)")
     cmd.add_argument("--import-model", default=None, dest="model_path",
                      help="import a trained model instead of training")
     cmd.add_argument("--name", default="matador_accel")
+
+
+def _add_sweep_args(cmd):
+    """Sweep flags: every grid axis takes a comma-separated value list."""
+    cmd.add_argument("--spec", default=None,
+                     help="JSON sweep spec ({'base':..., 'grid':...} or "
+                          "{'points': [...]}); grid flags are ignored")
+    cmd.add_argument("--dataset", default="kws6",
+                     help="comma-separated dataset axis")
+    cmd.add_argument("--clauses", default="8,16",
+                     help="comma-separated clauses-per-class axis")
+    cmd.add_argument("--T", default="10", help="comma-separated T axis")
+    cmd.add_argument("--s", default="5.0", help="comma-separated s axis")
+    cmd.add_argument("--bus-width", default="64",
+                     help="comma-separated AXI bus-width axis")
+    cmd.add_argument("--model-family", default="flat", dest="model_family",
+                     help="comma-separated family axis "
+                          "(flat,coalesced,convolutional)")
+    cmd.add_argument("--backend", default="vectorized",
+                     help="comma-separated training-backend axis")
+    cmd.add_argument("--clock", default=None,
+                     help="comma-separated clock-target axis in MHz "
+                          "(default: max passing per design)")
+    cmd.add_argument("--epochs", type=int, default=4)
+    cmd.add_argument("--train", type=int, default=300, dest="n_train")
+    cmd.add_argument("--test", type=int, default=150, dest="n_test")
+    cmd.add_argument("--seed", type=int, default=42)
+    cmd.add_argument("--verify", action="store_true",
+                     help="run auto-debug verification for every point")
+    cmd.add_argument("--jobs", type=int, default=1,
+                     help="process-pool width (1 = inline)")
+    cmd.add_argument("--cache-dir", default=".matador_sweep",
+                     help="content-addressed result cache root")
+    cmd.add_argument("--no-cache", action="store_true",
+                     help="disable the result cache entirely")
+    cmd.add_argument("--resume", action="store_true",
+                     help="reuse cached points (re-runs and crashed sweeps "
+                          "complete instantly)")
+    cmd.add_argument("--report", default=None,
+                     help="write the Pareto JSON report here")
+    cmd.add_argument("--csv", default=None,
+                     help="write the flat per-point CSV here")
+    cmd.add_argument("--json", action="store_true",
+                     help="print the JSON report to stdout")
 
 
 def _config_from_args(args):
@@ -129,6 +190,7 @@ def _config_from_args(args):
         epochs=args.epochs,
         train_seed=args.seed,
         backend=args.backend,
+        model_family=args.model_family,
         bus_width=args.bus_width,
         pipeline_class_sum=not args.no_pipeline,
         pipeline_argmax=not args.no_pipeline,
@@ -147,8 +209,15 @@ def _cmd_run(args, out):
     )
     result = flow.run(verify=not args.no_verify)
     if args.outdir:
-        files = flow.deploy(args.outdir)
-        print(f"deployment bundle: {len(files)} files in {args.outdir}", file=out)
+        if result.model is None:
+            # Families without a hardware translation (convolutional)
+            # have nothing to bundle.
+            print(f"run: model family {config.model_family!r} has no "
+                  "deployment bundle; --outdir ignored", file=out)
+        else:
+            files = flow.deploy(args.outdir)
+            print(f"deployment bundle: {len(files)} files in {args.outdir}",
+                  file=out)
     if args.json:
         print(json.dumps(result.table_row(), indent=1), file=out)
     else:
@@ -160,6 +229,10 @@ def _cmd_run(args, out):
 
 def _cmd_emit(args, out):
     config = _config_from_args(args)
+    if config.model_family == "convolutional":
+        print("emit: the convolutional family has no RTL translation yet",
+              file=out)
+        return 2
     flow = MatadorFlow(config)
     flow.load_data()
     flow.train()
@@ -188,6 +261,11 @@ def _cmd_serve(args, out):
     registry = Registry()
     engine = registry.publish(config.name, model)
     checker = None
+    if not args.no_check and flow.result.model is None:
+        # No generated design to differentially check against.
+        print(f"serve: model family {config.model_family!r} has no "
+              "accelerator design; differential checking disabled", file=out)
+        args.no_check = True
     if not args.no_check:
         design = flow.generate()
         # Record mismatches instead of raising so the session finishes,
@@ -263,6 +341,70 @@ def _cmd_bench_serve(args, out):
     return 0
 
 
+def _split_axis(text, convert=str):
+    return [convert(part) for part in str(text).split(",") if part != ""]
+
+
+def _cmd_sweep(args, out):
+    from ..sweep import SweepSpec, run_sweep
+
+    if args.jobs < 1:
+        print("sweep: --jobs must be >= 1", file=out)
+        return 2
+    if args.spec:
+        spec = SweepSpec.from_file(args.spec)
+    else:
+        base = FlowConfig(
+            n_train=args.n_train,
+            n_test=args.n_test,
+            epochs=args.epochs,
+            train_seed=args.seed,
+        )
+        axes = {
+            "dataset": _split_axis(args.dataset),
+            "clauses_per_class": _split_axis(args.clauses, int),
+            "T": _split_axis(args.T, int),
+            "s": _split_axis(args.s, float),
+            "bus_width": _split_axis(args.bus_width, int),
+            "model_family": _split_axis(args.model_family),
+            "backend": _split_axis(args.backend),
+        }
+        if args.clock:
+            axes["clock_mhz"] = _split_axis(args.clock, float)
+        spec = SweepSpec.from_grid(base=base, **axes)
+
+    cache_dir = None if args.no_cache else args.cache_dir
+    result = run_sweep(
+        spec,
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        resume=args.resume,
+        verify=args.verify,
+    )
+
+    if args.json:
+        # Stdout is the machine-readable report alone; per-point errors
+        # are inside it (points[].error).
+        print(result.to_json(), file=out)
+    else:
+        print(result.table(), file=out)
+        print(result.summary(), file=out)
+        for point in result.errors:
+            print(f"ERROR {point.key[:12]} {point.config.get('dataset')}: "
+                  f"{point.error}", file=out)
+    if args.report:
+        report_path = Path(args.report)
+        report_path.parent.mkdir(parents=True, exist_ok=True)
+        report_path.write_text(result.to_json(), encoding="utf-8")
+        print(f"report: {args.report}", file=out)
+    if args.csv:
+        csv_path = Path(args.csv)
+        csv_path.parent.mkdir(parents=True, exist_ok=True)
+        csv_path.write_text(result.to_csv(), encoding="utf-8")
+        print(f"csv: {args.csv}", file=out)
+    return 1 if result.errors else 0
+
+
 def _cmd_datasets(out):
     for name in sorted(DATASET_REGISTRY):
         print(name, file=out)
@@ -293,6 +435,8 @@ def main(argv=None, out=None):
         return _cmd_serve(args, out)
     if args.command == "bench-serve":
         return _cmd_bench_serve(args, out)
+    if args.command == "sweep":
+        return _cmd_sweep(args, out)
     if args.command == "datasets":
         return _cmd_datasets(out)
     if args.command == "table2":

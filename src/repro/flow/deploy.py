@@ -132,12 +132,26 @@ def deployment_report(design, implementation, verification=None, accuracy=None):
 
 
 def write_bundle(outdir, design, implementation, model, verification=None,
-                 accuracy=None, example_inputs=None):
-    """Write the full deployment bundle; returns the list of files written."""
+                 accuracy=None, example_inputs=None, config=None):
+    """Write the full deployment bundle; returns the list of files written.
+
+    When ``config`` (a :class:`~repro.flow.flow.FlowConfig`) is given, it
+    is preserved as ``flow_config.json`` so the exact run that produced
+    the bundle can be reproduced via ``FlowConfig.from_dict`` — the
+    round-trip contract pinned by ``tests/test_deploy_roundtrip.py``.
+    """
     outdir = Path(outdir)
     outdir.mkdir(parents=True, exist_ok=True)
     name = design.netlist.name
     written = []
+
+    if config is not None:
+        config_path = outdir / "flow_config.json"
+        config_path.write_text(
+            json.dumps(config.to_dict(), indent=1, sort_keys=True),
+            encoding="utf-8",
+        )
+        written.append(config_path)
 
     rtl_path = outdir / f"{name}.v"
     rtl_path.write_text(emit_verilog(design.netlist), encoding="utf-8")

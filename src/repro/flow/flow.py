@@ -21,7 +21,11 @@ from ..accelerator.generator import generate_accelerator
 from ..data.loaders import load_dataset
 from ..model.importer import import_model
 from ..model.sparsity import analyze_sharing, analyze_sparsity
+from ..synthesis.power import PowerReport
 from ..synthesis.report import implement_design
+from ..synthesis.resources import ResourceReport
+from ..tsetlin.coalesced import CoalescedTsetlinMachine
+from ..tsetlin.convolutional import ConvolutionalTsetlinMachine
 from ..tsetlin.machine import TsetlinMachine
 from .deploy import write_bundle
 from .verify import verify_design
@@ -43,6 +47,7 @@ class FlowConfig:
     epochs: int = 8
     train_seed: int = 42
     backend: str = "vectorized"  # training engine; bit-identical across backends
+    model_family: str = "flat"  # flat | coalesced | convolutional
     bus_width: int = 64
     pipeline_class_sum: bool = True
     pipeline_argmax: bool = True
@@ -93,29 +98,54 @@ class FlowResult:
     verification: object = None
     stage_seconds: dict = field(default_factory=dict)
 
+    # Rendered for any stage that did not run, instead of omitting the
+    # field — downstream tabulators rely on a stable column set.
+    NA = "n/a"
+
+    # Column order follows ImplementationResult.table_row (Table I).
+    _IMPL_COLUMNS = (
+        *ResourceReport.COLUMNS, *PowerReport.COLUMNS, "Clock (MHz)",
+    )
+
     def table_row(self):
-        """One Table-I-style row for this design."""
-        row = dict(self.implementation.table_row())
-        clock = self.implementation.clock_mhz
-        lat = self.design.latency
-        row["Test Acc (%)"] = round(100.0 * self.accuracy, 2) if self.accuracy is not None else None
-        row["Latency (us)"] = round(lat.latency_us(clock), 3)
-        row["Throughput (inf/s)"] = int(lat.throughput_inf_per_s(clock))
+        """One Table-I-style row; skipped stages render as ``n/a``."""
+        if self.implementation is not None:
+            row = dict(self.implementation.table_row())
+        else:
+            row = {column: self.NA for column in self._IMPL_COLUMNS}
+        row["Test Acc (%)"] = (
+            round(100.0 * self.accuracy, 2)
+            if self.accuracy is not None else self.NA
+        )
+        if self.design is not None and self.implementation is not None:
+            clock = self.implementation.clock_mhz
+            lat = self.design.latency
+            row["Latency (us)"] = round(lat.latency_us(clock), 3)
+            row["Throughput (inf/s)"] = int(lat.throughput_inf_per_s(clock))
+        else:
+            row["Latency (us)"] = self.NA
+            row["Throughput (inf/s)"] = self.NA
+        if self.verification is None:
+            row["Verified"] = self.NA
+        else:
+            row["Verified"] = "pass" if self.verification.passed else "FAIL"
         return row
 
     def summary(self):
-        lines = [f"flow: {self.config.dataset} -> {self.config.name}"]
-        if self.accuracy is not None:
-            lines.append(f"  accuracy: {self.accuracy:.4f}")
-        if self.sparsity is not None:
-            lines.append(f"  sparsity: {self.sparsity.summary()}")
-        if self.design is not None:
-            lines.append(f"  design:   {self.design.summary()}")
-        if self.implementation is not None:
-            lines.append(f"  impl:     {self.implementation.summary()}")
-        if self.verification is not None:
-            lines.append(f"  verify:   {self.verification.summary()}")
-        return "\n".join(lines)
+        """Every stage gets a line; skipped stages say so explicitly."""
+        def line(label, artifact, render):
+            if artifact is None:
+                return f"  {label} {self.NA} (stage skipped)"
+            return f"  {label} {render(artifact)}"
+
+        return "\n".join([
+            f"flow: {self.config.dataset} -> {self.config.name}",
+            line("accuracy:", self.accuracy, lambda a: f"{a:.4f}"),
+            line("sparsity:", self.sparsity, lambda s: s.summary()),
+            line("design:  ", self.design, lambda d: d.summary()),
+            line("impl:    ", self.implementation, lambda i: i.summary()),
+            line("verify:  ", self.verification, lambda v: v.summary()),
+        ])
 
 
 class MatadorFlow:
@@ -141,8 +171,44 @@ class MatadorFlow:
         self._log("load_data", time.perf_counter() - t0)
         return self.result.dataset
 
+    def _build_machine(self, ds):
+        """Instantiate the configured model family for a dataset."""
+        cfg = self.config
+        common = dict(
+            n_clauses=cfg.clauses_per_class,
+            T=cfg.T,
+            s=cfg.s,
+            seed=cfg.train_seed,
+            backend=cfg.backend,
+        )
+        if cfg.model_family == "flat":
+            return TsetlinMachine(ds.n_classes, ds.n_features, **common)
+        if cfg.model_family == "coalesced":
+            return CoalescedTsetlinMachine(ds.n_classes, ds.n_features, **common)
+        if cfg.model_family == "convolutional":
+            shape = ds.metadata.get("image_shape")
+            if shape is None:
+                raise ValueError(
+                    f"dataset {ds.name!r} has no image_shape metadata; the "
+                    "convolutional family needs 2-D inputs"
+                )
+            patch = (min(10, shape[0]), min(10, shape[1]))
+            return ConvolutionalTsetlinMachine(
+                ds.n_classes, shape, patch_shape=patch, **common
+            )
+        raise ValueError(
+            f"unknown model_family {self.config.model_family!r}; "
+            "expected flat, coalesced, or convolutional"
+        )
+
     def train(self):
-        """Train a TM (or import an external model when configured)."""
+        """Train a TM (or import an external model when configured).
+
+        Returns the frozen :class:`~repro.model.TMModel` for families
+        that have a hardware translation (flat, coalesced), or the
+        trained machine itself for the convolutional family, which is
+        software/serving-only — its hardware stages stay skipped.
+        """
         t0 = time.perf_counter()
         cfg = self.config
         ds = self.result.dataset or self.load_data()
@@ -155,25 +221,32 @@ class MatadorFlow:
                 )
             self.result.model = model
         else:
-            tm = TsetlinMachine(
-                n_classes=ds.n_classes,
-                n_features=ds.n_features,
-                n_clauses=cfg.clauses_per_class,
-                T=cfg.T,
-                s=cfg.s,
-                seed=cfg.train_seed,
-                backend=cfg.backend,
-            )
+            tm = self._build_machine(ds)
             tm.fit(ds.X_train, ds.y_train, epochs=cfg.epochs)
             self.result.machine = tm
-            self.result.model = tm.export_model(cfg.name)
-        self.result.accuracy = self.result.model.evaluate(ds.X_test, ds.y_test)
+            if hasattr(tm, "export_model"):
+                self.result.model = tm.export_model(cfg.name)
+        predictor = self.result.model or self.result.machine
+        self.result.accuracy = predictor.evaluate(ds.X_test, ds.y_test)
         self._log("train", time.perf_counter() - t0)
+        return predictor
+
+    def _require_model(self):
+        """The frozen TMModel, training first if needed (raises for
+        families without a hardware translation)."""
+        if self.result.model is None and self.result.machine is None:
+            self.train()
+        if self.result.model is None:
+            raise RuntimeError(
+                f"model family {self.config.model_family!r} has no frozen "
+                "TMModel; the analyze/generate/implement stages are "
+                "unavailable"
+            )
         return self.result.model
 
     def analyze(self):
         t0 = time.perf_counter()
-        model = self.result.model or self.train()
+        model = self._require_model()
         self.result.sparsity = analyze_sparsity(model)
         self.result.sharing = analyze_sharing(model)
         self._log("analyze", time.perf_counter() - t0)
@@ -181,7 +254,7 @@ class MatadorFlow:
 
     def generate(self):
         t0 = time.perf_counter()
-        model = self.result.model or self.train()
+        model = self._require_model()
         self.result.design = generate_accelerator(
             model, self.config.accelerator_config()
         )
@@ -219,16 +292,23 @@ class MatadorFlow:
             verification=self.result.verification,
             accuracy=self.result.accuracy,
             example_inputs=examples,
+            config=self.config,
         )
 
     # ------------------------------------------------------------------
     def run(self, verify=True):
-        """Execute the full pipeline and return the :class:`FlowResult`."""
+        """Execute the full pipeline and return the :class:`FlowResult`.
+
+        Families without a hardware translation (convolutional) stop
+        after training; the skipped stages stay ``None`` and render as
+        ``n/a`` in :meth:`FlowResult.table_row` / ``summary``.
+        """
         self.load_data()
         self.train()
-        self.analyze()
-        self.generate()
-        self.implement()
-        if verify:
-            self.verify()
+        if self.result.model is not None:
+            self.analyze()
+            self.generate()
+            self.implement()
+            if verify:
+                self.verify()
         return self.result

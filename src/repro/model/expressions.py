@@ -37,7 +37,7 @@ class ClauseExpression:
     __slots__ = ("literals", "n_features")
 
     def __init__(self, literals, n_features):
-        self.literals = tuple(sorted(int(l) for l in literals))
+        self.literals = tuple(sorted(int(lit) for lit in literals))
         self.n_features = int(n_features)
         for lit in self.literals:
             if not 0 <= lit < 2 * self.n_features:
@@ -60,11 +60,12 @@ class ClauseExpression:
 
     def positive_features(self):
         """Feature indexes included in plain form."""
-        return tuple(l for l in self.literals if l < self.n_features)
+        return tuple(lit for lit in self.literals if lit < self.n_features)
 
     def negated_features(self):
         """Feature indexes included in negated form."""
-        return tuple(l - self.n_features for l in self.literals if l >= self.n_features)
+        return tuple(lit - self.n_features for lit in self.literals
+                     if lit >= self.n_features)
 
     def is_contradictory(self):
         """True if the clause includes both ``x_j`` and ``~x_j`` (always 0)."""
@@ -99,9 +100,9 @@ class ClauseExpression:
         computes for the packet carrying features ``lo..hi-1``.
         """
         keep = [
-            l
-            for l in self.literals
-            if lo <= (l if l < self.n_features else l - self.n_features) < hi
+            lit
+            for lit in self.literals
+            if lo <= (lit if lit < self.n_features else lit - self.n_features) < hi
         ]
         return ClauseExpression(keep, self.n_features)
 

@@ -32,7 +32,7 @@ reporting matches the paper's per-HCB breakdown.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["Node", "Netlist", "GATE_KINDS", "SEQ_KINDS"]
 

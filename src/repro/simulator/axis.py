@@ -9,7 +9,7 @@ accepted beats so a testbench can check exactly what crossed the channel.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

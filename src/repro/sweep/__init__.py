@@ -1,0 +1,56 @@
+"""Parallel design-space exploration: cached, resumable config sweeps.
+
+The subsystem that turns the one-config MATADOR flow into a many-scenario
+system: fan a grid (or explicit list) of flow configurations across a
+process pool, cache every result content-addressed on disk so re-runs and
+crashed sweeps resume instantly, and aggregate multi-objective Pareto
+frontiers (accuracy / latency / LUTs / power) into JSON and CSV reports
+that CI can gate on.
+"""
+
+from .cache import CACHE_VERSION, SweepCache, sweep_key
+from .executor import available_cpus, parallel_map
+from .pareto import dominates, objective_values, pareto_front
+from .result import (
+    DEFAULT_OBJECTIVES,
+    METRIC_FIELDS,
+    SweepPoint,
+    SweepResult,
+)
+
+# The runner and spec close the loop back to repro.flow (whose machines
+# import tsetlin.search, which imports the executor above), so they are
+# loaded lazily (PEP 562) to keep the package import-cycle free.
+_LAZY = {
+    "evaluate_flow_config": "run",
+    "run_sweep": "run",
+    "SweepSpec": "spec",
+}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module(f".{_LAZY[name]}", __name__)
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "CACHE_VERSION",
+    "SweepCache",
+    "sweep_key",
+    "available_cpus",
+    "parallel_map",
+    "dominates",
+    "objective_values",
+    "pareto_front",
+    "DEFAULT_OBJECTIVES",
+    "METRIC_FIELDS",
+    "SweepPoint",
+    "SweepResult",
+    "evaluate_flow_config",
+    "run_sweep",
+    "SweepSpec",
+]

@@ -1,0 +1,49 @@
+"""Process-pool fan-out primitive shared by sweeps and searches.
+
+``parallel_map`` is the one place the repo turns a list of independent
+evaluation tasks into wall-clock speedup.  It is deliberately free of any
+``repro`` imports so low-level callers (``tsetlin.search``) can delegate
+to it without import cycles; the sweep runner layers flow evaluation and
+caching on top in :mod:`repro.sweep.run`.
+
+Semantics: results come back in task order, ``jobs=1`` runs inline (no
+pickling, exceptions propagate untouched), and ``jobs>1`` fans out over a
+``ProcessPoolExecutor`` — the function and every task must be picklable
+(module-level functions and plain data).
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["available_cpus", "parallel_map"]
+
+
+def available_cpus():
+    """CPUs this process may actually use (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def parallel_map(fn, tasks, jobs=1):
+    """``[fn(t) for t in tasks]``, fanned across ``jobs`` processes.
+
+    Order is preserved.  A worker exception cancels the remaining tasks
+    and re-raises in the parent, mirroring the inline behaviour.
+    """
+    tasks = list(tasks)
+    if jobs is None:
+        jobs = 1
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    workers = min(jobs, len(tasks))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, tasks, chunksize=1))

@@ -1,0 +1,74 @@
+"""Generic multi-objective Pareto utilities.
+
+The 2-D accuracy/cost frontier of ``tsetlin.search.SearchResult`` and the
+4-D accuracy/latency/LUTs/power frontier of the sweep subsystem are the
+same computation: keep every point not dominated in all objectives.  This
+module holds the one implementation both layers use.
+
+Objectives are ``(key, sense)`` pairs where ``sense`` is ``"min"`` or
+``"max"``.  Values are read from dict items by key, or from attributes
+(calling them when they are methods, so ``SearchPoint.cost()`` works
+unchanged).  Points missing a value (``None``) for any objective are not
+comparable and are excluded from the front.
+"""
+
+from __future__ import annotations
+
+__all__ = ["objective_values", "dominates", "pareto_front"]
+
+
+def objective_values(item, objectives):
+    """Extract the objective vector of one point (``None`` if incomplete)."""
+    values = []
+    for key, _sense in objectives:
+        getter = getattr(item, "get", None)
+        if getter is not None:  # dicts and SweepPoint-like mappings
+            value = getter(key)
+        else:
+            value = getattr(item, key, None)
+            if callable(value):
+                value = value()
+        if value is None or isinstance(value, bool):
+            return None
+        values.append(float(value))
+    return tuple(values)
+
+
+def _normalize(values, objectives):
+    """Map every objective to minimize-form so comparisons are uniform."""
+    return tuple(
+        v if sense == "min" else -v for v, (_key, sense) in zip(values, objectives)
+    )
+
+
+def dominates(a, b):
+    """True when minimize-form vector ``a`` dominates ``b``."""
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+def pareto_front(items, objectives):
+    """Non-dominated subset of ``items`` under ``objectives``.
+
+    Returns the surviving points sorted by their objective vector (first
+    objective ascending in minimize-form), with exact-duplicate vectors
+    deduplicated — for a 2-D cost/accuracy front this reproduces the
+    classic monotone frontier.
+    """
+    objectives = tuple(objectives)
+    scored = []
+    for item in items:
+        values = objective_values(item, objectives)
+        if values is not None:
+            scored.append((_normalize(values, objectives), item))
+
+    front = []
+    seen = set()
+    for vec, item in scored:
+        if vec in seen:
+            continue
+        if any(dominates(other, vec) for other, _ in scored):
+            continue
+        seen.add(vec)
+        front.append((vec, item))
+    front.sort(key=lambda pair: pair[0])
+    return [item for _vec, item in front]

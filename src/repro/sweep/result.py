@@ -1,0 +1,228 @@
+"""Sweep aggregation: points, Pareto fronts, and CI-consumable reports.
+
+A :class:`SweepResult` collects one record per evaluated config and
+derives the multi-objective Pareto frontier over accuracy (max), latency
+(min), LUTs (min) and power (min) — the four axes of the paper's
+design-space trade — via the same :func:`~repro.sweep.pareto.pareto_front`
+that backs ``SearchResult.frontier``.
+
+Reports are deterministic by construction: points are ordered by cache
+key and contain only config, metrics, and key (never wall-clock or
+cache-hit bookkeeping), so a resumed sweep emits bit-identical JSON/CSV
+to the fresh run it recovered.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+
+from .pareto import pareto_front
+
+__all__ = ["METRIC_FIELDS", "DEFAULT_OBJECTIVES", "SweepPoint", "SweepResult"]
+
+# Fixed metric schema: every record carries all of these (None = stage
+# skipped / not applicable), which keeps CSV columns and cached records
+# stable across sweep shapes.
+METRIC_FIELDS = (
+    "accuracy",
+    "include_count",
+    "n_packets",
+    "initiation_interval",
+    "latency_us",
+    "throughput_inf_per_s",
+    "clock_mhz",
+    "luts",
+    "registers",
+    "bram",
+    "total_power_w",
+    "dynamic_power_w",
+    "verified",
+)
+
+DEFAULT_OBJECTIVES = (
+    ("accuracy", "max"),
+    ("latency_us", "min"),
+    ("luts", "min"),
+    ("total_power_w", "min"),
+)
+
+_NA = "n/a"
+
+
+@dataclass
+class SweepPoint:
+    """One evaluated (or cache-recovered) sweep configuration."""
+
+    config: dict
+    metrics: dict
+    key: str
+    cached: bool = False
+    error: str = None
+
+    @property
+    def ok(self):
+        return self.error is None
+
+    def metric(self, name):
+        return self.metrics.get(name)
+
+    def get(self, name):
+        """Dict-style lookup over metrics then config (Pareto hook)."""
+        if name in self.metrics:
+            return self.metrics[name]
+        return self.config.get(name)
+
+    def __getitem__(self, name):
+        return self.get(name)
+
+    def keys(self):  # lets pareto_front treat points like mappings
+        return list(self.metrics) + list(self.config)
+
+
+@dataclass
+class SweepResult:
+    """Everything one sweep run produced."""
+
+    points: list = field(default_factory=list)
+    jobs: int = 1
+    elapsed_s: float = None
+    objectives: tuple = DEFAULT_OBJECTIVES
+
+    def __len__(self):
+        return len(self.points)
+
+    @property
+    def ok_points(self):
+        return [p for p in self.points if p.ok]
+
+    @property
+    def errors(self):
+        return [p for p in self.points if not p.ok]
+
+    @property
+    def cached_points(self):
+        return [p for p in self.points if p.cached]
+
+    # ------------------------------------------------------------------
+    def pareto(self, objectives=None):
+        """Non-dominated points under ``objectives`` (default 4-axis)."""
+        objectives = tuple(objectives or self.objectives)
+        return pareto_front(self.ok_points, objectives)
+
+    # ------------------------------------------------------------------
+    def report(self, objectives=None):
+        """Deterministic JSON-ready report (config + metrics + frontier)."""
+        objectives = tuple(objectives or self.objectives)
+        ordered = sorted(self.points, key=lambda p: p.key)
+        front = set(map(id, self.pareto(objectives)))
+        return {
+            "schema": "repro.sweep/1",
+            "objectives": [list(obj) for obj in objectives],
+            "n_points": len(self.points),
+            "n_errors": len(self.errors),
+            "points": [
+                {
+                    "key": p.key,
+                    "config": dict(sorted(p.config.items())),
+                    "metrics": {k: p.metrics.get(k) for k in METRIC_FIELDS},
+                    "error": p.error,
+                    "pareto": id(p) in front,
+                }
+                for p in ordered
+            ],
+            "pareto_keys": sorted(p.key for p in ordered if id(p) in front),
+        }
+
+    def to_json(self, objectives=None):
+        return json.dumps(
+            self.report(objectives), indent=1, sort_keys=True
+        )
+
+    def to_csv(self):
+        """Flat CSV: key, config fields, metrics, error (sorted by key).
+
+        Config columns carry a ``config.`` prefix so knobs that share a
+        name with a measured metric (``clock_mhz``: target vs achieved)
+        stay distinguishable.
+        """
+        config_fields = sorted(
+            {name for p in self.points for name in p.config}
+        )
+        columns = [
+            "key",
+            *(f"config.{name}" for name in config_fields),
+            *METRIC_FIELDS,
+            "error",
+        ]
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        writer.writerow(columns)
+        for p in sorted(self.points, key=lambda p: p.key):
+            row = [p.key]
+            row += [_csv_value(p.config.get(name)) for name in config_fields]
+            row += [_csv_value(p.metrics.get(name)) for name in METRIC_FIELDS]
+            row.append(p.error or "")
+            writer.writerow(row)
+        return buf.getvalue()
+
+    # ------------------------------------------------------------------
+    def table(self, columns=None):
+        """Plain-text summary table (Pareto members starred)."""
+        columns = list(
+            columns
+            or (
+                "dataset",
+                "model_family",
+                "clauses_per_class",
+                "T",
+                "s",
+                "bus_width",
+                "accuracy",
+                "latency_us",
+                "luts",
+                "total_power_w",
+            )
+        )
+        front = set(map(id, self.pareto()))
+        rows = []
+        for p in sorted(self.points, key=lambda p: p.key):
+            row = {c: _csv_value(p.get(c)) for c in columns}
+            row["pareto"] = "*" if id(p) in front else ""
+            if p.error is not None:
+                row["pareto"] = "ERROR"
+            rows.append(row)
+        columns.append("pareto")
+        widths = {
+            c: max(len(str(c)), *(len(str(r[c])) for r in rows))
+            for c in columns
+        }
+        header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+        lines = [header, "-" * len(header)]
+        for r in rows:
+            lines.append(
+                "  ".join(str(r[c]).ljust(widths[c]) for c in columns)
+            )
+        return "\n".join(lines)
+
+    def summary(self):
+        cached = len(self.cached_points)
+        front = len(self.pareto())
+        text = (
+            f"sweep: {len(self.points)} points "
+            f"({cached} cached, {len(self.errors)} errors), "
+            f"{front} on the Pareto front"
+        )
+        if self.elapsed_s is not None:
+            text += f", {self.elapsed_s:.2f}s at jobs={self.jobs}"
+        return text
+
+
+def _csv_value(value):
+    if value is None:
+        return _NA
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return value

@@ -1,0 +1,147 @@
+"""Sweep runner: fan FlowConfig points across workers, cache, aggregate.
+
+``evaluate_flow_config`` is the process-pool worker: it executes the full
+MATADOR flow for one config (train -> analyze -> generate -> implement,
+optionally verify) and flattens the result into a JSON-native record.
+Model families without a hardware translation (convolutional) stop after
+training and report ``None`` for the hardware metrics — the aggregator
+and reports render those as ``n/a`` rather than dropping the point.
+
+``run_sweep`` orchestrates: cache lookups first (resume), then one
+``parallel_map`` fan-out over the misses, then cache writes.  Failed
+points are recorded but never cached, so a resumed sweep retries exactly
+the work that did not finish.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..flow.flow import FlowConfig, MatadorFlow
+from .cache import SweepCache, sweep_key
+from .executor import parallel_map
+from .result import METRIC_FIELDS, SweepPoint, SweepResult
+
+__all__ = ["evaluate_flow_config", "run_sweep"]
+
+
+def _empty_metrics():
+    return {name: None for name in METRIC_FIELDS}
+
+
+def evaluate_flow_config(payload):
+    """Worker: evaluate one ``{"config": ..., "verify": ...}`` payload."""
+    config = FlowConfig.from_dict(payload["config"])
+    record = {
+        "config": config.to_dict(),
+        "metrics": _empty_metrics(),
+        "error": None,
+    }
+    metrics = record["metrics"]
+    try:
+        flow = MatadorFlow(config)
+        result = flow.run(verify=payload.get("verify", False))
+        if result.accuracy is not None:
+            metrics["accuracy"] = round(float(result.accuracy), 6)
+        machine = result.machine
+        if machine is not None and hasattr(machine, "team"):
+            metrics["include_count"] = int(machine.team.include_count())
+        design = result.design
+        impl = result.implementation
+        if design is not None and impl is not None:
+            lat = design.latency
+            clock = impl.clock_mhz
+            metrics["n_packets"] = int(design.n_packets)
+            metrics["initiation_interval"] = int(lat.initiation_interval)
+            metrics["latency_us"] = round(lat.latency_us(clock), 6)
+            metrics["throughput_inf_per_s"] = int(
+                lat.throughput_inf_per_s(clock)
+            )
+            metrics["clock_mhz"] = round(float(clock), 3)
+            metrics["luts"] = int(impl.resources.luts)
+            metrics["registers"] = int(impl.resources.registers)
+            metrics["bram"] = float(impl.resources.bram36)
+            metrics["total_power_w"] = round(float(impl.power.total_w), 6)
+            metrics["dynamic_power_w"] = round(float(impl.power.dynamic_w), 6)
+        if result.verification is not None:
+            metrics["verified"] = bool(result.verification.passed)
+    except Exception as exc:  # noqa: BLE001 - one bad point must not kill the sweep
+        record["error"] = f"{type(exc).__name__}: {exc}"
+    return record
+
+
+def run_sweep(spec, jobs=1, cache_dir=None, resume=True, verify=False,
+              progress=None):
+    """Evaluate every point of ``spec``; returns a :class:`SweepResult`.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`~repro.sweep.spec.SweepSpec` (or any iterable of
+        :class:`~repro.flow.flow.FlowConfig`).
+    jobs:
+        Process-pool width (1 = inline).
+    cache_dir:
+        Result-cache root; ``None`` disables caching entirely.
+    resume:
+        Reuse cached records when present.  With ``resume=False`` every
+        point is recomputed (and the cache refreshed).
+    verify:
+        Run the auto-debug verification stage per point.
+    progress:
+        Optional callback ``progress(done, total, point)``, invoked as
+        each point's result is recorded: immediately for cache hits,
+        then per point as the fan-out results are integrated (a pool
+        drains all at once, so fresh callbacks arrive after the
+        parallel phase, not live during it).
+    """
+    t0 = time.perf_counter()
+    configs = list(spec)
+    cache = SweepCache(cache_dir) if cache_dir else None
+    done = 0
+
+    def record_point(point):
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(done, len(configs), point)
+
+    payloads = [
+        {"config": cfg.to_dict(), "verify": bool(verify)} for cfg in configs
+    ]
+    keys = [sweep_key(payload) for payload in payloads]
+
+    points = [None] * len(configs)
+    pending = []
+    for i, key in enumerate(keys):
+        record = cache.get(key) if (cache is not None and resume) else None
+        if record is not None:
+            points[i] = SweepPoint(
+                config=record["config"],
+                metrics=record["metrics"],
+                key=key,
+                cached=True,
+                error=record.get("error"),
+            )
+            record_point(points[i])
+        else:
+            pending.append(i)
+
+    fresh = parallel_map(
+        evaluate_flow_config, [payloads[i] for i in pending], jobs=jobs
+    )
+    for i, record in zip(pending, fresh):
+        points[i] = SweepPoint(
+            config=record["config"],
+            metrics=record["metrics"],
+            key=keys[i],
+            cached=False,
+            error=record.get("error"),
+        )
+        if cache is not None and record.get("error") is None:
+            cache.put(keys[i], record)
+        record_point(points[i])
+
+    return SweepResult(
+        points=points, jobs=jobs, elapsed_s=time.perf_counter() - t0
+    )

@@ -1,0 +1,96 @@
+"""Sweep specification: which flow configs a sweep evaluates.
+
+A :class:`SweepSpec` is an ordered list of :class:`~repro.flow.flow.FlowConfig`
+points.  It can be built three ways:
+
+* :meth:`SweepSpec.from_grid` — cartesian product over per-field value
+  lists (clauses, T, s, dataset, model family, backend, bus width, clock
+  target, ...) on top of a base config;
+* :meth:`SweepSpec.from_points` — an explicit list of configs/dicts;
+* :meth:`SweepSpec.from_file` — a JSON file holding either form:
+  ``{"base": {...}, "grid": {field: [values...]}}`` or
+  ``{"points": [{...}, ...]}``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+
+from ..flow.flow import FlowConfig
+
+__all__ = ["SweepSpec"]
+
+# FlowConfig fields that make sense as grid axes (everything except the
+# bundle name, which is derived per point so RTL artifacts don't collide).
+_AXIS_FIELDS = frozenset(FlowConfig.__dataclass_fields__) - {"name"}
+
+
+@dataclass
+class SweepSpec:
+    """An ordered collection of flow configurations to evaluate."""
+
+    points: list = field(default_factory=list)
+
+    def __len__(self):
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_points(cls, configs):
+        points = []
+        for cfg in configs:
+            if isinstance(cfg, dict):
+                cfg = FlowConfig.from_dict(cfg)
+            points.append(cfg)
+        return cls(points=points)
+
+    @classmethod
+    def from_grid(cls, base=None, **axes):
+        """Cartesian product of ``axes`` applied over ``base``.
+
+        ``axes`` maps FlowConfig field names to value lists; scalars are
+        treated as one-element axes.  Axis order is the keyword order, so
+        the point ordering is deterministic.
+        """
+        base = base if base is not None else FlowConfig()
+        unknown = set(axes) - _AXIS_FIELDS
+        if unknown:
+            # Any FlowConfig field except `name` is a valid axis.
+            raise ValueError(f"unknown sweep axes: {sorted(unknown)}")
+        names = list(axes)
+        lists = []
+        for name in names:
+            values = axes[name]
+            if isinstance(values, (str, bytes)) or not hasattr(values, "__iter__"):
+                values = [values]
+            values = list(values)
+            if not values:
+                raise ValueError(f"sweep axis {name!r} has no values")
+            lists.append(values)
+
+        points = []
+        for combo in itertools.product(*lists):
+            payload = base.to_dict()
+            payload.update(dict(zip(names, combo)))
+            points.append(FlowConfig.from_dict(payload))
+        return cls(points=points)
+
+    @classmethod
+    def from_file(cls, path):
+        with open(path, encoding="utf-8") as f:
+            payload = json.load(f)
+        if "points" in payload:
+            return cls.from_points(payload["points"])
+        if "grid" in payload:
+            base = FlowConfig.from_dict(payload.get("base", {}))
+            return cls.from_grid(base=base, **payload["grid"])
+        raise ValueError(f"sweep spec {path!r} needs a 'points' list or a 'grid' map")
+
+    # ------------------------------------------------------------------
+    def to_dict(self):
+        return {"points": [cfg.to_dict() for cfg in self.points]}

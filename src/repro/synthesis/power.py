@@ -46,9 +46,11 @@ class PowerReport:
     pl_dynamic_w: float
     ps_w: float
 
+    COLUMNS = ("Total Pwr (W)", "Dyn Pwr (W)")
+
     def row(self):
-        return {"Total Pwr (W)": round(self.total_w, 3),
-                "Dyn Pwr (W)": round(self.dynamic_w, 3)}
+        values = (round(self.total_w, 3), round(self.dynamic_w, 3))
+        return dict(zip(self.COLUMNS, values))
 
 
 def estimate_power(resources, clock_mhz, model=None):

@@ -100,18 +100,17 @@ class ResourceReport:
         u = self.utilization(device_model)
         return all(v <= 1.0 for v in u.values())
 
+    # Table-I column ordering; the single source for every tabulator
+    # (including FlowResult's n/a rendering of skipped stages).
+    COLUMNS = ("LUTs", "Slice Registers", "F7 Mux", "F8 Mux", "Slice",
+               "LUT as logic", "LUT as mem", "BRAM")
+
     def row(self):
-        """Column ordering follows Table I."""
-        return {
-            "LUTs": self.luts,
-            "Slice Registers": self.registers,
-            "F7 Mux": self.f7_muxes,
-            "F8 Mux": self.f8_muxes,
-            "Slice": self.slices,
-            "LUT as logic": self.lut_as_logic,
-            "LUT as mem": self.lut_as_mem,
-            "BRAM": self.bram36,
-        }
+        """Column ordering follows Table I (see :attr:`COLUMNS`)."""
+        values = (self.luts, self.registers, self.f7_muxes, self.f8_muxes,
+                  self.slices, self.lut_as_logic, self.lut_as_mem,
+                  self.bram36)
+        return dict(zip(self.COLUMNS, values))
 
 
 def estimate_resources(netlist, mapping, device="xc7z020",

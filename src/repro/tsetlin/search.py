@@ -12,13 +12,19 @@ throughput is bandwidth-fixed.  Two strategies:
   ref [18].
 
 Both return every evaluated point so the caller can plot the
-accuracy/cost frontier.
+accuracy/cost frontier, and both delegate their candidate evaluations to
+the sweep executor (:func:`repro.sweep.executor.parallel_map`): pass
+``jobs=N`` to fan independent candidates across a process pool.  The
+doubling search evaluates its budget ladder in speculative waves of
+``jobs`` — results are identical to the serial search (points past the
+stopping rung are discarded), only the wall clock changes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..sweep.executor import parallel_map
 from .machine import TsetlinMachine
 
 __all__ = ["SearchPoint", "SearchResult", "search_clause_budget", "grid_search"]
@@ -50,14 +56,11 @@ class SearchResult:
 
     def frontier(self):
         """Pareto frontier: points not dominated in (cost, accuracy)."""
-        points = sorted(self.evaluated, key=lambda p: (p.cost(), -p.accuracy))
-        frontier = []
-        best_acc = -1.0
-        for p in points:
-            if p.accuracy > best_acc:
-                frontier.append(p)
-                best_acc = p.accuracy
-        return frontier
+        from ..sweep.pareto import pareto_front
+
+        return pareto_front(
+            self.evaluated, (("cost", "min"), ("accuracy", "max"))
+        )
 
 
 def _train_eval(ds_train, ds_val, n_clauses, T, s, epochs, seed,
@@ -85,9 +88,20 @@ def _train_eval(ds_train, ds_val, n_clauses, T, s, epochs, seed,
     ), tm
 
 
+def _eval_task(task):
+    """Executor worker: one (datasets + hyperparameters) evaluation.
+
+    Module-level (picklable) so ``parallel_map`` can ship it to pool
+    workers; returns ``(SearchPoint, machine)``.
+    """
+    ds_train, ds_val, n_clauses, T, s, epochs, seed, backend = task
+    return _train_eval(ds_train, ds_val, n_clauses, T, s, epochs, seed,
+                       backend=backend)
+
+
 def search_clause_budget(X_train, y_train, X_val, y_val, target_accuracy=None,
                          start=4, max_clauses=256, epochs=5, s=4.0, seed=0,
-                         tolerance=0.005, backend="vectorized"):
+                         tolerance=0.005, backend="vectorized", jobs=1):
     """Find the smallest clause budget that suffices.
 
     Doubles the budget from ``start`` until the target accuracy is met
@@ -96,29 +110,50 @@ def search_clause_budget(X_train, y_train, X_val, y_val, target_accuracy=None,
 
     Candidates train on the ``backend`` engine (default the vectorized
     one — results are bit-identical with the reference backend, so only
-    the wall-clock changes).  Returns ``(SearchResult, best_machine)``.
+    the wall-clock changes) and are evaluated through the sweep executor:
+    with ``jobs>1`` the budget ladder is explored in speculative parallel
+    waves whose results match the serial search exactly.  Returns
+    ``(SearchResult, best_machine)``.
     """
     if start < 2 or start % 2:
         raise ValueError("start must be an even integer >= 2")
     ds_train = (X_train, y_train)
     ds_val = (X_val, y_val)
 
+    ladder = []
+    budget = start
+    while budget <= max_clauses:
+        ladder.append(budget)
+        budget *= 2
+
+    def task_for(n_clauses, n_epochs):
+        T = max(2, n_clauses // 2)
+        return (ds_train, ds_val, n_clauses, T, s, n_epochs, seed, backend)
+
     evaluated = []
     machines = {}
-    budget = start
     prev_acc = -1.0
-    while budget <= max_clauses:
-        T = max(2, budget // 2)
-        point, tm = _train_eval(ds_train, ds_val, budget, T, s, epochs, seed,
-                                backend=backend)
-        evaluated.append(point)
-        machines[budget] = tm
-        met = target_accuracy is not None and point.accuracy >= target_accuracy
-        saturated = point.accuracy - prev_acc < tolerance and prev_acc >= 0
-        if met or saturated:
+    stopped = False
+    wave_width = max(1, int(jobs))
+    for lo in range(0, len(ladder), wave_width):
+        wave = ladder[lo:lo + wave_width]
+        outcomes = parallel_map(
+            _eval_task, [task_for(b, epochs) for b in wave], jobs=jobs
+        )
+        # Replay the wave serially so early stopping discards exactly the
+        # points the sequential search would never have evaluated.
+        for b, (point, tm) in zip(wave, outcomes):
+            evaluated.append(point)
+            machines[b] = tm
+            met = (target_accuracy is not None
+                   and point.accuracy >= target_accuracy)
+            saturated = point.accuracy - prev_acc < tolerance and prev_acc >= 0
+            if met or saturated:
+                stopped = True
+                break
+            prev_acc = point.accuracy
+        if stopped:
             break
-        prev_acc = point.accuracy
-        budget *= 2
 
     # One bisection step between the two best budgets, if there is room.
     if len(evaluated) >= 2:
@@ -127,9 +162,9 @@ def search_clause_budget(X_train, y_train, X_val, y_val, target_accuracy=None,
         mid = (hi + lo) // 2
         mid += mid % 2
         if lo < mid < hi:
-            T = max(2, mid // 2)
-            point, tm = _train_eval(ds_train, ds_val, mid, T, s, epochs, seed,
-                                    backend=backend)
+            [(point, tm)] = parallel_map(
+                _eval_task, [task_for(mid, epochs)], jobs=1
+            )
             evaluated.append(point)
             machines[mid] = tm
 
@@ -150,13 +185,15 @@ def search_clause_budget(X_train, y_train, X_val, y_val, target_accuracy=None,
 
 def grid_search(X_train, y_train, X_val, y_val, clause_grid=(8, 16),
                 T_grid=(8, 15), s_grid=(3.0, 5.0), epochs=4, seed=0,
-                halving=True, backend="vectorized"):
+                halving=True, backend="vectorized", jobs=1):
     """Grid search with optional successive halving on training epochs.
 
     With ``halving``, every configuration first trains for ``epochs // 2``
     epochs; only the top half continues to the full budget — the search
-    scheme of ref [18] scaled to laptop budgets.  All candidates train on
-    the ``backend`` engine (bit-identical across backends).
+    scheme of ref [18] scaled to laptop budgets.  Both rounds fan their
+    independent candidates through the sweep executor (``jobs`` pool
+    processes); all candidates train on the ``backend`` engine
+    (bit-identical across backends).
     """
     ds_train = (X_train, y_train)
     ds_val = (X_val, y_val)
@@ -165,23 +202,29 @@ def grid_search(X_train, y_train, X_val, y_val, clause_grid=(8, 16),
     ]
     stage_epochs = max(1, epochs // 2) if halving else epochs
 
-    first_round = []
-    for c, t, s in configs:
-        point, _ = _train_eval(ds_train, ds_val, c, t, s, stage_epochs, seed,
-                               backend=backend)
-        first_round.append(point)
+    first_round = [
+        point
+        for point, _tm in parallel_map(
+            _eval_task,
+            [(ds_train, ds_val, c, t, s, stage_epochs, seed, backend)
+             for c, t, s in configs],
+            jobs=jobs,
+        )
+    ]
 
     evaluated = list(first_round)
     if halving and len(configs) > 1:
         survivors = sorted(first_round, key=lambda p: -p.accuracy)
         survivors = survivors[: max(1, len(survivors) // 2)]
-        finals = []
-        for p in survivors:
-            point, _ = _train_eval(
-                ds_train, ds_val, p.n_clauses, p.T, p.s, epochs, seed,
-                backend=backend,
+        finals = [
+            point
+            for point, _tm in parallel_map(
+                _eval_task,
+                [(ds_train, ds_val, p.n_clauses, p.T, p.s, epochs, seed,
+                  backend) for p in survivors],
+                jobs=jobs,
             )
-            finals.append(point)
+        ]
         evaluated.extend(finals)
         best = max(finals, key=lambda p: p.accuracy)
     else:

@@ -1,0 +1,134 @@
+"""Tests for the CI benchmark-regression gate (benchmarks/compare_bench.py)."""
+
+import importlib.util
+import io
+import json
+from pathlib import Path
+
+_SCRIPT = Path(__file__).parent.parent / "benchmarks" / "compare_bench.py"
+_spec = importlib.util.spec_from_file_location("compare_bench", _SCRIPT)
+compare_bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(compare_bench)
+
+
+def write_payloads(root, cold=3.0, steady=18.0, serve=10.0):
+    root.mkdir(parents=True, exist_ok=True)
+    (root / "train_throughput.json").write_text(json.dumps({
+        "cold_speedup": cold,
+        "steady_speedup": steady,
+        "steady_vectorized_samples_per_sec": 5000.0,
+    }))
+    (root / "serve_throughput.json").write_text(json.dumps({
+        "per_sample_baseline_rps": 1500.0,
+        "batch_sizes": {
+            "1": {"speedup_vs_per_sample": serve},
+            "64": {"speedup_vs_per_sample": serve},
+            "256": {"speedup_vs_per_sample": serve},
+        },
+    }))
+
+
+def run_gate(tmp_path, argv):
+    out = io.StringIO()
+    code = compare_bench.main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestLookup:
+    def test_dotted_paths(self):
+        payload = {"a": {"b": {"c": 3}}}
+        assert compare_bench.lookup(payload, "a.b.c") == 3
+        assert compare_bench.lookup(payload, "a.missing") is None
+        assert compare_bench.lookup(payload, "a.b.c.d") is None
+
+
+class TestGate:
+    def test_identical_results_pass(self, tmp_path):
+        write_payloads(tmp_path / "base")
+        write_payloads(tmp_path / "fresh")
+        code, text = run_gate(tmp_path, [
+            "--baselines", str(tmp_path / "base"),
+            "--results", str(tmp_path / "fresh"),
+        ])
+        assert code == 0
+        assert "REGRESSION" not in text
+
+    def test_small_drop_within_budget_passes(self, tmp_path):
+        write_payloads(tmp_path / "base", steady=18.0)
+        write_payloads(tmp_path / "fresh", steady=13.0)  # -28%
+        code, _ = run_gate(tmp_path, [
+            "--baselines", str(tmp_path / "base"),
+            "--results", str(tmp_path / "fresh"),
+        ])
+        assert code == 0
+
+    def test_large_drop_fails(self, tmp_path):
+        write_payloads(tmp_path / "base", steady=18.0)
+        write_payloads(tmp_path / "fresh", steady=12.0)  # -33% > 30% budget
+        code, text = run_gate(tmp_path, [
+            "--baselines", str(tmp_path / "base"),
+            "--results", str(tmp_path / "fresh"),
+        ])
+        assert code == 1
+        assert "steady_speedup" in text and "REGRESSION" in text
+
+    def test_missing_fresh_result_fails(self, tmp_path):
+        write_payloads(tmp_path / "base")
+        (tmp_path / "fresh").mkdir()
+        code, text = run_gate(tmp_path, [
+            "--baselines", str(tmp_path / "base"),
+            "--results", str(tmp_path / "fresh"),
+        ])
+        assert code == 1
+        assert "missing fresh result" in text
+
+    def test_missing_baseline_fails(self, tmp_path):
+        (tmp_path / "base").mkdir()
+        write_payloads(tmp_path / "fresh")
+        code, text = run_gate(tmp_path, [
+            "--baselines", str(tmp_path / "base"),
+            "--results", str(tmp_path / "fresh"),
+        ])
+        assert code == 1
+        assert "missing baseline" in text
+
+    def test_tighter_budget_flag(self, tmp_path):
+        write_payloads(tmp_path / "base", steady=18.0)
+        write_payloads(tmp_path / "fresh", steady=16.0)  # -11%
+        code, _ = run_gate(tmp_path, [
+            "--baselines", str(tmp_path / "base"),
+            "--results", str(tmp_path / "fresh"),
+            "--max-regression", "0.05",
+        ])
+        assert code == 1
+
+    def test_invalid_budget_rejected(self, tmp_path):
+        code, _ = run_gate(tmp_path, ["--max-regression", "1.5"])
+        assert code == 2
+
+    def test_update_writes_baselines(self, tmp_path):
+        write_payloads(tmp_path / "fresh")
+        code, text = run_gate(tmp_path, [
+            "--baselines", str(tmp_path / "base"),
+            "--results", str(tmp_path / "fresh"),
+            "--update",
+        ])
+        assert code == 0
+        assert (tmp_path / "base" / "train_throughput.json").exists()
+        # And the freshly written baselines gate cleanly against themselves.
+        code, _ = run_gate(tmp_path, [
+            "--baselines", str(tmp_path / "base"),
+            "--results", str(tmp_path / "fresh"),
+        ])
+        assert code == 0
+
+
+class TestCommittedBaselines:
+    def test_baselines_exist_and_carry_gated_metrics(self):
+        baselines = _SCRIPT.parent / "baselines"
+        for filename, metrics in compare_bench.GATES.items():
+            payload = json.loads((baselines / filename).read_text())
+            for metric in metrics:
+                value = compare_bench.lookup(payload, metric)
+                assert isinstance(value, (int, float)), (filename, metric)
+                assert value > 1.0, (filename, metric, value)

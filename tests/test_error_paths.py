@@ -7,7 +7,6 @@ from repro.accelerator import AcceleratorConfig, generate_accelerator
 from repro.flow.verify import netlists_equivalent
 from repro.rtl import Netlist
 from repro.simulator import AcceleratorSimulator, build_testbench
-from _fixtures import random_model
 
 
 class TestSimulatorErrors:
@@ -101,7 +100,6 @@ class TestConfigValidation:
 
     def test_argmax_single_class_rejected(self):
         from repro.accelerator import build_argmax
-        from repro.rtl import bus_const
 
         nl = Netlist()
         with pytest.raises(ValueError):

@@ -1,7 +1,6 @@
 """Directed tests for the Type I / Type II learning rules."""
 
 import numpy as np
-import pytest
 
 from repro.tsetlin.automata import AutomataTeam
 from repro.tsetlin.feedback import clause_outputs, type_i_feedback, type_ii_feedback

@@ -74,6 +74,45 @@ class TestMatadorFlow:
         assert "accuracy" in text
         assert "verify" in text
 
+    def test_full_run_has_no_na_fields(self, completed):
+        _, result = completed
+        assert "n/a" not in result.summary()
+        row = result.table_row()
+        assert "n/a" not in row.values()
+        assert row["Verified"] == "pass"
+
+    def test_skipped_verify_renders_na(self):
+        """verify=False must yield explicit n/a, not silently-missing fields."""
+        flow = MatadorFlow(tiny_flow_config(epochs=1, clauses_per_class=4))
+        result = flow.run(verify=False)
+        row = result.table_row()
+        assert row["Verified"] == "n/a"
+        assert row["Throughput (inf/s)"] > 0  # completed stages stay numeric
+        assert "verify:   n/a (stage skipped)" in result.summary()
+
+    def test_train_only_result_renders_na_everywhere(self):
+        flow = MatadorFlow(tiny_flow_config(epochs=1, clauses_per_class=4))
+        flow.load_data()
+        flow.train()
+        result = flow.result
+        row = result.table_row()
+        assert row["Test Acc (%)"] > 0
+        for column in ("LUTs", "Latency (us)", "Throughput (inf/s)",
+                       "Total Pwr (W)", "Clock (MHz)", "Verified"):
+            assert row[column] == "n/a", column
+        text = result.summary()
+        assert text.count("n/a (stage skipped)") == 4  # all but accuracy
+        assert f"accuracy: {result.accuracy:.4f}" in text
+
+    def test_table_row_columns_stable_across_skips(self):
+        """Same column set whether stages ran or not (tabulator contract)."""
+        full = MatadorFlow(tiny_flow_config(epochs=1, clauses_per_class=4))
+        full_row = full.run(verify=True).table_row()
+        trained = MatadorFlow(tiny_flow_config(epochs=1, clauses_per_class=4))
+        trained.load_data()
+        trained.train()
+        assert list(full_row) == list(trained.result.table_row())
+
     def test_deploy_bundle(self, completed, tmp_path):
         flow, _ = completed
         files = flow.deploy(tmp_path / "bundle")
@@ -103,6 +142,60 @@ class TestMatadorFlow:
         bad.save(path)
         flow = MatadorFlow(tiny_flow_config(model_path=str(path)))
         with pytest.raises(ValueError):
+            flow.train()
+
+
+class TestModelFamilies:
+    def test_coalesced_family_full_flow(self):
+        flow = MatadorFlow(tiny_flow_config(
+            model_family="coalesced", epochs=2, clauses_per_class=8,
+        ))
+        result = flow.run(verify=True)
+        assert result.machine.__class__.__name__ == "CoalescedTsetlinMachine"
+        assert result.verification.passed
+        assert result.table_row()["LUTs"] > 0
+
+    def test_convolutional_family_trains_and_skips_hardware(self):
+        flow = MatadorFlow(tiny_flow_config(
+            dataset="mnist", n_train=100, n_test=60,
+            model_family="convolutional", epochs=1, clauses_per_class=4,
+        ))
+        result = flow.run()
+        assert result.accuracy is not None
+        assert result.model is None
+        assert result.design is None
+        assert result.table_row()["LUTs"] == "n/a"
+
+    def test_convolutional_requires_image_dataset(self):
+        flow = MatadorFlow(tiny_flow_config(model_family="convolutional"))
+        with pytest.raises(ValueError, match="image_shape"):
+            flow.train()
+
+    def test_hardware_stage_rejects_conv_family(self):
+        flow = MatadorFlow(tiny_flow_config(
+            dataset="mnist", n_train=100, n_test=60,
+            model_family="convolutional", epochs=1, clauses_per_class=4,
+        ))
+        with pytest.raises(RuntimeError, match="no frozen TMModel"):
+            flow.generate()
+
+    def test_hardware_stage_does_not_retrain_conv(self):
+        """An already-trained conv machine must fail fast, not retrain."""
+        flow = MatadorFlow(tiny_flow_config(
+            dataset="mnist", n_train=100, n_test=60,
+            model_family="convolutional", epochs=1, clauses_per_class=4,
+        ))
+        flow.run()
+        machine = flow.result.machine
+        train_seconds = flow.result.stage_seconds["train"]
+        with pytest.raises(RuntimeError, match="no frozen TMModel"):
+            flow.generate()
+        assert flow.result.machine is machine
+        assert flow.result.stage_seconds["train"] == train_seconds
+
+    def test_unknown_family_rejected(self):
+        flow = MatadorFlow(tiny_flow_config(model_family="quantum"))
+        with pytest.raises(ValueError, match="model_family"):
             flow.train()
 
 
@@ -191,3 +284,91 @@ class TestCli:
         path.write_text(json.dumps(cfg.to_dict()))
         code, text = self.run_cli(["run", "--config", str(path), "--no-verify"])
         assert code == 0
+
+    def test_sweep_report_and_resume(self, tmp_path):
+        report = tmp_path / "pareto.json"
+        csv_path = tmp_path / "points.csv"
+        argv = [
+            "sweep", "--dataset", "kws6", "--clauses", "6,8", "--T", "8",
+            "--s", "4.0", "--epochs", "1", "--train", "100", "--test", "50",
+            "--bus-width", "32,64", "--jobs", "2", "--resume",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--report", str(report), "--csv", str(csv_path),
+        ]
+        code, text = self.run_cli(argv)
+        assert code == 0
+        assert "4 points (0 cached" in text
+        payload = json.loads(report.read_text())
+        assert payload["n_points"] == 4
+        assert payload["pareto_keys"]
+        assert csv_path.read_text().startswith("key,")
+
+        first = report.read_bytes()
+        code, text = self.run_cli(argv)
+        assert code == 0
+        assert "4 points (4 cached" in text
+        assert report.read_bytes() == first  # resume is bit-identical
+
+    def test_sweep_spec_file(self, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "base": {"dataset": "kws6", "n_train": 100, "n_test": 50,
+                     "epochs": 1, "clauses_per_class": 6, "T": 8},
+            "grid": {"bus_width": [32, 64]},
+        }))
+        code, text = self.run_cli([
+            "sweep", "--spec", str(spec), "--no-cache", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["n_points"] == 2
+
+    def test_sweep_reports_errors(self, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({"points": [{"dataset": "bogus"}]}))
+        code, text = self.run_cli([
+            "sweep", "--spec", str(spec), "--no-cache",
+        ])
+        assert code == 1
+        assert "ERROR" in text
+
+    def test_sweep_json_stdout_stays_parseable_on_errors(self, tmp_path):
+        """--json must emit the report alone; errors live inside it."""
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({"points": [{"dataset": "bogus"}]}))
+        code, text = self.run_cli([
+            "sweep", "--spec", str(spec), "--no-cache", "--json",
+        ])
+        assert code == 1
+        payload = json.loads(text)  # the whole stdout is one JSON document
+        assert payload["n_errors"] == 1
+        assert "bogus" in payload["points"][0]["error"]
+
+    def test_run_outdir_ignored_for_conv_family(self, tmp_path):
+        outdir = tmp_path / "bundle"
+        code, text = self.run_cli([
+            "run", "--dataset", "mnist", "--model-family", "convolutional",
+            "--clauses", "4", "--epochs", "1", "--train", "80", "--test",
+            "40", "--outdir", str(outdir),
+        ])
+        assert code == 0
+        assert "--outdir ignored" in text
+        assert not outdir.exists()
+
+    def test_serve_conv_family_disables_check(self):
+        code, text = self.run_cli([
+            "serve", "--dataset", "mnist", "--model-family", "convolutional",
+            "--clauses", "4", "--epochs", "1", "--train", "80", "--test",
+            "40", "--requests", "8", "--max-batch", "4",
+        ])
+        assert code == 0
+        assert "differential checking disabled" in text
+
+    def test_emit_rejects_conv_family(self, tmp_path):
+        code, text = self.run_cli([
+            "emit", "--dataset", "mnist", "--model-family", "convolutional",
+            "--clauses", "4", "--epochs", "1", "--train", "80", "--test",
+            "40", "--outdir", str(tmp_path / "rtl"),
+        ])
+        assert code == 2
+        assert "no RTL translation" in text

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.rtl import Netlist, bus_input
+from repro.rtl import Netlist
 from repro.simulator import (
     AxiStreamMaster,
     AxiStreamMonitor,
@@ -17,7 +17,7 @@ from repro.simulator import (
 def counter_design(width=3):
     """Free-running counter with a wrap pulse output."""
     nl = Netlist("cnt")
-    from repro.rtl import Bus, bus_const, equals_const, mux_bus, ripple_add
+    from repro.rtl import Bus, bus_const, equals_const, ripple_add
 
     regs = [nl.dff(nl.const(0), name=f"c[{i}]") for i in range(width)]
     count = Bus(regs)
@@ -165,7 +165,7 @@ class TestVcd:
         vcd = self.trace(4).render()
         # wrap never fires in 4 cycles -> exactly one initial 0 entry.
         wrap_id = '"'
-        wrap_lines = [l for l in vcd.splitlines() if l == f"0{wrap_id}"]
+        wrap_lines = [ln for ln in vcd.splitlines() if ln == f"0{wrap_id}"]
         assert len(wrap_lines) == 1
 
     def test_bus_values_binary(self):

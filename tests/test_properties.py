@@ -82,7 +82,7 @@ def test_lut_mapping_covers_live_gates_property(nl, k):
         assert lut.n_inputs <= k
     # Every gate feeding an output or register must be inside some cone:
     # either a LUT root itself or absorbed (fanout-1 gates only).
-    roots = {l.root for l in mapping.luts}
+    roots = {lut.root for lut in mapping.luts}
     fanout = nl.fanout_counts()
     for nid, node in enumerate(nl.nodes):
         if node.kind not in GATE_KINDS or node.kind == "not":

@@ -1,6 +1,5 @@
 """Tests for the synthesis model: LUT mapping, resources, timing, power."""
 
-import numpy as np
 import pytest
 
 from repro.rtl import Netlist, bus_input, popcount
@@ -9,7 +8,6 @@ from repro.synthesis import (
     PlatformOverhead,
     TimingModel,
     estimate_power,
-    estimate_resources,
     estimate_timing,
     implement_design,
     implement_netlist,
@@ -17,7 +15,6 @@ from repro.synthesis import (
     map_priority_cuts,
 )
 from repro.synthesis.power import PowerModel
-from _fixtures import random_model
 
 
 def and_chain(n, share=True):
@@ -52,7 +49,7 @@ class TestGreedyMapping:
         nl = and_chain(20)
         mapping = map_greedy(nl, k=6)
         input_ids = set(nl.inputs.values())
-        lut_roots = {l.root for l in mapping.luts}
+        lut_roots = {lut.root for lut in mapping.luts}
         for lut in mapping.luts:
             for s in lut.support:
                 assert s in input_ids or s in lut_roots

@@ -1,6 +1,5 @@
 """Tests for the Verilog emitter and parser (round-trip verification)."""
 
-import numpy as np
 import pytest
 
 from repro.flow.verify import netlists_equivalent
