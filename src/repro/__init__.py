@@ -26,6 +26,7 @@ from .serving import (
     snapshot_engine,
 )
 from .simulator import AcceleratorSimulator
+from .streaming import StreamSession, run_stream
 from .sweep import SweepResult, SweepSpec, run_sweep
 from .synthesis import implement_design
 from .tsetlin import CoalescedTsetlinMachine, TsetlinMachine
@@ -52,6 +53,8 @@ __all__ = [
     "InferenceEngine",
     "Registry",
     "snapshot_engine",
+    "StreamSession",
+    "run_stream",
     "SweepResult",
     "SweepSpec",
     "run_sweep",

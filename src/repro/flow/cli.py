@@ -12,6 +12,9 @@ flow stages as subcommands:
    matador emit --dataset mnist --clauses 20 --outdir rtl/
    matador serve --dataset kws6 --requests 512 --max-batch 64
    matador bench-serve --dataset mnist --batch-sizes 1,8,64,256
+   matador stream --dataset kws6 --samples 2600 --drift-at 1200 \\
+       --report stream.json
+   matador bench-stream --dataset kws6 --json
    matador sweep --dataset kws6 --clauses 8,16,24 --T 10,20 --jobs 4 \\
        --resume --report pareto.json
 
@@ -21,9 +24,15 @@ generation.  ``serve`` trains (or imports) a model, publishes it to a
 serving registry and drives micro-batched request traffic through the
 packed inference engine with differential sim-vs-software checking;
 ``bench-serve`` measures packed-batch vs per-sample serving throughput.
-``sweep`` fans a design-space grid across a process pool with a
-content-addressed result cache (``--resume`` recovers crashed or repeated
-sweeps instantly) and emits Pareto-annotated JSON/CSV reports.  JSON flow
+``stream`` runs a continual-learning session: replay a dataset as
+request traffic (optionally with induced concept drift), serve it
+micro-batched, detect drift from served predictions vs delayed labels,
+train a challenger online and hot-promote it through the registry;
+``bench-stream`` measures online ``partial_fit`` updates/sec per backend
+plus drift-detection delay.  ``sweep`` fans a design-space grid across a
+process pool with a content-addressed result cache (``--resume``
+recovers crashed or repeated sweeps instantly) and emits
+Pareto-annotated JSON/CSV reports.  JSON flow
 configs (``--config flow.json``) reproduce runs exactly; the same CLI is
 installed as both ``matador`` and ``repro`` (``python -m repro``).
 """
@@ -94,6 +103,34 @@ def build_parser():
     bench.add_argument("--save", default=None,
                        help="also write the JSON payload to this path")
 
+    stream = sub.add_parser(
+        "stream",
+        help="continual-learning session: serve a stream, detect drift, "
+             "promote online-trained challengers",
+    )
+    _add_stream_args(stream)
+
+    bench_stream = sub.add_parser(
+        "bench-stream",
+        help="measure online partial_fit updates/sec + detection delay",
+    )
+    bench_stream.add_argument("--dataset", default="mnist",
+                              choices=sorted(DATASET_REGISTRY))
+    bench_stream.add_argument("--train", type=int, default=400, dest="n_train")
+    bench_stream.add_argument("--clauses", type=int, default=120)
+    bench_stream.add_argument("--T", type=int, default=10)
+    bench_stream.add_argument("--s", type=float, default=4.0)
+    bench_stream.add_argument("--seed", type=int, default=42)
+    bench_stream.add_argument("--samples", type=int, default=600,
+                              help="streamed samples per timed run")
+    bench_stream.add_argument("--batch-size", type=int, default=64)
+    bench_stream.add_argument("--repeats", type=int, default=2,
+                              help="timed repetitions per backend (best-of)")
+    bench_stream.add_argument("--json", action="store_true",
+                              help="print the benchmark payload as JSON")
+    bench_stream.add_argument("--save", default=None,
+                              help="also write the JSON payload to this path")
+
     sweep = sub.add_parser(
         "sweep",
         help="parallel design-space exploration with a resumable cache",
@@ -130,6 +167,49 @@ def _add_flow_args(cmd):
     cmd.add_argument("--import-model", default=None, dest="model_path",
                      help="import a trained model instead of training")
     cmd.add_argument("--name", default="matador_accel")
+
+
+def _add_stream_args(cmd):
+    cmd.add_argument("--dataset", default="kws6",
+                     choices=sorted(DATASET_REGISTRY))
+    cmd.add_argument("--train", type=int, default=500, dest="n_train",
+                     help="dataset training-split size the stream replays")
+    cmd.add_argument("--test", type=int, default=100, dest="n_test")
+    cmd.add_argument("--clauses", type=int, default=24, help="clauses per class")
+    cmd.add_argument("--T", type=int, default=10)
+    cmd.add_argument("--s", type=float, default=4.0)
+    cmd.add_argument("--seed", type=int, default=42)
+    cmd.add_argument("--backend", default="vectorized",
+                     choices=("reference", "vectorized"))
+    cmd.add_argument("--samples", type=int, default=2600,
+                     help="total streamed samples (including warmup)")
+    cmd.add_argument("--batch-size", type=int, default=32,
+                     help="stream chunk size")
+    cmd.add_argument("--warmup", type=int, default=400,
+                     help="samples used to train + publish the initial champion")
+    cmd.add_argument("--drift-at", type=int, default=None,
+                     help="induce synthetic drift at this sample index")
+    cmd.add_argument("--drift-kind", default="labels",
+                     choices=("labels", "features"),
+                     help="induced drift: permute labels or flip features")
+    cmd.add_argument("--drift-width", type=int, default=0,
+                     help="0 = abrupt shift; >0 = sliding-window ramp length")
+    cmd.add_argument("--max-batch", type=int, default=32,
+                     help="serving micro-batch size trigger")
+    cmd.add_argument("--label-delay", type=int, default=1,
+                     help="batches between serving and label arrival")
+    cmd.add_argument("--adapt-window", type=int, default=400,
+                     help="labelled samples a challenger trains on")
+    cmd.add_argument("--eval-window", type=int, default=200,
+                     help="labelled samples for the shadow evaluation")
+    cmd.add_argument("--margin", type=float, default=0.0,
+                     help="required challenger shadow-accuracy edge")
+    cmd.add_argument("--detector-window", type=int, default=400,
+                     help="drift-detector correctness window")
+    cmd.add_argument("--report", default=None,
+                     help="write the session report JSON here")
+    cmd.add_argument("--json", action="store_true",
+                     help="print the session report as JSON")
 
 
 def _add_sweep_args(cmd):
@@ -341,6 +421,92 @@ def _cmd_bench_serve(args, out):
     return 0
 
 
+def _cmd_stream(args, out):
+    from ..data.loaders import load_dataset
+    from ..streaming import (
+        DriftDetector,
+        DriftStream,
+        ReplayStream,
+        StreamSession,
+        flip_features,
+        permute_labels,
+    )
+    from ..tsetlin import TsetlinMachine
+
+    ds = load_dataset(args.dataset, n_train=args.n_train, n_test=args.n_test,
+                      seed=0)
+    stream = ReplayStream(ds, batch_size=args.batch_size,
+                          n_samples=args.samples, seed=args.seed)
+    if args.drift_at is not None:
+        transform = (
+            permute_labels(ds.n_classes, seed=args.seed)
+            if args.drift_kind == "labels"
+            else flip_features(ds.n_features, seed=args.seed)
+        )
+        stream = DriftStream(stream, transform, drift_at=args.drift_at,
+                             width=args.drift_width, seed=args.seed)
+
+    def factory(seed):
+        return TsetlinMachine(
+            n_classes=ds.n_classes, n_features=ds.n_features,
+            n_clauses=args.clauses, T=args.T, s=args.s, seed=seed,
+            backend=args.backend,
+        )
+
+    session = StreamSession(
+        stream, factory, warmup=args.warmup, name=args.dataset,
+        detector=DriftDetector(window=args.detector_window),
+        max_batch=args.max_batch, label_delay=args.label_delay,
+        adapt_window=args.adapt_window, eval_window=args.eval_window,
+        promote_margin=args.margin, seed=args.seed,
+    )
+    report = session.run()
+    if args.json:
+        print(json.dumps(report, indent=1), file=out)
+    else:
+        acc = report["accuracy"]
+        print(
+            f"streamed {report['requests']} requests "
+            f"({report['unresolved']} unresolved), "
+            f"{len(report['detections'])} drift detection(s), "
+            f"{len(report['promotions'])} promotion(s), "
+            f"live version v{report['live_version']}",
+            file=out,
+        )
+        for key, value in acc.items():
+            if value is not None:
+                print(f"  accuracy[{key}] = {value:.4f}", file=out)
+        if report["detection_delay"] is not None:
+            print(f"  detection delay: {report['detection_delay']} samples",
+                  file=out)
+    if args.report:
+        report_path = Path(args.report)
+        report_path.parent.mkdir(parents=True, exist_ok=True)
+        report_path.write_text(json.dumps(report, indent=1), encoding="utf-8")
+        print(f"report: {args.report}", file=out)
+    return 1 if report["unresolved"] else 0
+
+
+def _cmd_bench_stream(args, out):
+    from ..streaming import format_stream_benchmark, stream_benchmark
+
+    payload = stream_benchmark(
+        dataset=args.dataset, n_train=args.n_train, clauses=args.clauses,
+        T=args.T, s=args.s, seed=args.seed, n_samples=args.samples,
+        batch_size=args.batch_size, repeats=args.repeats,
+    )
+    if args.json:
+        print(json.dumps(payload, indent=1), file=out)
+    else:
+        print(format_stream_benchmark(payload), file=out)
+    if args.save:
+        save_path = Path(args.save)
+        save_path.parent.mkdir(parents=True, exist_ok=True)
+        save_path.write_text(json.dumps(payload, indent=1), encoding="utf-8")
+        print(f"saved: {args.save}", file=out)
+    return 0
+
+
 def _split_axis(text, convert=str):
     return [convert(part) for part in str(text).split(",") if part != ""]
 
@@ -435,6 +601,10 @@ def main(argv=None, out=None):
         return _cmd_serve(args, out)
     if args.command == "bench-serve":
         return _cmd_bench_serve(args, out)
+    if args.command == "stream":
+        return _cmd_stream(args, out)
+    if args.command == "bench-stream":
+        return _cmd_bench_stream(args, out)
     if args.command == "sweep":
         return _cmd_sweep(args, out)
     if args.command == "datasets":

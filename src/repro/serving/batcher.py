@@ -157,6 +157,17 @@ class Batcher:
         return self._flush(reason="forced")
 
     # ------------------------------------------------------------------
+    # Context manager: guarantee a drain on shutdown so no submitted
+    # ticket is ever left unresolved (flush-on-exit runs even when the
+    # body raises — the tickets already accepted still get served).
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.flush()
+        return False
+
+    # ------------------------------------------------------------------
     def _flush(self, reason):
         if not self._queue:
             return 0

@@ -11,6 +11,14 @@ next ``publish``.
 Version resolution: ``engine(name)`` returns the latest version,
 ``engine(name, version=n)`` a specific one (old versions stay queryable
 until :meth:`retire`), which gives rollback for free.
+
+During a promotion window :meth:`pin` holds ``engine(name)`` at a
+known-good version, so publishing a challenger does not change what
+unversioned readers are served until the promoter decides; :meth:`unpin`
+restores latest-wins resolution.  Version numbers are never reused:
+retiring the latest version falls back to the next-highest for
+resolution, but the counter keeps climbing, so a later ``publish`` can
+never collide with a version that was ever served.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ class Registry:
     def __init__(self):
         self._models = {}  # name -> {version: engine}
         self._next_version = {}  # name -> int
+        self._pinned = {}  # name -> version held for engine(name)
 
     # ------------------------------------------------------------------
     def publish(self, name, source):
@@ -55,7 +64,7 @@ class Registry:
                 f"no model named {name!r}; published: {sorted(self._models)}"
             ) from None
         if version is None:
-            version = max(versions)
+            version = self._pinned.get(name, max(versions))
         try:
             return versions[version]
         except KeyError:
@@ -80,14 +89,45 @@ class Registry:
     def latest_version(self, name):
         return max(self.versions(name))
 
+    # ------------------------------------------------------------------
+    def pin(self, name, version):
+        """Hold ``engine(name)`` at ``version`` until :meth:`unpin`.
+
+        Explicit ``engine(name, version=n)`` lookups are unaffected; only
+        unversioned (latest-wins) resolution is frozen.  Used by the
+        promoter to keep serving the known-good champion while a
+        challenger version is published and shadow-evaluated.
+        """
+        self.engine(name, version)  # validates name + version
+        self._pinned[name] = version
+
+    def unpin(self, name):
+        """Restore latest-wins resolution for ``name`` (idempotent)."""
+        self._pinned.pop(name, None)
+
+    def pinned_version(self, name):
+        """The pinned version of ``name``, or ``None`` when unpinned."""
+        return self._pinned.get(name)
+
     def retire(self, name, version):
-        """Drop one published version (the last one cannot be retired)."""
+        """Drop one published version (the last one cannot be retired).
+
+        Retiring the latest version is allowed when older versions
+        remain: unversioned resolution falls back to the next-highest
+        survivor, while the publish counter keeps climbing so the retired
+        number is never reissued.  A pinned version cannot be retired —
+        unpin first (otherwise ``engine(name)`` would dangle).
+        """
         versions = self._models.get(name, {})
         if version not in versions:
             raise ModelNotFound(f"model {name!r} has no version {version}")
         if len(versions) == 1:
             raise ValueError(
                 f"cannot retire the only remaining version of {name!r}"
+            )
+        if self._pinned.get(name) == version:
+            raise ValueError(
+                f"version {version} of {name!r} is pinned; unpin before retiring"
             )
         del versions[version]
 

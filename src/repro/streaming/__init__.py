@@ -1,0 +1,60 @@
+"""Online continual learning: streams, drift detection, hot promotion.
+
+The flow trains once and deploys a frozen design; this package keeps a
+deployed model fresh when the data distribution shifts.  It layers on
+the three prior subsystems: machines gained ``partial_fit`` (epoch-free
+incremental updates, bit-identical to ``fit`` over the same sample
+order), the serving registry gained ``pin``/``unpin`` so promotion can
+hold a known-good version, and the batcher drains itself as a context
+manager.
+
+Layer map::
+
+    StreamSource       iterable of StreamBatch chunks with global sample
+                       indices; ReplayStream cycles a repro.data Dataset
+    DriftStream        injects synthetic concept drift (abrupt shift or
+                       sliding-window ramp) via label/feature transforms
+    OnlineTrainer      prequential (test-then-train) wrapper around a
+                       machine's partial_fit
+    DriftDetector      ADWIN-style windowed mean-shift test over the
+                       served-prediction-vs-delayed-label correctness
+                       stream
+    Promoter           shadow-evaluates a challenger against the live
+                       champion, publishes to the Registry on win, swaps
+                       the Batcher engine between flushes (zero-downtime)
+                       and supports rollback
+    StreamSession      the standing loop: serve -> detect -> adapt ->
+                       promote, with a JSON-able report
+    stream_benchmark   online updates/sec + detection-delay measurement
+                       (CLI `bench-stream`, benchmarks suite)
+"""
+
+from .sources import (
+    DriftStream,
+    ReplayStream,
+    StreamBatch,
+    StreamSource,
+    flip_features,
+    permute_labels,
+)
+from .online import OnlineTrainer
+from .drift import DriftDetector
+from .promote import Promoter
+from .session import StreamSession, run_stream
+from .bench import format_stream_benchmark, stream_benchmark
+
+__all__ = [
+    "DriftStream",
+    "ReplayStream",
+    "StreamBatch",
+    "StreamSource",
+    "flip_features",
+    "permute_labels",
+    "OnlineTrainer",
+    "DriftDetector",
+    "Promoter",
+    "StreamSession",
+    "run_stream",
+    "format_stream_benchmark",
+    "stream_benchmark",
+]

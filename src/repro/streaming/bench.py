@@ -1,0 +1,132 @@
+"""Streaming benchmark: online updates/sec + drift-detection delay.
+
+Two numbers characterize the continual-learning subsystem:
+
+* **online update throughput** — ``partial_fit`` samples/sec per
+  training backend on a replayed stream.  The gated metric is the
+  vectorized-vs-reference *ratio* (``online_speedup``), which is stable
+  across runner hardware the same way the batch-training speedup is.
+* **detection delay** — samples between a ground-truth abrupt drift
+  onset and the detector firing, measured on a frozen model served over
+  a :class:`~repro.streaming.DriftStream` (reported, not gated: it is a
+  property of the detector configuration, not of code speed).
+
+Shared by the ``bench-stream`` CLI command and
+``benchmarks/test_stream_throughput.py`` (which writes the JSON payload
+for the CI regression gate).
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..data.loaders import load_dataset
+from ..tsetlin.machine import TsetlinMachine
+from .drift import DriftDetector
+from .sources import DriftStream, ReplayStream, permute_labels
+
+__all__ = ["stream_benchmark", "format_stream_benchmark"]
+
+
+def _make_machine(ds, backend, clauses, T, s, seed):
+    return TsetlinMachine(
+        n_classes=ds.n_classes,
+        n_features=ds.n_features,
+        n_clauses=clauses,
+        T=T,
+        s=s,
+        seed=seed,
+        backend=backend,
+    )
+
+
+def _updates_per_sec(ds, backend, clauses, T, s, seed, n_samples,
+                     batch_size, repeats):
+    """Best-of-``repeats`` partial_fit throughput on a replayed stream."""
+    best = 0.0
+    for rep in range(repeats):
+        machine = _make_machine(ds, backend, clauses, T, s, seed)
+        stream = ReplayStream(ds, batch_size=batch_size,
+                              n_samples=n_samples, seed=seed)
+        # Warm pass: first chunk pays cold-start costs (allocations,
+        # packing); steady-state is what a standing loop sees.
+        batches = list(stream)
+        machine.partial_fit(batches[0].X, batches[0].y)
+        timed = batches[1:]
+        n = sum(len(b) for b in timed)
+        t0 = time.perf_counter()
+        for batch in timed:
+            machine.partial_fit(batch.X, batch.y)
+        elapsed = time.perf_counter() - t0
+        if elapsed > 0:
+            best = max(best, n / elapsed)
+    return best
+
+
+def _detection_delay(ds, clauses, T, s, seed, drift_at, n_samples,
+                     batch_size, window):
+    """Delay (samples) between induced abrupt drift and detector firing."""
+    machine = _make_machine(ds, "vectorized", clauses, T, s, seed)
+    machine.fit(ds.X_train, ds.y_train, epochs=2, shuffle=False,
+                track_metrics=False)
+    stream = DriftStream(
+        ReplayStream(ds, batch_size=batch_size, n_samples=n_samples,
+                     seed=seed + 1),
+        permute_labels(ds.n_classes, seed=seed),
+        drift_at=drift_at,
+    )
+    detector = DriftDetector(window=window, check_every=batch_size)
+    for batch in stream:
+        detector.update(machine.predict(batch.X) == batch.y)
+        # Stop at the first firing at/after the true onset; earlier
+        # firings are false alarms and must not abort the measurement.
+        if any(d >= drift_at for d in detector.detections):
+            break
+    hits = [d for d in detector.detections if d >= drift_at]
+    return int(hits[0] - drift_at) if hits else None
+
+
+def stream_benchmark(dataset="mnist", n_train=400, n_test=100, clauses=120,
+                     T=10, s=4.0, seed=42, n_samples=600, batch_size=64,
+                     repeats=2, drift_at=300, detector_window=300):
+    """Measure online update throughput per backend + detection delay."""
+    ds = load_dataset(dataset, n_train=n_train, n_test=n_test, seed=0)
+    rates = {
+        backend: _updates_per_sec(ds, backend, clauses, T, s, seed,
+                                  n_samples, batch_size, repeats)
+        for backend in ("reference", "vectorized")
+    }
+    delay = _detection_delay(ds, clauses, T, s, seed, drift_at,
+                             n_samples=4 * drift_at, batch_size=batch_size,
+                             window=detector_window)
+    return {
+        "dataset": ds.name,
+        "n_clauses": clauses,
+        "batch_size": batch_size,
+        "stream_samples": n_samples,
+        "reference_updates_per_sec": round(rates["reference"], 1),
+        "vectorized_updates_per_sec": round(rates["vectorized"], 1),
+        "online_speedup": round(rates["vectorized"]
+                                / max(rates["reference"], 1e-9), 2),
+        "drift_at": drift_at,
+        "detection_delay_samples": delay,
+    }
+
+
+def format_stream_benchmark(payload):
+    lines = [
+        f"online training on {payload['dataset']} "
+        f"({payload['n_clauses']} clauses/class, "
+        f"batch {payload['batch_size']}):",
+        f"  reference   {payload['reference_updates_per_sec']:>10.1f} "
+        "updates/s",
+        f"  vectorized  {payload['vectorized_updates_per_sec']:>10.1f} "
+        f"updates/s  ({payload['online_speedup']:.1f}x)",
+    ]
+    delay = payload["detection_delay_samples"]
+    lines.append(
+        f"  drift @ {payload['drift_at']}: "
+        + (f"detected after {delay} samples" if delay is not None
+           else "NOT detected")
+    )
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Drift detection over a served-prediction correctness stream.
+
+:class:`DriftDetector` implements an ADWIN-style windowed mean-shift
+test: it keeps the last ``window`` correctness bits (served prediction
+== delayed label) and, at every candidate split of that window into an
+older and a newer half, compares the two sub-window accuracies against
+a Hoeffding bound.  When the older side's accuracy exceeds the newer
+side's by more than the bound (plus a fixed ``min_drop`` guard against
+statistically-significant-but-tiny dips), the distribution behind the
+stream has shifted and the detector fires.
+
+Firing records the global sample index and restarts the window, so the
+post-drift samples are not polluted by pre-drift history — exactly what
+the challenger trainer wants to learn from.  Everything is deterministic:
+no RNG, same bits in => same detections out.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["DriftDetector"]
+
+
+class DriftDetector:
+    """ADWIN-style accuracy mean-shift detector.
+
+    Parameters
+    ----------
+    window:
+        Maximum correctness bits retained (the adaptive window cap).
+    min_samples:
+        Minimum bits on *each* side of a candidate split; also the
+        minimum window fill before any test runs.
+    delta:
+        Hoeffding confidence parameter; smaller = fewer false alarms,
+        longer detection delay.
+    min_drop:
+        Absolute accuracy-drop floor on top of the Hoeffding bound, so
+        a large window cannot fire on a significant-but-negligible dip.
+    check_every:
+        Run the split scan every this-many updates (the scan is O(window)
+        via cumulative sums; 1 = test after every sample).
+    """
+
+    def __init__(self, window=400, min_samples=50, delta=0.002,
+                 min_drop=0.05, check_every=10):
+        if window < 2 * min_samples:
+            raise ValueError("window must hold two min_samples halves")
+        if not 0.0 < delta < 1.0:
+            raise ValueError("delta must be in (0, 1)")
+        self.window = int(window)
+        self.min_samples = int(min_samples)
+        self.delta = float(delta)
+        self.min_drop = float(min_drop)
+        self.check_every = max(1, int(check_every))
+        self._bits = deque(maxlen=self.window)
+        self._since_check = 0
+        self.samples_seen = 0
+        self.detections = []  # global sample index at each firing
+
+    # ------------------------------------------------------------------
+    def update(self, correct):
+        """Feed correctness bit(s); returns True iff drift fired now.
+
+        ``correct`` may be a scalar bool or an array of bits (a served
+        batch's worth); the scan runs at ``check_every`` granularity.
+        """
+        bits = np.atleast_1d(np.asarray(correct)).astype(bool)
+        fired = False
+        for b in bits:
+            self._bits.append(bool(b))
+            self.samples_seen += 1
+            self._since_check += 1
+            if self._since_check >= self.check_every:
+                self._since_check = 0
+                if self._test():
+                    self.detections.append(self.samples_seen)
+                    self._bits.clear()
+                    fired = True
+        return fired
+
+    def _test(self):
+        n = len(self._bits)
+        if n < 2 * self.min_samples:
+            return False
+        x = np.fromiter(self._bits, dtype=np.float64, count=n)
+        csum = np.cumsum(x)
+        total = csum[-1]
+        # Candidate splits: older side [0, k), newer side [k, n).
+        ks = np.arange(self.min_samples, n - self.min_samples + 1)
+        mean_old = csum[ks - 1] / ks
+        mean_new = (total - csum[ks - 1]) / (n - ks)
+        # Hoeffding bound for the difference of two bounded means.
+        inv = 1.0 / ks + 1.0 / (n - ks)
+        eps = np.sqrt(0.5 * inv * np.log(4.0 / self.delta))
+        drop = mean_old - mean_new
+        return bool(np.any(drop > np.maximum(eps, self.min_drop)))
+
+    # ------------------------------------------------------------------
+    def reset(self):
+        """Clear the window (detection history is kept)."""
+        self._bits.clear()
+        self._since_check = 0
+
+    @property
+    def last_detection(self):
+        return self.detections[-1] if self.detections else None
+
+    def to_dict(self):
+        return {
+            "window": self.window,
+            "delta": self.delta,
+            "min_drop": self.min_drop,
+            "samples_seen": self.samples_seen,
+            "detections": list(self.detections),
+        }

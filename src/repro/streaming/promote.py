@@ -1,0 +1,170 @@
+"""Challenger promotion: shadow-evaluate, publish, hot-swap, rollback.
+
+:class:`Promoter` closes the continual-learning loop against the serving
+stack.  A challenger (an online-trained machine) is frozen into an
+unpublished engine snapshot and *shadow-evaluated* against the live
+champion on the same recently-labelled traffic sample; only if it wins
+by ``margin`` is it published to the :class:`~repro.serving.Registry`
+and hot-swapped into the :class:`~repro.serving.Batcher`.
+
+The swap is zero-downtime by construction: the champion's version is
+pinned in the registry for the duration of the promotion window (so
+unversioned ``engine(name)`` readers never observe the challenger
+mid-decision), the batcher is flushed (every accepted ticket resolves
+against the old engine) and only then is its engine reference replaced —
+the next submitted request is served by the new version.  No ticket is
+ever dropped or served by a half-swapped state.
+
+Rollback is the same dance in reverse: the previous version is still in
+the registry (publish never overwrites), so :meth:`rollback` pins it and
+swaps it back in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..serving.engine import snapshot_engine
+
+__all__ = ["Promoter"]
+
+
+class Promoter:
+    """Shadow-evaluation gate between challengers and the live engine.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.serving.Registry` versions are published to.
+    name:
+        Model name under which champion and challengers are versioned.
+    batcher:
+        Optional :class:`~repro.serving.Batcher` serving live traffic;
+        promotions flush it and swap its engine in place.  Without a
+        batcher, promotion only moves the registry's latest version.
+    margin:
+        Required shadow-accuracy edge, ``challenger >= champion +
+        margin``, before a promotion goes through.
+    sample_fraction, seed:
+        Fraction of the offered labelled traffic actually replayed for
+        the shadow evaluation (seeded subsample) — shadow scoring cost
+        control for wide eval windows.
+    """
+
+    def __init__(self, registry, name, batcher=None, margin=0.0,
+                 sample_fraction=1.0, seed=0):
+        if not 0.0 < sample_fraction <= 1.0:
+            raise ValueError("sample_fraction must be in (0, 1]")
+        self.registry = registry
+        self.name = name
+        self.batcher = batcher
+        self.margin = float(margin)
+        self.sample_fraction = float(sample_fraction)
+        self._rng = np.random.default_rng(seed)
+        self.history = []  # promotion / rejection / rollback records
+        self.previous_version = None  # champion displaced by the last promotion
+
+    # ------------------------------------------------------------------
+    def live_engine(self):
+        """The engine answering traffic right now."""
+        if self.batcher is not None:
+            return self.batcher.engine
+        return self.registry.engine(self.name)
+
+    def _sampled(self, X, y):
+        if self.sample_fraction >= 1.0 or len(X) == 0:
+            return X, np.asarray(y)
+        keep = self._rng.random(len(X)) < self.sample_fraction
+        if not keep.any():
+            keep[int(self._rng.integers(0, len(X)))] = True
+        return X[keep], np.asarray(y)[keep]
+
+    def shadow_evaluate(self, challenger, X, y):
+        """Score challenger vs live champion on sampled labelled traffic.
+
+        ``challenger`` may be a machine (snapshot taken here) or an
+        already-frozen engine.  Returns the comparison dict; no registry
+        or batcher state changes.
+        """
+        engine = challenger if hasattr(challenger, "predict_with_sums") \
+            else snapshot_engine(challenger, name=self.name, version=0)
+        Xs, ys = self._sampled(np.asarray(X), y)
+        champion = self.live_engine()
+        return {
+            "n_shadow": int(len(Xs)),
+            "champion_version": champion.version,
+            "champion_accuracy": round(champion.evaluate(Xs, ys), 4),
+            "challenger_accuracy": round(engine.evaluate(Xs, ys), 4),
+        }
+
+    # ------------------------------------------------------------------
+    def promote(self, challenger, X, y):
+        """Shadow-evaluate and, on a win, publish + hot-swap.
+
+        Returns the decision record (also appended to :attr:`history`)
+        with ``promoted`` True/False and the shadow accuracies.  During
+        the decision the champion's version is pinned so concurrent
+        unversioned registry readers stay on the known-good version
+        until the swap is complete.
+        """
+        champion = self.live_engine()
+        pinned = (self.name in self.registry
+                  and champion.version in self.registry.versions(self.name))
+        prior_pin = self.registry.pinned_version(self.name) if pinned else None
+        if pinned:
+            self.registry.pin(self.name, champion.version)
+        wins = False
+        try:
+            report = self.shadow_evaluate(challenger, X, y)
+            wins = (report["challenger_accuracy"]
+                    >= report["champion_accuracy"] + self.margin)
+            record = dict(report, action="promote", promoted=bool(wins))
+            if wins:
+                engine = self.registry.publish(self.name, challenger)
+                self._swap(engine)
+                self.previous_version = champion.version
+                record["new_version"] = engine.version
+        finally:
+            if pinned:
+                if wins:
+                    # The new latest serves; any earlier rollback pin is
+                    # superseded by this promotion.
+                    self.registry.unpin(self.name)
+                elif prior_pin is not None:
+                    # Rejection must not destroy a pre-existing pin
+                    # (e.g. the known-good pin a rollback installed).
+                    self.registry.pin(self.name, prior_pin)
+                else:
+                    self.registry.unpin(self.name)
+        self.history.append(record)
+        return record
+
+    def rollback(self):
+        """Reinstate the version displaced by the last promotion.
+
+        The bad latest version stays in the registry (audit trail), so
+        the reinstated version is pinned — unversioned readers resolve
+        to it, not to the retracted latest — and hot-swapped into the
+        batcher.  Returns the rollback record.
+        """
+        if self.previous_version is None:
+            raise RuntimeError("no promotion to roll back")
+        version = self.previous_version
+        engine = self.registry.engine(self.name, version)
+        retracted = self.live_engine().version
+        self.registry.pin(self.name, version)
+        self._swap(engine)
+        self.previous_version = None
+        record = {
+            "action": "rollback",
+            "restored_version": version,
+            "retracted_version": retracted,
+        }
+        self.history.append(record)
+        return record
+
+    def _swap(self, engine):
+        """Atomically (between flushes) repoint live traffic."""
+        if self.batcher is not None:
+            self.batcher.flush()  # pending tickets resolve on the old engine
+            self.batcher.engine = engine

@@ -1,0 +1,226 @@
+"""Stream sources: replay datasets as request streams, inject drift.
+
+A :class:`StreamSource` is a restartable iterable of :class:`StreamBatch`
+chunks carrying global sample indices, so every consumer (trainer,
+detector, session report) can talk about "sample 1200" unambiguously.
+:class:`ReplayStream` turns any :class:`repro.data.Dataset` into a
+stream by cycling its training split with a per-pass seeded shuffle;
+:class:`DriftStream` wraps another source and applies a label/feature
+transform either abruptly (every sample past ``drift_at``) or as a
+sliding-window ramp (drift probability rising linearly across
+``width`` samples), which is how the tests and benchmarks induce
+concept drift with a known ground-truth onset.
+
+All sources are deterministic given their seeds: iterating twice yields
+bit-identical batches, which is what lets the end-to-end streaming test
+replay a served stream exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "StreamBatch",
+    "StreamSource",
+    "ReplayStream",
+    "DriftStream",
+    "permute_labels",
+    "flip_features",
+]
+
+
+class StreamBatch:
+    """One chunk of a stream: features, labels, global start index."""
+
+    __slots__ = ("X", "y", "start")
+
+    def __init__(self, X, y, start):
+        self.X = X
+        self.y = y
+        self.start = int(start)
+
+    def __len__(self):
+        return len(self.X)
+
+    @property
+    def stop(self):
+        """Global index one past this batch's last sample."""
+        return self.start + len(self.X)
+
+    @property
+    def indices(self):
+        """Global sample indices ``(len,)`` of this batch."""
+        return np.arange(self.start, self.stop)
+
+
+class StreamSource:
+    """Restartable iterable of :class:`StreamBatch` chunks.
+
+    Subclasses implement :meth:`batches` as a generator; iterating a
+    source twice must yield bit-identical batches (seeded, no shared
+    mutable cursor), and expose ``n_features`` / ``n_classes`` so
+    consumers can size machines without peeking at the first batch.
+    """
+
+    n_features = None
+    n_classes = None
+
+    def batches(self):
+        raise NotImplementedError
+
+    def __iter__(self):
+        return self.batches()
+
+
+class ReplayStream(StreamSource):
+    """Cycle a dataset's training split as a bounded stream.
+
+    Parameters
+    ----------
+    dataset:
+        A :class:`repro.data.Dataset`; the stream replays its training
+        split (the test split stays untouched for offline evaluation).
+    batch_size:
+        Samples per :class:`StreamBatch`.
+    n_samples:
+        Total stream length; defaults to one pass over the split.
+        Longer streams re-enter the split, reshuffling each pass.
+    shuffle:
+        Shuffle the replay order once per pass (seeded).
+    seed:
+        Shuffle seed; iteration is deterministic per seed.
+    """
+
+    def __init__(self, dataset, batch_size=32, n_samples=None, shuffle=True,
+                 seed=0):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if len(dataset.X_train) == 0:
+            raise ValueError("dataset has an empty training split")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.n_samples = int(n_samples) if n_samples is not None \
+            else len(dataset.X_train)
+        self.shuffle = bool(shuffle)
+        self.seed = seed
+        self.n_features = dataset.n_features
+        self.n_classes = dataset.n_classes
+
+    def batches(self):
+        rng = np.random.default_rng(self.seed)
+        X, y = self.dataset.X_train, self.dataset.y_train
+        n = len(X)
+        produced = 0
+        while produced < self.n_samples:
+            order = rng.permutation(n) if self.shuffle else np.arange(n)
+            for lo in range(0, n, self.batch_size):
+                take = order[lo:lo + self.batch_size]
+                take = take[: self.n_samples - produced]
+                if len(take) == 0:
+                    break
+                yield StreamBatch(X[take], y[take], produced)
+                produced += len(take)
+                if produced >= self.n_samples:
+                    break
+
+
+def permute_labels(n_classes, seed=0):
+    """Concept-drift transform: relabel classes by a fixed-point-free map.
+
+    Flipping ``P(y | x)`` while leaving the inputs untouched is the
+    classic abrupt concept drift; a permutation with no fixed points
+    guarantees every class's accuracy collapses at the onset.
+    """
+    if n_classes < 2:
+        raise ValueError("n_classes must be >= 2")
+    rng = np.random.default_rng(seed)
+    identity = np.arange(n_classes)
+    perm = np.roll(identity, 1)  # fallback: cyclic shift has no fixed point
+    for _ in range(32):
+        cand = rng.permutation(n_classes)
+        if not np.any(cand == identity):
+            perm = cand
+            break
+
+    def transform(X, y):
+        return X, perm[y]
+
+    transform.permutation = perm
+    return transform
+
+
+def flip_features(n_features, fraction=0.25, seed=0):
+    """Covariate-drift transform: XOR a fixed random subset of the bits.
+
+    Inverting a fraction of the boolean features shifts ``P(x)`` so that
+    clauses trained pre-drift stop matching; labels are untouched.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    mask = (rng.random(n_features) < fraction).astype(np.uint8)
+    if not mask.any():
+        mask[int(rng.integers(0, n_features))] = 1
+
+    def transform(X, y):
+        return np.asarray(X, dtype=np.uint8) ^ mask, y
+
+    transform.mask = mask
+    return transform
+
+
+class DriftStream(StreamSource):
+    """Inject synthetic drift into another stream at a known onset.
+
+    Parameters
+    ----------
+    base:
+        The clean :class:`StreamSource` to wrap.
+    transform:
+        ``transform(X, y) -> (X, y)`` applied to the drifted samples —
+        see :func:`permute_labels` / :func:`flip_features`.
+    drift_at:
+        Global sample index of the drift onset (ground truth for
+        detection-delay measurements, exposed as :attr:`drift_at`).
+    width:
+        0 (default) is an abrupt shift: every sample at index >=
+        ``drift_at`` is transformed.  ``width > 0`` is a sliding-window
+        ramp: a sample at onset offset ``d`` in ``[0, width)`` is
+        transformed with probability ``d / width`` (seeded), modelling
+        the gradual hand-over between two concepts.
+    seed:
+        Ramp sampling seed (unused for abrupt shifts).
+    """
+
+    def __init__(self, base, transform, drift_at, width=0, seed=0):
+        if drift_at < 0:
+            raise ValueError("drift_at must be >= 0")
+        if width < 0:
+            raise ValueError("width must be >= 0")
+        self.base = base
+        self.transform = transform
+        self.drift_at = int(drift_at)
+        self.width = int(width)
+        self.seed = seed
+        self.n_features = base.n_features
+        self.n_classes = base.n_classes
+
+    def batches(self):
+        rng = np.random.default_rng(self.seed)
+        for batch in self.base:
+            idx = batch.indices
+            if self.width == 0:
+                mask = idx >= self.drift_at
+            else:
+                p = np.clip((idx - self.drift_at) / self.width, 0.0, 1.0)
+                mask = rng.random(len(batch)) < p
+            if not mask.any():
+                yield batch
+                continue
+            Xd, yd = self.transform(batch.X[mask], batch.y[mask])
+            X = batch.X.copy()
+            y = batch.y.copy()
+            X[mask] = Xd
+            y[mask] = yd
+            yield StreamBatch(X, y, batch.start)

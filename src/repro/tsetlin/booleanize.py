@@ -106,6 +106,25 @@ class ThermometerEncoder:
         self.hi_ = X.max(axis=0).astype(np.float64)
         return self
 
+    def partial_fit(self, X):
+        """Widen the fitted range with a new chunk (streaming min/max).
+
+        Min/max decompose over chunks, so ``partial_fit`` over any split
+        of the data leaves ``lo_``/``hi_`` — and therefore ``transform``
+        — exactly equal to one ``fit`` on the concatenation.
+        """
+        X = _as_2d(X)
+        if len(X) == 0:
+            return self
+        lo = X.min(axis=0).astype(np.float64)
+        hi = X.max(axis=0).astype(np.float64)
+        if self.lo_ is None:
+            self.lo_, self.hi_ = lo, hi
+        else:
+            np.minimum(self.lo_, lo, out=self.lo_)
+            np.maximum(self.hi_, hi, out=self.hi_)
+        return self
+
     def _levels(self):
         # n_bits interior thresholds between lo and hi, per feature.
         steps = np.arange(1, self.n_bits + 1, dtype=np.float64) / (self.n_bits + 1)
@@ -136,20 +155,79 @@ class QuantileEncoder:
     Instead of evenly spaced levels, thresholds sit at the empirical
     quantiles of each feature, so each output bit carries roughly equal
     information regardless of the feature's marginal distribution.
+
+    Streaming use: :meth:`partial_fit` maintains a uniform reservoir
+    sample (Vitter's algorithm R) of up to ``reservoir_size`` rows and
+    recomputes the thresholds from it, so the encoder can adapt with a
+    data stream in bounded memory.  While the reservoir has not
+    overflowed (total streamed rows <= ``reservoir_size``) the thresholds
+    are exactly those of a batch :meth:`fit` on all rows seen.  A batch
+    :meth:`fit` restarts and re-seeds the reservoir from its own data,
+    so following it with ``partial_fit`` *adapts* the training
+    distribution rather than forgetting it.
     """
 
-    def __init__(self, n_bits=8):
+    def __init__(self, n_bits=8, reservoir_size=4096, seed=0):
         if n_bits < 1:
             raise ValueError("n_bits must be >= 1")
+        if reservoir_size < 1:
+            raise ValueError("reservoir_size must be >= 1")
         self.n_bits = n_bits
+        self.reservoir_size = int(reservoir_size)
+        self.seed = seed
         self.thresholds_ = None
+        self._reservoir = None
+        self._n_seen = 0
+        self._rng = None
+
+    def _quantiles(self, X):
+        qs = np.linspace(0.0, 1.0, self.n_bits + 2)[1:-1]
+        # thresholds shape: (features, n_bits)
+        return np.quantile(X, qs, axis=0).T
 
     def fit(self, X):
         X = _as_2d(X).astype(np.float64)
-        qs = np.linspace(0.0, 1.0, self.n_bits + 2)[1:-1]
-        # thresholds_ shape: (features, n_bits)
-        self.thresholds_ = np.quantile(X, qs, axis=0).T
+        # Restart the streaming state, then seed the reservoir from the
+        # batch data: a later partial_fit folds stream chunks into a
+        # sample of the training distribution instead of silently
+        # forgetting it.  The thresholds themselves are the *exact*
+        # batch quantiles, not the reservoir approximation.
+        self._reservoir = None
+        self._n_seen = 0
+        self._rng = None
+        self._fold(X)
+        self.thresholds_ = self._quantiles(X)
         return self
+
+    def partial_fit(self, X):
+        """Fold a chunk into the reservoir and refresh the thresholds."""
+        X = _as_2d(X).astype(np.float64)
+        if len(X) == 0:
+            return self
+        self._fold(X)
+        self.thresholds_ = self._quantiles(self._reservoir)
+        return self
+
+    def _fold(self, X):
+        """Reservoir-sample ``X``'s rows into the streaming state."""
+        if self._reservoir is None:
+            self._reservoir = np.empty((0, X.shape[1]))
+            self._rng = np.random.default_rng(self.seed)
+        elif X.shape[1] != self._reservoir.shape[1]:
+            raise ValueError("feature width changed between partial_fit calls")
+        cap = self.reservoir_size
+        fill = min(cap - len(self._reservoir), len(X))
+        if fill > 0:
+            self._reservoir = np.concatenate([self._reservoir, X[:fill]])
+        # Algorithm R over the overflow rows: row with global (0-based)
+        # index g replaces a uniformly drawn slot with probability cap/(g+1).
+        g = self._n_seen + fill
+        for row in X[fill:]:
+            j = int(self._rng.integers(0, g + 1))
+            if j < cap:
+                self._reservoir[j] = row
+            g += 1
+        self._n_seen += len(X)
 
     def transform(self, X):
         if self.thresholds_ is None:

@@ -143,6 +143,20 @@ class CoalescedTsetlinMachine(InferenceMixin):
             self.backend.end_fit()
         return self
 
+    def partial_fit(self, X, y):
+        """One epoch-free, in-order pass over ``(X, y)``.
+
+        Chunked calls over a fixed overall sample order are bit-identical
+        (pool state and weights) to ``fit(X, y, epochs=1, shuffle=False)``
+        on the concatenated samples — the delegation below, pinned by
+        ``tests/test_partial_fit.py``.
+        """
+        X = self._check_features(X)
+        y = np.asarray(y, dtype=np.int64)
+        if len(X) == 0 and len(y) == 0:
+            return self
+        return self.fit(X, y, epochs=1, shuffle=False)
+
     # ------------------------------------------------------------------
     def export_model(self, name="cotm"):
         """Freeze into a weighted :class:`repro.model.TMModel`.

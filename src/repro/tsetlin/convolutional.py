@@ -214,3 +214,17 @@ class ConvolutionalTsetlinMachine(InferenceMixin):
         finally:
             self.backend.end_fit()
         return self
+
+    def partial_fit(self, X, y):
+        """One epoch-free, in-order pass over ``(X, y)``.
+
+        Chunked calls over a fixed overall sample order are bit-identical
+        to ``fit(X, y, epochs=1, shuffle=False)`` on the concatenated
+        samples — the delegation below, pinned by
+        ``tests/test_partial_fit.py``.
+        """
+        X = np.asarray(X, dtype=np.uint8)
+        y = np.asarray(y, dtype=np.int64)
+        if len(X) == 0 and len(y) == 0:
+            return self
+        return self.fit(X, y, epochs=1, shuffle=False)

@@ -244,6 +244,24 @@ class TsetlinMachine(InferenceMixin):
             self.backend.end_fit()
         return self
 
+    def partial_fit(self, X, y):
+        """One epoch-free, in-order pass over ``(X, y)``.
+
+        The streaming counterpart of :meth:`fit`: no shuffle, no
+        per-epoch evaluation — one update per sample in the given order.
+        Because the RNG stream advances only through the per-sample
+        updates, chunked ``partial_fit`` calls replaying a fixed overall
+        sample order are **bit-identical** to a single ``fit(X, y,
+        epochs=1, shuffle=False)`` over the concatenated samples (pinned
+        by ``tests/test_partial_fit.py``) — which is exactly what this
+        delegates to, so the two paths cannot drift apart.
+        """
+        X = self._check_features(X)
+        y = np.asarray(y, dtype=np.int64)
+        if len(X) == 0 and len(y) == 0:
+            return self
+        return self.fit(X, y, epochs=1, shuffle=False, track_metrics=False)
+
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------

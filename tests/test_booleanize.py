@@ -106,6 +106,95 @@ class TestQuantileEncoder:
     def test_invalid_bits(self):
         with pytest.raises(ValueError):
             QuantileEncoder(n_bits=-1)
+        with pytest.raises(ValueError):
+            QuantileEncoder(reservoir_size=0)
+
+
+class TestStreamingEncoders:
+    """partial_fit: streaming chunks must match (or track) a batch fit."""
+
+    def _chunks(self, X, n):
+        return np.array_split(X, n)
+
+    def test_thermometer_chunked_equals_batch(self):
+        rng = np.random.default_rng(10)
+        X = rng.normal(size=(200, 4)) * np.array([1.0, 7.0, 0.3, 12.0])
+        batch = ThermometerEncoder(n_bits=5).fit(X)
+        stream = ThermometerEncoder(n_bits=5)
+        for chunk in self._chunks(X, 7):
+            stream.partial_fit(chunk)
+        # min/max decompose exactly over chunks: identical transforms.
+        assert np.array_equal(batch.transform(X), stream.transform(X))
+        assert np.array_equal(batch.lo_, stream.lo_)
+        assert np.array_equal(batch.hi_, stream.hi_)
+
+    def test_thermometer_partial_fit_widens_range(self):
+        enc = ThermometerEncoder(n_bits=3).fit([[0.0], [1.0]])
+        enc.partial_fit([[5.0]])
+        assert enc.hi_[0] == 5.0 and enc.lo_[0] == 0.0
+        enc.partial_fit(np.empty((0, 1)))  # empty chunk is a no-op
+        assert enc.hi_[0] == 5.0
+
+    def test_quantile_chunked_equals_batch_while_reservoir_holds(self):
+        rng = np.random.default_rng(11)
+        X = rng.exponential(size=(300, 3))
+        batch = QuantileEncoder(n_bits=4).fit(X)
+        stream = QuantileEncoder(n_bits=4, reservoir_size=300)
+        for chunk in self._chunks(X, 9):
+            stream.partial_fit(chunk)
+        # Reservoir never overflowed -> thresholds are the exact batch
+        # quantiles (np.quantile is order-insensitive).
+        assert np.allclose(batch.thresholds_, stream.thresholds_)
+        assert np.array_equal(batch.transform(X), stream.transform(X))
+
+    def test_quantile_reservoir_overflow_stays_close_and_bounded(self):
+        rng = np.random.default_rng(12)
+        X = rng.normal(size=(1000, 2))
+        batch = QuantileEncoder(n_bits=4).fit(X)
+        stream = QuantileEncoder(n_bits=4, reservoir_size=128, seed=1)
+        for chunk in self._chunks(X, 20):
+            stream.partial_fit(chunk)
+        assert len(stream._reservoir) == 128  # bounded memory
+        assert stream._n_seen == 1000
+        # Subsampled quantiles track the full-data ones on most bits.
+        agreement = (batch.transform(X) == stream.transform(X)).mean()
+        assert agreement > 0.9
+
+    def test_quantile_partial_fit_is_seeded_deterministic(self):
+        rng = np.random.default_rng(13)
+        X = rng.normal(size=(400, 3))
+        encs = [QuantileEncoder(n_bits=3, reservoir_size=64, seed=5)
+                for _ in range(2)]
+        for enc in encs:
+            for chunk in self._chunks(X, 10):
+                enc.partial_fit(chunk)
+        assert np.array_equal(encs[0].thresholds_, encs[1].thresholds_)
+
+    def test_quantile_fit_reseeds_reservoir_from_its_own_data(self):
+        enc = QuantileEncoder(n_bits=3, reservoir_size=8)
+        enc.partial_fit(np.ones((4, 2)))
+        enc.fit(np.zeros((6, 2)))
+        # fit() restarts the stream state from the batch data alone...
+        assert enc._n_seen == 6
+        assert np.array_equal(enc._reservoir, np.zeros((6, 2)))
+
+    def test_quantile_partial_fit_after_fit_keeps_training_distribution(self):
+        rng = np.random.default_rng(14)
+        A, B = rng.normal(size=(150, 2)), rng.normal(size=(50, 2)) + 5.0
+        fitted = QuantileEncoder(n_bits=4, reservoir_size=300).fit(A)
+        fitted.partial_fit(B)
+        streamed = QuantileEncoder(n_bits=4, reservoir_size=300)
+        streamed.partial_fit(A)
+        streamed.partial_fit(B)
+        # fit(A) then partial_fit(B) == streaming A then B while the
+        # reservoir holds everything: the training data is not forgotten.
+        assert np.allclose(fitted.thresholds_, streamed.thresholds_)
+
+    def test_quantile_width_change_rejected(self):
+        enc = QuantileEncoder(n_bits=3)
+        enc.partial_fit(np.ones((4, 2)))
+        with pytest.raises(ValueError, match="width changed"):
+            enc.partial_fit(np.ones((4, 3)))
 
 
 @settings(max_examples=25, deadline=None)

@@ -11,7 +11,7 @@ compare_bench = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(compare_bench)
 
 
-def write_payloads(root, cold=3.0, steady=18.0, serve=10.0):
+def write_payloads(root, cold=3.0, steady=18.0, serve=10.0, online=2.0):
     root.mkdir(parents=True, exist_ok=True)
     (root / "train_throughput.json").write_text(json.dumps({
         "cold_speedup": cold,
@@ -25,6 +25,11 @@ def write_payloads(root, cold=3.0, steady=18.0, serve=10.0):
             "64": {"speedup_vs_per_sample": serve},
             "256": {"speedup_vs_per_sample": serve},
         },
+    }))
+    (root / "stream_throughput.json").write_text(json.dumps({
+        "online_speedup": online,
+        "vectorized_updates_per_sec": 1000.0,
+        "detection_delay_samples": 80,
     }))
 
 
@@ -72,25 +77,64 @@ class TestGate:
         assert code == 1
         assert "steady_speedup" in text and "REGRESSION" in text
 
-    def test_missing_fresh_result_fails(self, tmp_path):
+    def test_missing_fresh_result_warns_but_passes(self, tmp_path):
+        # A bench that skipped (constrained hardware) must not fail the
+        # gate; the absence is surfaced as a warning.
         write_payloads(tmp_path / "base")
         (tmp_path / "fresh").mkdir()
         code, text = run_gate(tmp_path, [
             "--baselines", str(tmp_path / "base"),
             "--results", str(tmp_path / "fresh"),
         ])
-        assert code == 1
-        assert "missing fresh result" in text
+        assert code == 0
+        assert "WARN" in text and "no fresh result" in text
+        assert "FAIL" not in text
 
-    def test_missing_baseline_fails(self, tmp_path):
+    def test_missing_baseline_warns_but_passes(self, tmp_path):
+        # A benchmark landing for the first time has no committed
+        # baseline yet — warn, don't block the PR that introduces it.
         (tmp_path / "base").mkdir()
         write_payloads(tmp_path / "fresh")
         code, text = run_gate(tmp_path, [
             "--baselines", str(tmp_path / "base"),
             "--results", str(tmp_path / "fresh"),
         ])
+        assert code == 0
+        assert "WARN" in text and "new benchmark" in text
+        assert "FAIL" not in text
+
+    def test_metric_missing_from_one_side_warns_but_passes(self, tmp_path):
+        write_payloads(tmp_path / "base")
+        write_payloads(tmp_path / "fresh")
+        # Drop one gated metric from the baseline (new metric) and one
+        # from the fresh side (removed/skipped metric).
+        base_file = tmp_path / "base" / "train_throughput.json"
+        payload = json.loads(base_file.read_text())
+        del payload["steady_speedup"]
+        base_file.write_text(json.dumps(payload))
+        fresh_file = tmp_path / "fresh" / "serve_throughput.json"
+        payload = json.loads(fresh_file.read_text())
+        del payload["batch_sizes"]["256"]
+        fresh_file.write_text(json.dumps(payload))
+        code, text = run_gate(tmp_path, [
+            "--baselines", str(tmp_path / "base"),
+            "--results", str(tmp_path / "fresh"),
+        ])
+        assert code == 0
+        assert "new metric" in text
+        assert "removed/skipped metric" in text
+
+    def test_regression_still_fails_alongside_warnings(self, tmp_path):
+        # Warnings must never mask a real regression in another file.
+        write_payloads(tmp_path / "base", steady=18.0)
+        write_payloads(tmp_path / "fresh", steady=9.0)  # -50%
+        (tmp_path / "fresh" / "stream_throughput.json").unlink()
+        code, text = run_gate(tmp_path, [
+            "--baselines", str(tmp_path / "base"),
+            "--results", str(tmp_path / "fresh"),
+        ])
         assert code == 1
-        assert "missing baseline" in text
+        assert "WARN" in text and "REGRESSION" in text
 
     def test_tighter_budget_flag(self, tmp_path):
         write_payloads(tmp_path / "base", steady=18.0)

@@ -208,6 +208,27 @@ class TestBatcher:
         assert b.flush() == 0
         assert b.stats.n_batches == 0
 
+    def test_context_manager_drains_pending_on_exit(self):
+        # Flush-on-shutdown: a with-block leaves no unresolved Ticket.
+        eng = self._engine()
+        with Batcher(eng, max_batch=100, max_delay=None) as b:
+            tickets = [b.submit(np.zeros(eng.n_features, dtype=np.uint8))
+                       for _ in range(5)]
+            assert b.pending == 5
+        assert b.pending == 0
+        assert all(t.done and t.prediction is not None for t in tickets)
+        assert b.stats.forced_flushes == 1
+
+    def test_context_manager_drains_even_when_body_raises(self):
+        eng = self._engine()
+        tickets = []
+        with pytest.raises(RuntimeError, match="boom"):
+            with Batcher(eng, max_batch=100, max_delay=None) as b:
+                tickets.append(
+                    b.submit(np.zeros(eng.n_features, dtype=np.uint8)))
+                raise RuntimeError("boom")
+        assert all(t.done for t in tickets)
+
     def test_stats_dict(self):
         eng = self._engine()
         b = Batcher(eng, max_batch=2, max_delay=None)
@@ -267,6 +288,52 @@ class TestRegistry:
             reg.retire("m", 2)
         with pytest.raises(ModelNotFound):
             reg.retire("m", 1)
+
+    def test_retire_latest_falls_back_and_never_reuses_numbers(self):
+        reg = Registry()
+        model = random_model(seed=4)
+        e1 = reg.publish("m", model)
+        reg.publish("m", model)
+        reg.retire("m", 2)  # retiring the latest is allowed...
+        assert reg.versions("m") == [1]
+        assert reg.latest_version("m") == 1
+        assert reg.engine("m") is e1  # ...and resolution falls back cleanly
+        # The version counter keeps climbing: 2 is never reissued.
+        e3 = reg.publish("m", model)
+        assert e3.version == 3
+        assert reg.engine("m") is e3
+
+    def test_pin_holds_unversioned_resolution(self):
+        reg = Registry()
+        model = random_model(seed=5)
+        e1 = reg.publish("m", model)
+        reg.pin("m", 1)
+        e2 = reg.publish("m", model)
+        # Unversioned readers stay on the pinned known-good version...
+        assert reg.engine("m") is e1
+        assert reg.pinned_version("m") == 1
+        # ...while explicit lookups and version metadata see everything.
+        assert reg.engine("m", version=2) is e2
+        assert reg.latest_version("m") == 2
+        reg.unpin("m")
+        assert reg.engine("m") is e2
+        reg.unpin("m")  # idempotent
+        with pytest.raises(ModelNotFound):
+            reg.pin("m", 9)
+        with pytest.raises(ModelNotFound):
+            reg.pin("zzz", 1)
+
+    def test_pinned_version_cannot_be_retired(self):
+        reg = Registry()
+        model = random_model(seed=6)
+        reg.publish("m", model)
+        reg.publish("m", model)
+        reg.pin("m", 1)
+        with pytest.raises(ValueError, match="pinned"):
+            reg.retire("m", 1)
+        reg.retire("m", 2)  # the unpinned one is fair game
+        reg.unpin("m")
+        assert reg.versions("m") == [1]
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,375 @@
+"""Streaming subsystem tests: sources, detector, promoter, end-to-end.
+
+The end-to-end class is the acceptance test of the continual-learning
+loop: an induced abrupt drift on a high-signal synthetic stream must be
+detected, a challenger trained online, shadow-evaluated, promoted
+through the registry with zero dropped requests on the serving path,
+and a rollback must restore the prior version.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import Dataset
+from repro.serving import Registry
+from repro.streaming import (
+    DriftDetector,
+    DriftStream,
+    OnlineTrainer,
+    Promoter,
+    ReplayStream,
+    StreamSession,
+    flip_features,
+    permute_labels,
+    run_stream,
+)
+from repro.tsetlin import TsetlinMachine
+
+N_FEATURES = 24
+N_CLASSES = 3
+
+
+def _dataset(n_train=900, n_test=150, flip=0.05, seed=0):
+    """High-signal prototype dataset: near-perfectly learnable."""
+    rng = np.random.default_rng(seed)
+    protos = (rng.random((N_CLASSES, N_FEATURES)) < 0.5)
+    n = n_train + n_test
+    y = rng.integers(0, N_CLASSES, n)
+    X = (protos[y] ^ (rng.random((n, N_FEATURES)) < flip)).astype(np.uint8)
+    return Dataset(
+        name="protos", X_train=X[:n_train], y_train=y[:n_train],
+        X_test=X[n_train:], y_test=y[n_train:],
+        n_classes=N_CLASSES, n_features=N_FEATURES,
+    )
+
+
+def _factory(seed):
+    return TsetlinMachine(N_CLASSES, N_FEATURES, n_clauses=10, T=6, s=3.5,
+                          seed=seed, backend="vectorized")
+
+
+# ----------------------------------------------------------------------
+# Sources
+# ----------------------------------------------------------------------
+class TestSources:
+    def test_replay_is_deterministic_and_indexed(self):
+        ds = _dataset(n_train=100)
+        stream = ReplayStream(ds, batch_size=16, n_samples=150, seed=3)
+        a = list(stream)
+        b = list(stream)  # second iteration replays bit-identically
+        assert sum(len(x) for x in a) == 150
+        assert [x.start for x in a] == [x.start for x in b]
+        assert all(np.array_equal(p.X, q.X) and np.array_equal(p.y, q.y)
+                   for p, q in zip(a, b))
+        starts = [x.start for x in a]
+        assert starts == sorted(starts) and starts[0] == 0
+        assert a[-1].stop == 150
+
+    def test_replay_cycles_with_fresh_shuffle(self):
+        ds = _dataset(n_train=40)
+        stream = ReplayStream(ds, batch_size=40, n_samples=80, seed=1)
+        first, second = list(stream)
+        # Both passes cover the split, in different orders.
+        assert not np.array_equal(first.y, second.y)
+        assert sorted(first.y) == sorted(second.y)
+
+    def test_abrupt_drift_starts_exactly_at_onset(self):
+        ds = _dataset(n_train=100, flip=0.0)
+        transform = permute_labels(N_CLASSES, seed=2)
+        stream = DriftStream(
+            ReplayStream(ds, batch_size=10, n_samples=100, shuffle=False,
+                         seed=0),
+            transform, drift_at=55,
+        )
+        clean = list(ReplayStream(ds, batch_size=10, n_samples=100,
+                                  shuffle=False, seed=0))
+        for b, c in zip(stream, clean):
+            idx = c.indices
+            pre = idx < 55
+            assert np.array_equal(b.y[pre], c.y[pre])
+            assert np.array_equal(b.y[~pre], transform.permutation[c.y[~pre]])
+            assert np.array_equal(b.X, c.X)  # label drift leaves X alone
+
+    def test_sliding_window_ramp_is_gradual(self):
+        ds = _dataset(n_train=400, flip=0.0)
+        stream = DriftStream(
+            ReplayStream(ds, batch_size=50, n_samples=400, shuffle=False,
+                         seed=0),
+            flip_features(N_FEATURES, fraction=0.5, seed=4),
+            drift_at=100, width=200, seed=7,
+        )
+        clean = list(ReplayStream(ds, batch_size=50, n_samples=400,
+                                  shuffle=False, seed=0))
+        drift_frac = []
+        for b, c in zip(stream, clean):
+            changed = np.any(b.X != c.X, axis=1)
+            drift_frac.append(changed.mean())
+            assert np.array_equal(b.y, c.y)  # feature drift leaves y alone
+        assert drift_frac[0] == 0.0            # before onset
+        assert 0 < drift_frac[3] < 1.0         # mid-ramp: mixed concepts
+        assert drift_frac[-1] == 1.0           # past the window
+        assert drift_frac == sorted(drift_frac)
+
+    def test_permutation_has_no_fixed_points(self):
+        for seed in range(5):
+            perm = permute_labels(6, seed=seed).permutation
+            assert not np.any(perm == np.arange(6))
+
+    def test_validation(self):
+        ds = _dataset(n_train=10)
+        with pytest.raises(ValueError):
+            ReplayStream(ds, batch_size=0)
+        with pytest.raises(ValueError):
+            DriftStream(ReplayStream(ds), lambda X, y: (X, y), drift_at=-1)
+        with pytest.raises(ValueError):
+            permute_labels(1)
+        with pytest.raises(ValueError):
+            flip_features(8, fraction=0.0)
+
+
+# ----------------------------------------------------------------------
+# Online trainer
+# ----------------------------------------------------------------------
+class TestOnlineTrainer:
+    def test_prequential_accuracy_rises_on_learnable_stream(self):
+        ds = _dataset()
+        trainer = OnlineTrainer(_factory(1))
+        trainer.run(ReplayStream(ds, batch_size=32, n_samples=600, seed=2))
+        assert trainer.samples_seen == 600
+        assert trainer.prequential_accuracy > 0.6
+        d = trainer.to_dict()
+        assert d["samples_seen"] == 600
+
+    def test_rejects_machines_without_partial_fit(self):
+        with pytest.raises(TypeError, match="partial_fit"):
+            OnlineTrainer(object())
+
+
+# ----------------------------------------------------------------------
+# Drift detector
+# ----------------------------------------------------------------------
+class TestDriftDetector:
+    def test_fires_on_mean_shift_and_restarts(self):
+        det = DriftDetector(window=200, min_samples=30, check_every=5)
+        rng = np.random.default_rng(0)
+        assert not det.update(rng.random(300) < 0.9)
+        fired = det.update(rng.random(150) < 0.2)
+        assert fired
+        assert det.detections and 300 < det.detections[0] <= 450
+        # Window restarted: steady post-drift accuracy does not re-fire.
+        assert not det.update(rng.random(300) < 0.2)
+        assert len(det.detections) == 1
+
+    def test_stable_stream_never_fires(self):
+        det = DriftDetector(window=300, check_every=5)
+        rng = np.random.default_rng(1)
+        assert not det.update(rng.random(2000) < 0.8)
+        assert det.detections == []
+
+    def test_small_dip_below_min_drop_ignored(self):
+        det = DriftDetector(window=400, min_samples=50, min_drop=0.2,
+                            check_every=5)
+        rng = np.random.default_rng(2)
+        det.update(rng.random(300) < 0.9)
+        assert not det.update(rng.random(300) < 0.85)
+
+    def test_deterministic(self):
+        bits = (np.random.default_rng(3).random(600) < 0.7)
+        bits[400:] = False
+        dets = []
+        for _ in range(2):
+            det = DriftDetector(window=200, check_every=10)
+            det.update(bits)
+            dets.append(det.detections)
+        assert dets[0] == dets[1] != []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftDetector(window=50, min_samples=30)
+        with pytest.raises(ValueError):
+            DriftDetector(delta=0.0)
+
+
+# ----------------------------------------------------------------------
+# Promoter
+# ----------------------------------------------------------------------
+class TestPromoter:
+    def _trained(self, ds, seed, n=300):
+        return _factory(seed).partial_fit(ds.X_train[:n], ds.y_train[:n])
+
+    def test_promotes_better_challenger_and_rolls_back(self):
+        ds = _dataset()
+        weak = _factory(1).partial_fit(ds.X_train[:40], ds.y_train[:40])
+        registry = Registry()
+        registry.publish("m", weak)
+        promoter = Promoter(registry, "m")
+        strong = self._trained(ds, seed=2)
+        record = promoter.promote(strong, ds.X_test, ds.y_test)
+        assert record["promoted"] and record["new_version"] == 2
+        assert registry.latest_version("m") == 2
+        assert registry.pinned_version("m") is None  # unpinned after the window
+        rb = promoter.rollback()
+        assert rb["restored_version"] == 1 and rb["retracted_version"] == 2
+        # Unversioned readers are pinned back to the known-good version;
+        # the bad version stays queryable for the audit trail.
+        assert registry.engine("m").version == 1
+        assert registry.versions("m") == [1, 2]
+
+    def test_rejects_weaker_challenger(self):
+        ds = _dataset()
+        strong = self._trained(ds, seed=1)
+        registry = Registry()
+        registry.publish("m", strong)
+        promoter = Promoter(registry, "m", margin=0.01)
+        weak = _factory(2).partial_fit(ds.X_train[:20], ds.y_train[:20])
+        record = promoter.promote(weak, ds.X_test, ds.y_test)
+        assert not record["promoted"]
+        assert registry.latest_version("m") == 1
+        assert promoter.history[-1] is record
+        with pytest.raises(RuntimeError, match="no promotion"):
+            promoter.rollback()
+
+    def test_rejected_promotion_preserves_rollback_pin(self):
+        # A rejection after a rollback must not unpin the known-good
+        # version: unversioned readers would silently fall back to the
+        # retracted latest.
+        ds = _dataset()
+        registry = Registry()
+        registry.publish("m", _factory(1).partial_fit(ds.X_train[:40],
+                                                      ds.y_train[:40]))
+        promoter = Promoter(registry, "m")
+        promoter.promote(self._trained(ds, seed=2), ds.X_test, ds.y_test)
+        promoter.rollback()  # pins v1; v2 (retracted) is still latest
+        assert registry.engine("m").version == 1
+        weak = _factory(3).partial_fit(ds.X_train[:10], ds.y_train[:10])
+        record = promoter.promote(weak, ds.X_test, ds.y_test)
+        assert not record["promoted"]
+        assert registry.pinned_version("m") == 1
+        assert registry.engine("m").version == 1  # still the rolled-back one
+        # A later *winning* promotion supersedes the rollback pin.
+        strong = self._trained(ds, seed=4)
+        record = promoter.promote(strong, ds.X_test, ds.y_test)
+        assert record["promoted"]
+        assert registry.pinned_version("m") is None
+        assert registry.engine("m").version == record["new_version"]
+
+    def test_shadow_sampling_is_seeded(self):
+        ds = _dataset()
+        registry = Registry()
+        registry.publish("m", self._trained(ds, seed=1))
+        reports = [
+            Promoter(registry, "m", sample_fraction=0.5, seed=9)
+            .shadow_evaluate(self._trained(ds, seed=2), ds.X_test, ds.y_test)
+            for _ in range(2)
+        ]
+        assert reports[0] == reports[1]
+        assert 0 < reports[0]["n_shadow"] < len(ds.X_test)
+
+
+# ----------------------------------------------------------------------
+# End to end
+# ----------------------------------------------------------------------
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def session_and_report(self):
+        ds = _dataset(n_train=900, flip=0.05)
+        stream = DriftStream(
+            ReplayStream(ds, batch_size=32, n_samples=2400, seed=5),
+            permute_labels(N_CLASSES, seed=3),
+            drift_at=1100,
+        )
+        session = StreamSession(
+            stream, _factory, warmup=320, name="live",
+            detector=DriftDetector(window=300, check_every=8),
+            max_batch=32, label_delay=1, adapt_window=320, eval_window=200,
+            seed=42,
+        )
+        return session, session.run()
+
+    def test_no_dropped_requests_on_serving_path(self, session_and_report):
+        _, report = session_and_report
+        assert report["requests"] > 0
+        assert report["served"] == report["requests"]
+        assert report["unresolved"] == 0
+
+    def test_drift_detected_with_bounded_delay(self, session_and_report):
+        _, report = session_and_report
+        assert report["detections"], report
+        assert report["detection_delay"] is not None
+        assert 0 <= report["detection_delay"] <= 400
+
+    def test_challenger_promoted_through_registry(self, session_and_report):
+        session, report = session_and_report
+        assert len(report["promotions"]) == 1, report
+        promo = report["promotions"][0]
+        assert promo["new_version"] == 2
+        assert promo["challenger_accuracy"] >= promo["champion_accuracy"]
+        assert report["live_version"] == 2
+        assert session.registry.versions("live") == [1, 2]
+        # The serving engine is the published v2 snapshot, not a copy.
+        assert session.batcher.engine is session.registry.engine("live", 2)
+
+    def test_accuracy_collapses_then_recovers(self, session_and_report):
+        _, report = session_and_report
+        acc = report["accuracy"]
+        assert acc["pre_drift"] > 0.85
+        assert acc["post_drift_pre_promotion"] < 0.5
+        assert acc["post_promotion"] > acc["post_drift_pre_promotion"] + 0.3
+
+    def test_rollback_restores_prior_version(self, session_and_report):
+        session, _ = session_and_report
+        record = session.rollback()
+        assert record["restored_version"] == 1
+        assert session.batcher.engine.version == 1
+        assert session.registry.engine("live").version == 1  # pinned
+        assert session.registry.versions("live") == [1, 2]
+        assert session.report()["rollbacks"] == [record]
+
+    def test_detection_during_active_challenger_restarts_it(self):
+        # A firing mid-adapt must not be discarded: the half-trained
+        # challenger is abandoned and a fresh one starts at the new
+        # detection point (otherwise a real drift landing inside a
+        # false-alarm's adapt window would never trigger adaptation).
+        ds = _dataset(n_train=200)
+        stream = ReplayStream(ds, batch_size=32, n_samples=4000, seed=1)
+        session = StreamSession(
+            stream, _factory, warmup=128,
+            detector=DriftDetector(window=300, min_samples=30,
+                                   check_every=5),
+            adapt_window=600, eval_window=200,
+        )
+        session._warmup_and_publish(iter(session.stream))
+
+        def feed(start, n, accuracy):
+            # Drive _labels_arrived directly with fabricated served
+            # predictions at a controlled accuracy.
+            take = np.arange(start, start + n) % len(ds.X_train)
+            from repro.streaming.sources import StreamBatch
+            batch = StreamBatch(ds.X_train[take], ds.y_train[take], start)
+            preds = batch.y.copy()
+            wrong = np.random.default_rng(start).random(n) >= accuracy
+            preds[wrong] = (preds[wrong] + 1) % N_CLASSES
+            session._labels_arrived(batch, preds)
+
+        feed(128, 300, 0.95)   # healthy serving
+        feed(428, 200, 0.05)   # first shift -> detection + challenger
+        assert len(session.report_events["detections"]) == 1
+        first = session._challenger
+        assert first is not None
+        feed(628, 150, 0.95)   # recovered traffic refills the window...
+        feed(778, 200, 0.05)   # ...and a second shift fires mid-adapt
+        detections = session.report_events["detections"]
+        assert len(detections) == 2
+        assert detections[1]["restarted_challenger"] is True
+        assert session._challenger is not first  # fresh challenger
+        assert session._challenger_phase == "adapt"
+
+    def test_run_stream_convenience(self):
+        ds = _dataset(n_train=200)
+        report = run_stream(
+            ReplayStream(ds, batch_size=32, n_samples=500, seed=1),
+            _factory, warmup=128, adapt_window=100, eval_window=100,
+        )
+        assert report["unresolved"] == 0
+        assert report["live_version"] == 1  # no drift, no promotion
+        assert report["detections"] == []
