@@ -48,6 +48,9 @@ GATES = {
     "stream_throughput.json": (
         "online_speedup",
     ),
+    "fabric_throughput.json": (
+        "fabric_speedup",
+    ),
 }
 
 # Reported (never gated) context metrics, when present.
@@ -57,6 +60,10 @@ REPORTED = {
     "stream_throughput.json": (
         "vectorized_updates_per_sec",
         "detection_delay_samples",
+    ),
+    "fabric_throughput.json": (
+        "fabric_requests_per_s",
+        "single_replica_requests_per_s",
     ),
 }
 

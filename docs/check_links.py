@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Check that every relative Markdown link in the docs resolves.
+
+Scans ``README.md`` and ``docs/**/*.md`` for ``[text](target)`` links
+and fails when a relative target (a file in this repository) does not
+exist.  External links (``http(s)://``, ``mailto:``) are not fetched —
+the gate is offline by design — and pure in-page anchors (``#section``)
+are checked against the headings of the same file.
+
+Usage::
+
+    python docs/check_links.py            # exit 1 on any broken link
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: [text](target) — excluding images' alt text is fine, they match too.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _anchor(text):
+    """GitHub-style anchor for a heading line."""
+    text = re.sub(r"[`*_]", "", text.strip().lower())
+    text = text.replace(" ", "-")
+    return re.sub(r"[^a-z0-9_-]", "", text)
+
+
+def _anchors(md_path, cache={}):
+    if md_path not in cache:
+        text = md_path.read_text(encoding="utf-8")
+        cache[md_path] = {_anchor(h) for h in _HEADING.findall(text)}
+    return cache[md_path]
+
+
+def check_file(md_path):
+    """Broken-link descriptions for one Markdown file."""
+    problems = []
+    text = md_path.read_text(encoding="utf-8")
+    for target in _LINK.findall(text):
+        if target.startswith(_EXTERNAL):
+            continue
+        target, _, fragment = target.partition("#")
+        if not target:  # same-page anchor
+            if fragment and _anchor(fragment) not in _anchors(md_path):
+                problems.append(f"{md_path}: missing anchor #{fragment}")
+            continue
+        resolved = (md_path.parent / target).resolve()
+        if not resolved.exists():
+            problems.append(f"{md_path}: broken link -> {target}")
+        elif fragment and resolved.suffix == ".md":
+            if _anchor(fragment) not in _anchors(resolved):
+                problems.append(
+                    f"{md_path}: missing anchor {target}#{fragment}")
+    return problems
+
+
+def main(argv=None):
+    files = [REPO / "README.md"]
+    files += sorted((REPO / "docs").rglob("*.md"))
+    problems = []
+    for md_path in files:
+        problems += check_file(md_path)
+    for problem in problems:
+        print(problem)
+    if problems:
+        return 1
+    print(f"link check: {len(files)} files, all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,9 @@ flow stages as subcommands:
    matador table2
    matador emit --dataset mnist --clauses 20 --outdir rtl/
    matador serve --dataset kws6 --requests 512 --max-batch 64
+   matador serve --dataset kws6 --replicas 4 --requests 2048
    matador bench-serve --dataset mnist --batch-sizes 1,8,64,256
+   matador bench-fabric --dataset mnist --replicas 4 --requests 2048
    matador stream --dataset kws6 --samples 2600 --drift-at 1200 \\
        --report stream.json
    matador bench-stream --dataset kws6 --json
@@ -22,8 +24,11 @@ flow stages as subcommands:
 optionally writes the deployment bundle; ``emit`` stops after RTL
 generation.  ``serve`` trains (or imports) a model, publishes it to a
 serving registry and drives micro-batched request traffic through the
-packed inference engine with differential sim-vs-software checking;
-``bench-serve`` measures packed-batch vs per-sample serving throughput.
+packed inference engine with differential sim-vs-software checking —
+``--replicas N`` fans the traffic across a sharded multi-replica fabric
+(one worker process per replica) behind a routing gateway;
+``bench-serve`` measures packed-batch vs per-sample serving throughput
+and ``bench-fabric`` the multi-replica vs single-replica aggregate.
 ``stream`` runs a continual-learning session: replay a dataset as
 request traffic (optionally with induced concept drift), serve it
 micro-batched, detect drift from served predictions vs delayed labels,
@@ -77,6 +82,13 @@ def build_parser():
     _add_flow_args(serve)
     serve.add_argument("--requests", type=int, default=256,
                        help="number of single-sample requests to drive")
+    serve.add_argument("--replicas", type=int, default=1,
+                       help="serve through a fabric of N replica worker "
+                            "processes (1 = classic single-engine path)")
+    serve.add_argument("--replica-mode", default="process",
+                       choices=("process", "inline"),
+                       help="fabric replica hosting (inline = in-process, "
+                            "deterministic; for tests and tiny machines)")
     serve.add_argument("--max-batch", type=int, default=64,
                        help="micro-batch size trigger")
     serve.add_argument("--max-delay-us", type=float, default=2000.0,
@@ -102,6 +114,26 @@ def build_parser():
                        help="print the benchmark payload as JSON")
     bench.add_argument("--save", default=None,
                        help="also write the JSON payload to this path")
+
+    bench_fabric = sub.add_parser(
+        "bench-fabric",
+        help="measure multi-replica fabric vs single-replica throughput",
+    )
+    _add_flow_args(bench_fabric)
+    bench_fabric.add_argument("--replicas", type=int, default=4,
+                              help="fabric width for the multi-replica run")
+    bench_fabric.add_argument("--requests", type=int, default=2048,
+                              help="requests per timed run")
+    bench_fabric.add_argument("--max-batch", type=int, default=64,
+                              help="per-replica dispatch size trigger")
+    bench_fabric.add_argument("--repeats", type=int, default=2,
+                              help="timed repetitions per point (best-of)")
+    bench_fabric.add_argument("--replica-mode", default="process",
+                              choices=("process", "inline"))
+    bench_fabric.add_argument("--json", action="store_true",
+                              help="print the benchmark payload as JSON")
+    bench_fabric.add_argument("--save", default=None,
+                              help="also write the JSON payload to this path")
 
     stream = sub.add_parser(
         "stream",
@@ -354,38 +386,63 @@ def _cmd_serve(args, out):
             design, fraction=args.check_fraction, seed=config.train_seed,
             raise_on_mismatch=False,
         )
-    batcher = Batcher(
-        engine,
-        max_batch=args.max_batch,
-        max_delay=args.max_delay_us * 1e-6,
-        observers=[checker] if checker is not None else (),
-    )
-
     # Drive request traffic: test-set samples, one request at a time.
     n = args.requests
     X = ds.X_test[np.arange(n) % len(ds.X_test)]
     y = ds.y_test[np.arange(n) % len(ds.y_test)]
-    t0 = time.perf_counter()
-    tickets = [batcher.submit(x) for x in X]
-    batcher.flush()
-    elapsed = time.perf_counter() - t0
-    correct = sum(t.result() == int(lbl) for t, lbl in zip(tickets, y))
+
+    if args.replicas > 1:
+        from ..serving import Gateway, ReplicaPool
+
+        with ReplicaPool(engine, n_replicas=args.replicas,
+                         mode=args.replica_mode,
+                         max_batch=args.max_batch) as pool:
+            gateway = Gateway(
+                pool,
+                max_batch=args.max_batch,
+                max_delay=args.max_delay_us * 1e-6,
+                observers=[checker] if checker is not None else (),
+            )
+            t0 = time.perf_counter()
+            tickets = gateway.submit_many(X)
+            gateway.flush()
+            elapsed = time.perf_counter() - t0
+            fabric_report = gateway.report()
+        correct = sum(t.result() == int(lbl) for t, lbl in zip(tickets, y))
+        served_detail = fabric_report
+        n_batches = gateway.stats.n_batches
+    else:
+        batcher = Batcher(
+            engine,
+            max_batch=args.max_batch,
+            max_delay=args.max_delay_us * 1e-6,
+            observers=[checker] if checker is not None else (),
+        )
+        t0 = time.perf_counter()
+        tickets = [batcher.submit(x) for x in X]
+        batcher.flush()
+        elapsed = time.perf_counter() - t0
+        correct = sum(t.result() == int(lbl) for t, lbl in zip(tickets, y))
+        served_detail = {"batcher": batcher.stats.to_dict()}
+        n_batches = batcher.stats.n_batches
 
     stats = {
         "model": f"{engine.name}:v{engine.version}",
         "requests": n,
+        "replicas": args.replicas,
         "elapsed_s": round(elapsed, 4),
         "requests_per_s": round(n / elapsed, 1) if elapsed > 0 else None,
         "accuracy": round(correct / n, 4),
-        "batcher": batcher.stats.to_dict(),
+        "serving": served_detail,
         "differential": checker.report() if checker is not None else None,
     }
     if args.json:
         print(json.dumps(stats, indent=1), file=out)
     else:
+        front = (f"{args.replicas}-replica fabric"
+                 if args.replicas > 1 else "batcher")
         print(
-            f"served {n} requests as {batcher.stats.n_batches} batches "
-            f"(mean size {batcher.stats.mean_batch_size:.1f}) in "
+            f"served {n} requests as {n_batches} batches via {front} in "
             f"{elapsed:.3f}s = {stats['requests_per_s']:.0f} req/s, "
             f"accuracy {stats['accuracy']:.4f}",
             file=out,
@@ -417,6 +474,36 @@ def _cmd_bench_serve(args, out):
     if args.save:
         with open(args.save, "w", encoding="utf-8") as f:
             json.dump(payload, f, indent=1)
+        print(f"saved: {args.save}", file=out)
+    return 0
+
+
+def _cmd_bench_fabric(args, out):
+    from ..serving import fabric_benchmark, format_fabric_benchmark
+
+    if args.replicas < 2:
+        print("bench-fabric: --replicas must be >= 2", file=out)
+        return 2
+    config = _config_from_args(args)
+    flow = MatadorFlow(
+        config,
+        progress=lambda stage, sec: print(f"  [{stage}] {sec:.2f}s", file=out),
+    )
+    flow.load_data()
+    model = flow.train()
+    payload = fabric_benchmark(
+        model, n_replicas=args.replicas, max_batch=args.max_batch,
+        n_requests=args.requests, repeats=args.repeats,
+        seed=config.train_seed, mode=args.replica_mode,
+    )
+    if args.json:
+        print(json.dumps(payload, indent=1), file=out)
+    else:
+        print(format_fabric_benchmark(payload), file=out)
+    if args.save:
+        save_path = Path(args.save)
+        save_path.parent.mkdir(parents=True, exist_ok=True)
+        save_path.write_text(json.dumps(payload, indent=1), encoding="utf-8")
         print(f"saved: {args.save}", file=out)
     return 0
 
@@ -601,6 +688,8 @@ def main(argv=None, out=None):
         return _cmd_serve(args, out)
     if args.command == "bench-serve":
         return _cmd_bench_serve(args, out)
+    if args.command == "bench-fabric":
+        return _cmd_bench_fabric(args, out)
     if args.command == "stream":
         return _cmd_stream(args, out)
     if args.command == "bench-stream":

@@ -19,15 +19,35 @@ Layer map::
                           batches through repro.simulator.design_sim,
                           asserting prediction + winner-class-sum
                           equality with the silicon
+    ReplicaPool           fabric: N replicas (worker processes or inline)
+                          over one warm packed snapshot, health checks
+    Gateway               fabric front-end: bounded queue, backpressure,
+                          deterministic routing with failover, rolling
+                          replica-by-replica engine swap, metrics
     serve_benchmark       packed-vs-per-sample throughput measurement
                           (CLI `bench-serve`, benchmarks suite)
+    fabric_benchmark      multi-replica vs single-replica throughput
+                          measurement (CLI `bench-fabric`)
 """
 
 from .batcher import Batcher, BatcherStats, Ticket
 from .differential import DifferentialChecker, DifferentialMismatch
 from .engine import ConvolutionalInferenceEngine, InferenceEngine, snapshot_engine
+from .fabric import (
+    Backpressure,
+    FabricStats,
+    FabricTicket,
+    Gateway,
+    ReplicaError,
+    ReplicaPool,
+)
 from .registry import ModelNotFound, Registry
-from .bench import format_benchmark, serve_benchmark
+from .bench import (
+    fabric_benchmark,
+    format_benchmark,
+    format_fabric_benchmark,
+    serve_benchmark,
+)
 
 __all__ = [
     "Batcher",
@@ -38,8 +58,16 @@ __all__ = [
     "ConvolutionalInferenceEngine",
     "InferenceEngine",
     "snapshot_engine",
+    "Backpressure",
+    "FabricStats",
+    "FabricTicket",
+    "Gateway",
+    "ReplicaError",
+    "ReplicaPool",
     "ModelNotFound",
     "Registry",
+    "fabric_benchmark",
     "format_benchmark",
+    "format_fabric_benchmark",
     "serve_benchmark",
 ]

@@ -19,6 +19,14 @@ injected ``clock``, which is what lets the tests (and the differential
 checker) replay served batches exactly.  Observers registered on the
 batcher see every flushed batch ``(X, class_sums, predictions)`` — the
 hook the :class:`~repro.serving.differential.DifferentialChecker` uses.
+
+Observer failures are *isolated*: a crashing metrics hook is recorded
+(``stats.observer_errors``) instead of propagating out of ``flush()``,
+so one bad observer can never drop a batch or kill the serving loop.
+An observer that genuinely wants its exception to surface — the
+differential checker's divergence contract — opts in by setting a truthy
+``propagate_errors`` attribute; its error is re-raised only after every
+ticket has resolved and every other observer has seen the batch.
 """
 
 from __future__ import annotations
@@ -30,8 +38,73 @@ import numpy as np
 __all__ = ["Batcher", "Ticket", "BatcherStats"]
 
 
+def notify_observers(observers, X, class_sums, predictions, stats, errors):
+    """Run every observer over one served batch, isolating failures.
+
+    Observers are metrics/verification hooks riding on served traffic; a
+    crashing hook must not take the serving path down with it.  Each
+    failure is counted on ``stats.observer_errors`` and appended to
+    ``errors`` as ``(observer_name, exception_repr)``.  An observer with
+    a truthy ``propagate_errors`` attribute (the
+    :class:`~repro.serving.differential.DifferentialChecker`) re-raises —
+    but only after the remaining observers have seen the batch, so a
+    divergence report never starves the hooks behind it.
+
+    Shared by :class:`Batcher` and the fabric
+    :class:`~repro.serving.fabric.Gateway`.
+
+    >>> import numpy as np
+    >>> class Stats:
+    ...     observer_errors = 0
+    >>> def bad(X, sums, preds):
+    ...     raise ValueError("boom")
+    >>> seen = []
+    >>> errors = []
+    >>> notify_observers([bad, lambda X, s, p: seen.append(len(X))],
+    ...                  np.zeros((3, 2)), None, None, Stats(), errors)
+    >>> seen, len(errors)
+    ([3], 1)
+    """
+    deferred = None
+    for obs in observers:
+        try:
+            obs(X, class_sums, predictions)
+        except Exception as exc:
+            propagate = getattr(obs, "propagate_errors", False)
+            if propagate and deferred is None:
+                deferred = exc
+            else:
+                # Recorded: isolated observers always; a *second*
+                # propagating failure too — only one exception can
+                # surface, and a divergence must never vanish untraced.
+                stats.observer_errors += 1
+                name = getattr(obs, "__name__", type(obs).__name__)
+                errors.append((name, repr(exc)))
+                del errors[:-32]  # bound the error log
+    if deferred is not None:
+        raise deferred
+
+
 class Ticket:
-    """Handle for one submitted request."""
+    """Handle for one submitted request.
+
+    >>> import numpy as np
+    >>> from repro.model import TMModel
+    >>> from repro.serving import Batcher, InferenceEngine
+    >>> include = np.zeros((2, 1, 4), dtype=bool)
+    >>> include[0, 0, 0] = True                  # class-0 clause: x0
+    >>> include[1, 0, 2] = True                  # class-1 clause: NOT x0
+    >>> model = TMModel(include=include, n_features=2, weights=[[1], [1]])
+    >>> batcher = Batcher(InferenceEngine.from_model(model), max_batch=8,
+    ...                   max_delay=None)
+    >>> ticket = batcher.submit([1, 0])
+    >>> ticket.done
+    False
+    >>> ticket.result()                          # forces a flush
+    0
+    >>> ticket.done, ticket.batch_id
+    (True, 1)
+    """
 
     __slots__ = ("_batcher", "done", "prediction", "class_sums", "batch_id")
 
@@ -50,7 +123,17 @@ class Ticket:
 
 
 class BatcherStats:
-    """Aggregate serving counters for one batcher."""
+    """Aggregate serving counters for one batcher.
+
+    >>> stats = BatcherStats()
+    >>> stats.mean_batch_size
+    0.0
+    >>> stats.n_batches, stats.n_samples = 2, 10
+    >>> stats.mean_batch_size
+    5.0
+    >>> sorted(stats.to_dict())[:3]
+    ['batches', 'deadline_flushes', 'forced_flushes']
+    """
 
     def __init__(self):
         self.n_requests = 0
@@ -59,6 +142,7 @@ class BatcherStats:
         self.size_flushes = 0
         self.deadline_flushes = 0
         self.forced_flushes = 0
+        self.observer_errors = 0
 
     @property
     def mean_batch_size(self):
@@ -73,6 +157,7 @@ class BatcherStats:
             "size_flushes": self.size_flushes,
             "deadline_flushes": self.deadline_flushes,
             "forced_flushes": self.forced_flushes,
+            "observer_errors": self.observer_errors,
         }
 
 
@@ -94,7 +179,25 @@ class Batcher:
         Monotonic time source; injectable for deterministic tests.
     observers:
         Callables invoked after every flush as ``obs(X, class_sums,
-        predictions)``.
+        predictions)``.  Observer exceptions are isolated (recorded on
+        ``stats.observer_errors``) unless the observer sets
+        ``propagate_errors = True``.
+
+    >>> import numpy as np
+    >>> from repro.model import TMModel
+    >>> from repro.serving import Batcher, InferenceEngine
+    >>> include = np.zeros((2, 1, 4), dtype=bool)
+    >>> include[0, 0, 0] = True                  # class-0 clause: x0
+    >>> include[1, 0, 2] = True                  # class-1 clause: NOT x0
+    >>> model = TMModel(include=include, n_features=2, weights=[[1], [1]])
+    >>> batcher = Batcher(InferenceEngine.from_model(model), max_batch=2,
+    ...                   max_delay=None)
+    >>> first = batcher.submit([1, 0])
+    >>> second = batcher.submit([0, 1])          # size trigger: flushes now
+    >>> first.result(), second.result()
+    (0, 1)
+    >>> batcher.stats.n_batches
+    1
     """
 
     def __init__(self, engine, max_batch=64, max_delay=0.002,
@@ -108,6 +211,7 @@ class Batcher:
         self.max_delay = max_delay
         self._clock = clock
         self.observers = list(observers)
+        self.observer_errors = []  # (observer_name, exception_repr)
         self._queue = []   # (sample, ticket)
         self._oldest = None  # clock() of the oldest queued request
         self.stats = BatcherStats()
@@ -185,6 +289,8 @@ class Batcher:
             ticket.prediction = int(predictions[i])
             ticket.class_sums = sums[i]
             ticket.batch_id = batch_id
-        for obs in self.observers:
-            obs(X, sums, predictions)
+        # Tickets are resolved above, so even a propagating observer
+        # (differential divergence) can never drop the batch itself.
+        notify_observers(self.observers, X, sums, predictions,
+                         self.stats, self.observer_errors)
         return len(queue)

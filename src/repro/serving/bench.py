@@ -13,6 +13,12 @@ requests/sec plus the speedup of the packed path at every size; the
 ``bench-serve`` CLI command and ``benchmarks/test_serve_throughput.py``
 both consume it, so the number the CI artifact records is the number the
 CLI prints.
+
+``fabric_benchmark`` is the scale-out counterpart: it drives the same
+request traffic through a single-replica fabric and an N-replica fabric
+(:mod:`repro.serving.fabric`) and reports the aggregate speedup — the
+number ``bench-fabric`` prints and
+``benchmarks/test_fabric_throughput.py`` gates on.
 """
 
 from __future__ import annotations
@@ -22,8 +28,14 @@ import time
 import numpy as np
 
 from .engine import InferenceEngine, snapshot_engine
+from .fabric import Gateway, ReplicaPool
 
-__all__ = ["serve_benchmark", "format_benchmark"]
+__all__ = [
+    "serve_benchmark",
+    "format_benchmark",
+    "fabric_benchmark",
+    "format_fabric_benchmark",
+]
 
 
 def _best_rate(fn, n_requests, repeats):
@@ -57,6 +69,11 @@ def serve_benchmark(model, batch_sizes=(1, 8, 64, 256), n_requests=None,
 
     Returns a JSON-ready dict with per-batch-size requests/sec, the
     per-sample baseline, and ``speedup`` (packed rps / baseline rps).
+
+    >>> from repro.serving import serve_benchmark  # doctest: +SKIP
+    >>> payload = serve_benchmark(model, batch_sizes=(1, 64))  # doctest: +SKIP
+    >>> payload["batch_sizes"]["64"]["speedup_vs_per_sample"]  # doctest: +SKIP
+    9.7
     """
     engine = snapshot_engine(model) if not isinstance(model, InferenceEngine) \
         else model
@@ -105,8 +122,104 @@ def serve_benchmark(model, batch_sizes=(1, 8, 64, 256), n_requests=None,
     }
 
 
+def fabric_benchmark(model, n_replicas=4, max_batch=64, n_requests=2048,
+                     repeats=2, seed=0, mode="process"):
+    """Measure multi-replica fabric throughput against a single replica.
+
+    Drives ``n_requests`` single-sample submissions through a
+    :class:`~repro.serving.fabric.Gateway` twice — over a one-replica
+    pool and over an ``n_replicas`` pool — and reports both aggregate
+    rates plus ``fabric_speedup`` (multi / single).  Pools are built
+    outside the timed region (worker start-up and snapshot shipping are
+    deployment cost, not serving cost); both runs pay identical parent-
+    side submit and IPC overhead, so the ratio isolates the fan-out.
+
+    ``mode="inline"`` exists for smoke-testing the harness itself on
+    machines where process workers cannot scale (the benchmark suite
+    skips below 4 CPUs).
+
+    >>> from repro.serving import fabric_benchmark  # doctest: +SKIP
+    >>> payload = fabric_benchmark(model, n_replicas=4)  # doctest: +SKIP
+    >>> payload["fabric_speedup"] >= 2.5  # doctest: +SKIP
+    True
+    """
+    engine = snapshot_engine(model) if not isinstance(model, InferenceEngine) \
+        else model
+    rng = np.random.default_rng(seed)
+    X = (rng.random((n_requests, engine.n_features)) < 0.5).astype(np.uint8)
+
+    def run(replicas):
+        best_rate = 0.0
+        report = None
+        for _ in range(repeats):
+            with ReplicaPool(engine, n_replicas=replicas, mode=mode,
+                             max_batch=max_batch) as pool:
+                gateway = Gateway(
+                    pool, max_batch=max_batch,
+                    max_queue=max(512, 4 * max_batch * replicas),
+                )
+                t0 = time.perf_counter()
+                gateway.submit_many(X)
+                gateway.flush()
+                dt = time.perf_counter() - t0
+                rate = n_requests / dt if dt > 0 else 0.0
+                if rate >= best_rate:
+                    best_rate = rate
+                    report = gateway.report()
+        return best_rate, report
+
+    single_rps, _ = run(1)
+    fabric_rps, fabric_report = run(n_replicas)
+    return {
+        "replicas": int(n_replicas),
+        "mode": mode,
+        "max_batch": int(max_batch),
+        "requests": int(n_requests),
+        "n_features": engine.n_features,
+        "n_classes": engine.n_classes,
+        "n_clauses": engine.n_clauses,
+        "single_replica_requests_per_s": round(single_rps, 1),
+        "fabric_requests_per_s": round(fabric_rps, 1),
+        "fabric_speedup": round(fabric_rps / single_rps, 2)
+        if single_rps else None,
+        "fabric_report": fabric_report,
+    }
+
+
+def format_fabric_benchmark(payload):
+    """Plain-text summary of a :func:`fabric_benchmark` payload.
+
+    >>> print(format_fabric_benchmark({
+    ...     "replicas": 4, "mode": "process", "requests": 2048,
+    ...     "single_replica_requests_per_s": 10000.0,
+    ...     "fabric_requests_per_s": 31000.0, "fabric_speedup": 3.1}))
+    fabric benchmark: 4 process replicas, 2048 requests
+      single replica:     10000 req/s
+      fabric aggregate:   31000 req/s  (3.1x)
+    """
+    return "\n".join([
+        f"fabric benchmark: {payload['replicas']} {payload['mode']} "
+        f"replicas, {payload['requests']} requests",
+        f"  single replica:   {payload['single_replica_requests_per_s']:>7.0f}"
+        " req/s",
+        f"  fabric aggregate: {payload['fabric_requests_per_s']:>7.0f}"
+        f" req/s  ({payload['fabric_speedup']:.1f}x)",
+    ])
+
+
 def format_benchmark(payload):
-    """Plain-text table of a :func:`serve_benchmark` payload."""
+    """Plain-text table of a :func:`serve_benchmark` payload.
+
+    >>> print(format_benchmark({
+    ...     "engine": "InferenceEngine(tiny)",
+    ...     "per_sample_baseline_rps": 1000.0,
+    ...     "batch_sizes": {"64": {"requests_per_s": 9000.0,
+    ...                            "speedup_vs_per_sample": 9.0}}}))
+    serving benchmark: InferenceEngine(tiny)
+    per-sample baseline: 1000 req/s
+     batch         req/s   speedup
+        64          9000      9.0x
+    """
     lines = [
         f"serving benchmark: {payload['engine']}",
         f"per-sample baseline: {payload['per_sample_baseline_rps']:.0f} req/s",

@@ -29,7 +29,11 @@ __all__ = ["DifferentialChecker", "DifferentialMismatch"]
 
 
 class DifferentialMismatch(AssertionError):
-    """A served batch disagreed with the cycle-accurate simulation."""
+    """A served batch disagreed with the cycle-accurate simulation.
+
+    >>> issubclass(DifferentialMismatch, AssertionError)
+    True
+    """
 
 
 class DifferentialChecker:
@@ -53,7 +57,22 @@ class DifferentialChecker:
         Batches wider than this are replayed on the first ``max_lanes``
         samples only (one simulator lane per sample; compile cost grows
         with width).
+
+    Registered as a batcher (or fabric gateway) observer; its exceptions
+    *do* propagate out of the otherwise error-isolated observer loop
+    (``propagate_errors = True``) because a divergence is a correctness
+    event, not a metrics blip.
+
+    >>> from repro.accelerator import AcceleratorConfig, generate_accelerator
+    >>> from repro.serving import Batcher, DifferentialChecker  # doctest: +SKIP
+    >>> design = generate_accelerator(model, AcceleratorConfig())  # doctest: +SKIP
+    >>> checker = DifferentialChecker(design, fraction=0.1)  # doctest: +SKIP
+    >>> batcher = Batcher(engine, observers=[checker])  # doctest: +SKIP
     """
+
+    #: A divergence must surface even though plain observer errors are
+    #: isolated by the batcher/gateway (see ``notify_observers``).
+    propagate_errors = True
 
     def __init__(self, design, fraction=0.1, seed=0, raise_on_mismatch=True,
                  max_lanes=256):

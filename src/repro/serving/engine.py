@@ -62,6 +62,19 @@ class InferenceEngine:
     name, version:
         Snapshot identity, stamped by :class:`~repro.serving.registry.
         Registry` on publish.
+
+    >>> import numpy as np
+    >>> from repro.serving import InferenceEngine
+    >>> include = np.zeros((2, 1, 4), dtype=bool)
+    >>> include[0, 0, 0] = True                  # class-0 clause: x0
+    >>> include[1, 0, 2] = True                  # class-1 clause: NOT x0
+    >>> engine = InferenceEngine(include, weights=[[1], [1]], n_features=2)
+    >>> engine.predict([[1, 0], [0, 1]])
+    array([0, 1])
+    >>> engine.class_sums([[1, 0]])
+    array([[1, 0]], dtype=int32)
+    >>> engine.requests_served, engine.samples_served
+    (2, 3)
     """
 
     def __init__(self, include, weights, n_features, name="model", version=0):
@@ -162,6 +175,11 @@ class ConvolutionalInferenceEngine(InferenceEngine):
     ``(patch_h, patch_w)`` window's literal vector (pixels + thermometer
     coordinates) satisfies it.  The patch geometry is copied from the
     machine at snapshot time.
+
+    >>> from repro.tsetlin import ConvolutionalTsetlinMachine
+    >>> from repro.serving import ConvolutionalInferenceEngine  # doctest: +SKIP
+    >>> engine = ConvolutionalInferenceEngine.from_machine(ctm)  # doctest: +SKIP
+    >>> engine.predict(X_images)  # doctest: +SKIP
     """
 
     def __init__(self, include, weights, image_shape, patch_shape, coord_bits,
@@ -229,6 +247,18 @@ def snapshot_engine(source, name=None, version=0):
     :class:`~repro.tsetlin.CoalescedTsetlinMachine` (served as a single
     shared bank — no per-class replication), or a
     :class:`~repro.tsetlin.ConvolutionalTsetlinMachine`.
+
+    >>> import numpy as np
+    >>> from repro.model import TMModel
+    >>> from repro.serving import snapshot_engine
+    >>> include = np.zeros((2, 1, 4), dtype=bool)
+    >>> include[0, 0, 0] = True; include[1, 0, 2] = True
+    >>> model = TMModel(include=include, n_features=2, weights=[[1], [1]])
+    >>> engine = snapshot_engine(model, name="tiny", version=7)
+    >>> engine.name, engine.version, engine.n_classes
+    ('tiny', 7, 2)
+    >>> engine.predict([[1, 0]])
+    array([0])
     """
     if isinstance(source, ConvolutionalTsetlinMachine):
         return ConvolutionalInferenceEngine.from_machine(

@@ -1,0 +1,926 @@
+"""Sharded multi-replica serving fabric: scale one engine across workers.
+
+A single :class:`~repro.serving.Batcher` over one
+:class:`~repro.serving.engine.InferenceEngine` is capped by one core and
+a promotion swaps the only engine.  The fabric fans request traffic
+across a *pool of replicas* — each hosting its own engine snapshot,
+with the per-replica micro-batching done by the gateway's queues —
+behind one front-end:
+
+``ReplicaPool``
+    N replicas over one frozen registry snapshot.  ``mode="process"``
+    starts one worker process per replica (the snapshot is packed once in
+    the parent and shipped warm, so workers answer their first request at
+    full speed); ``mode="inline"`` hosts the replicas in-process, which
+    is deterministic and what the end-to-end tests drive.
+
+``Gateway``
+    The front-end: a bounded per-replica queue with backpressure,
+    size+deadline aware dispatch, deterministic request->replica routing
+    (``key % n_replicas`` with linear probing past unhealthy replicas),
+    failover re-dispatch of in-flight work when a worker dies, and
+    per-replica plus aggregate latency/throughput metrics.  Observers
+    (e.g. the :class:`~repro.serving.differential.DifferentialChecker`)
+    run in the parent over every collected batch, so the differential
+    guarantee survives the fan-out.
+
+``Gateway.rolling_swap``
+    The promotion primitive: drain and swap one replica at a time, health
+    checking each before moving on, so a challenger rolls through the
+    fleet with zero dropped requests; a failed roll swaps the already-
+    promoted replicas back.  :class:`~repro.streaming.RollingPromoter`
+    drives it from the shadow-evaluation gate.
+
+Determinism: routing, dispatch points, and per-replica batch contents
+are pure functions of the submit sequence (inline mode adds nothing
+else), which is what lets the rolling-promotion e2e test assert exact
+version transitions and a zero drop count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+
+import numpy as np
+
+from .batcher import notify_observers
+
+__all__ = [
+    "Backpressure",
+    "FabricStats",
+    "FabricTicket",
+    "Gateway",
+    "ReplicaError",
+    "ReplicaPool",
+]
+
+
+class Backpressure(RuntimeError):
+    """The gateway queue is full and ``overflow="error"`` was configured.
+
+    >>> issubclass(Backpressure, RuntimeError)
+    True
+    """
+
+
+class ReplicaError(RuntimeError):
+    """A replica failed (dead worker, broken pipe, failed health check).
+
+    >>> issubclass(ReplicaError, RuntimeError)
+    True
+    """
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _host_loop(conn, engine):
+    """Replica worker body: one engine snapshot driven over a pipe.
+
+    Each ``predict`` message carries an already-assembled micro-batch
+    (the gateway's per-replica queues do the coalescing), so the worker
+    makes exactly one packed ``predict_with_sums`` call per message —
+    no per-sample re-validation on the hot path.  Messages are handled
+    strictly in order, which is what makes the rolling swap zero-drop:
+    every ``predict`` sent before a ``swap`` is answered by the old
+    snapshot before the swap is acknowledged.
+    """
+    served_batches = 0
+    served_samples = 0
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = msg[0]
+        try:
+            if kind == "predict":
+                _, req_id, X = msg
+                preds, sums = engine.predict_with_sums(X)
+                served_batches += 1
+                served_samples += len(X)
+                conn.send(("result", req_id, preds, sums, engine.version))
+            elif kind == "swap":
+                engine = msg[1]  # all prior predicts answered by the old one
+                conn.send(("swapped", engine.version))
+            elif kind == "ping":
+                conn.send(("pong", {
+                    "version": engine.version,
+                    "batches": served_batches,
+                    "samples": served_samples,
+                }))
+            elif kind == "stop":
+                conn.send(("stopped", served_samples))
+                break
+            else:
+                conn.send(("error", f"unknown message kind {kind!r}"))
+        except Exception as exc:  # forwarded to the parent as ReplicaError
+            try:
+                conn.send(("error", repr(exc)))
+            except (OSError, ValueError):
+                break
+    conn.close()
+
+
+# ----------------------------------------------------------------------
+# Parent-side replicas
+# ----------------------------------------------------------------------
+class _ReplicaBase:
+    """Shared bookkeeping for one replica (any hosting mode)."""
+
+    def __init__(self, index, engine):
+        self.index = int(index)
+        self.version = engine.version
+        self.healthy = True
+        self.n_batches = 0
+        self.n_samples = 0
+        self.busy_s = 0.0        # summed dispatch->collect wall time
+        self.max_latency_s = 0.0
+
+    def _account(self, n_samples, latency_s):
+        self.n_batches += 1
+        self.n_samples += n_samples
+        self.busy_s += latency_s
+        self.max_latency_s = max(self.max_latency_s, latency_s)
+
+    def stats(self):
+        """Per-replica counter snapshot (JSON-able)."""
+        return {
+            "kind": self.kind,
+            "healthy": self.healthy,
+            "version": self.version,
+            "batches": self.n_batches,
+            "samples": self.n_samples,
+            "busy_s": round(self.busy_s, 4),
+            "max_latency_ms": round(self.max_latency_s * 1e3, 3),
+        }
+
+    def __repr__(self):
+        state = "up" if self.healthy else "DOWN"
+        return (f"{type(self).__name__}(#{self.index}, v{self.version}, "
+                f"{state}, {self.n_samples} samples)")
+
+
+class InlineReplica(_ReplicaBase):
+    """In-process replica: its engine runs in the caller's thread.
+
+    Deterministic (no processes, no wall-clock), so the e2e tests and
+    doctests drive this mode; ``dispatch`` computes immediately and
+    ``collect`` hands the buffered result back.
+    """
+
+    kind = "inline"
+
+    def __init__(self, index, engine):
+        super().__init__(index, engine)
+        self.engine = engine
+        self._results = deque()
+
+    @property
+    def outstanding(self):
+        return len(self._results)
+
+    def alive(self):
+        return True
+
+    def dispatch(self, req_id, X):
+        t0 = time.perf_counter()
+        preds, sums = self.engine.predict_with_sums(X)
+        latency = time.perf_counter() - t0
+        self._account(len(X), latency)
+        self._results.append((req_id, preds, sums, self.engine.version))
+
+    def collect(self):
+        if not self._results:
+            raise ReplicaError(f"replica {self.index}: nothing to collect")
+        return self._results.popleft()
+
+    def swap(self, engine):
+        self.engine = engine
+        self.version = engine.version
+
+    def ping(self):
+        return {"version": self.version, "batches": self.n_batches,
+                "samples": self.n_samples}
+
+    def close(self):
+        pass
+
+
+class ProcessReplica(_ReplicaBase):
+    """Replica hosted by a worker process, driven over a duplex pipe.
+
+    The engine snapshot is packed in the parent and pickled to the worker
+    at start-up (a *warm* start: the first request is answered by the
+    same packed kernels as the thousandth).  The pipe is FIFO and the
+    worker single-threaded, so results come back in dispatch order and a
+    ``swap`` sent after N ``predict`` messages is applied after exactly
+    those N batches.
+    """
+
+    kind = "process"
+
+    def __init__(self, index, engine):
+        super().__init__(index, engine)
+        parent_conn, child_conn = multiprocessing.Pipe(duplex=True)
+        self._conn = parent_conn
+        self._proc = multiprocessing.Process(
+            target=_host_loop, args=(child_conn, engine),
+            daemon=True, name=f"fabric-replica-{index}",
+        )
+        self._proc.start()
+        child_conn.close()
+        self._pending = deque()  # (req_id, t0, n_samples) in dispatch order
+        self._stashed = deque()  # results received while awaiting an ack
+
+    @property
+    def outstanding(self):
+        return len(self._pending) + len(self._stashed)
+
+    def alive(self):
+        return self._proc.is_alive()
+
+    def dispatch(self, req_id, X):
+        try:
+            self._conn.send(("predict", req_id,
+                             np.ascontiguousarray(X, dtype=np.uint8)))
+        except (OSError, ValueError, BrokenPipeError) as exc:
+            self.healthy = False
+            raise ReplicaError(
+                f"replica {self.index}: dispatch failed ({exc!r})"
+            ) from exc
+        self._pending.append((req_id, time.perf_counter(), len(X)))
+
+    def collect(self):
+        if self._stashed:
+            msg = self._stashed.popleft()
+        else:
+            msg = self._recv("result")
+        _, req_id, preds, sums, version = msg
+        sent_id, t0, n = self._pending.popleft()
+        if sent_id != req_id:  # the pipe is FIFO; this is a logic error
+            self.healthy = False
+            raise ReplicaError(
+                f"replica {self.index}: result {req_id} != dispatched {sent_id}"
+            )
+        self._account(n, time.perf_counter() - t0)
+        return req_id, preds, sums, version
+
+    def _recv(self, expected):
+        """Receive the next message of ``expected`` kind, stashing results.
+
+        A control reply (``swapped``/``pong``) can only arrive after the
+        results of every previously dispatched batch; those results are
+        buffered for the next :meth:`collect` instead of being dropped.
+        """
+        while True:
+            try:
+                msg = self._conn.recv()
+            except (EOFError, OSError) as exc:
+                self.healthy = False
+                raise ReplicaError(
+                    f"replica {self.index}: worker died ({exc!r})"
+                ) from exc
+            kind = msg[0]
+            if kind == expected:
+                return msg
+            if kind == "result":
+                self._stashed.append(msg)
+                continue
+            if kind == "error":
+                self.healthy = False
+                raise ReplicaError(f"replica {self.index}: {msg[1]}")
+            raise ReplicaError(
+                f"replica {self.index}: expected {expected!r}, got {kind!r}"
+            )
+
+    def swap(self, engine):
+        if self._pending or self._stashed:
+            raise ReplicaError(
+                f"replica {self.index}: swap with {self.outstanding} "
+                "uncollected batches; drain first"
+            )
+        try:
+            self._conn.send(("swap", engine))
+        except (OSError, ValueError, BrokenPipeError) as exc:
+            self.healthy = False
+            raise ReplicaError(
+                f"replica {self.index}: swap failed ({exc!r})"
+            ) from exc
+        ack = self._recv("swapped")
+        self.version = ack[1]
+
+    def ping(self):
+        if not self.alive():
+            raise ReplicaError(f"replica {self.index}: worker not alive")
+        try:
+            self._conn.send(("ping",))
+        except (OSError, ValueError, BrokenPipeError) as exc:
+            self.healthy = False
+            raise ReplicaError(
+                f"replica {self.index}: ping failed ({exc!r})"
+            ) from exc
+        return self._recv("pong")[1]
+
+    def close(self):
+        try:
+            self._conn.send(("stop",))
+            self._recv("stopped")
+        except (ReplicaError, OSError, ValueError):
+            pass
+        self._proc.join(timeout=5.0)
+        if self._proc.is_alive():
+            self._proc.terminate()
+            self._proc.join(timeout=5.0)
+        self._conn.close()
+
+
+# ----------------------------------------------------------------------
+# Pool
+# ----------------------------------------------------------------------
+class ReplicaPool:
+    """N replicas hosting one frozen engine snapshot.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.serving.engine.InferenceEngine` snapshot every
+        replica starts from (packed once, shipped warm to every worker).
+    n_replicas:
+        Fleet size.
+    mode:
+        ``"process"`` (default) hosts each replica in its own worker
+        process — the throughput path; ``"inline"`` hosts them in-process
+        — the deterministic path the tests drive.
+    max_batch:
+        Default dispatch size trigger for gateways fronting this pool
+        (the gateway assembles per-replica micro-batches; each worker
+        answers a batch with one packed engine call).
+
+    The pool is a context manager; leaving the ``with`` block stops the
+    workers.
+
+    >>> import numpy as np
+    >>> from repro.model import TMModel
+    >>> from repro.serving import InferenceEngine, ReplicaPool
+    >>> include = np.zeros((2, 1, 4), dtype=bool)
+    >>> include[0, 0, 0] = True; include[1, 0, 2] = True
+    >>> model = TMModel(include=include, n_features=2, weights=[[1], [1]])
+    >>> engine = InferenceEngine.from_model(model, version=1)
+    >>> with ReplicaPool(engine, n_replicas=3, mode="inline") as pool:
+    ...     len(pool), pool.versions()
+    (3, [1, 1, 1])
+    """
+
+    def __init__(self, engine, n_replicas=2, mode="process", max_batch=64):
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        if mode not in ("process", "inline"):
+            raise ValueError(f"unknown replica mode {mode!r}")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.engine = engine
+        self.mode = mode
+        self.max_batch = int(max_batch)
+        replica_cls = ProcessReplica if mode == "process" else InlineReplica
+        self.replicas = [replica_cls(i, engine) for i in range(n_replicas)]
+
+    @classmethod
+    def from_registry(cls, registry, name, version=None, **kwargs):
+        """Build a pool over a published registry snapshot.
+
+        The replicas serve ``registry.engine(name, version)`` — the
+        pinned/latest resolution rules of the
+        :class:`~repro.serving.Registry` apply.
+        """
+        return cls(registry.engine(name, version), **kwargs)
+
+    # ------------------------------------------------------------------
+    def healthy(self):
+        """The replicas currently routable (in index order)."""
+        return [r for r in self.replicas if r.healthy]
+
+    def versions(self):
+        """Per-replica engine versions, index order."""
+        return [r.version for r in self.replicas]
+
+    def health_check(self):
+        """Ping every replica; returns ``{index: report}`` and updates flags.
+
+        A replica that fails its ping (dead worker, broken pipe) is
+        marked unhealthy and reported with an ``"error"`` entry; the
+        gateway stops routing to it from the next request on.
+        """
+        report = {}
+        for replica in self.replicas:
+            if not replica.healthy:
+                report[replica.index] = {"healthy": False, "error": "down"}
+                continue
+            try:
+                info = replica.ping()
+            except ReplicaError as exc:
+                replica.healthy = False
+                report[replica.index] = {"healthy": False, "error": str(exc)}
+            else:
+                report[replica.index] = dict(info, healthy=True)
+        return report
+
+    def swap_all(self, engine):
+        """Swap every healthy replica to ``engine`` (non-rolling).
+
+        Prefer :meth:`Gateway.rolling_swap`, which drains queued work per
+        replica first; this is the bare fleet-wide primitive.
+        """
+        for replica in self.healthy():
+            replica.swap(engine)
+        self.engine = engine
+
+    def close(self):
+        """Stop every worker (idempotent)."""
+        for replica in self.replicas:
+            try:
+                replica.close()
+            except ReplicaError:
+                pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def __len__(self):
+        return len(self.replicas)
+
+    def __repr__(self):
+        up = len(self.healthy())
+        return (f"ReplicaPool({len(self.replicas)} x {self.mode}, "
+                f"{up} healthy, v{self.engine.version})")
+
+
+# ----------------------------------------------------------------------
+# Gateway
+# ----------------------------------------------------------------------
+class FabricTicket:
+    """Handle for one request submitted to a :class:`Gateway`.
+
+    Resolves with the prediction, the class sums, and *which replica at
+    which engine version* served it — the provenance the rolling-
+    promotion test asserts on.
+
+    >>> import numpy as np
+    >>> from repro.model import TMModel
+    >>> from repro.serving import Gateway, InferenceEngine, ReplicaPool
+    >>> include = np.zeros((2, 1, 4), dtype=bool)
+    >>> include[0, 0, 0] = True; include[1, 0, 2] = True
+    >>> model = TMModel(include=include, n_features=2, weights=[[1], [1]])
+    >>> pool = ReplicaPool(InferenceEngine.from_model(model, version=1),
+    ...                    n_replicas=2, mode="inline")
+    >>> gateway = Gateway(pool, max_batch=4)
+    >>> ticket = gateway.submit([1, 0])
+    >>> ticket.result(), ticket.replica, ticket.version
+    (0, 0, 1)
+    """
+
+    __slots__ = ("_gateway", "done", "prediction", "class_sums", "replica",
+                 "version")
+
+    def __init__(self, gateway):
+        self._gateway = gateway
+        self.done = False
+        self.prediction = None
+        self.class_sums = None
+        self.replica = None
+        self.version = None
+
+    def result(self):
+        """The predicted class; forces a fabric flush if still pending."""
+        if not self.done:
+            self._gateway.flush()
+        return self.prediction
+
+
+class FabricStats:
+    """Aggregate counters for one gateway.
+
+    >>> stats = FabricStats()
+    >>> stats.n_requests, stats.failovers
+    (0, 0)
+    >>> sorted(stats.to_dict())[:3]
+    ['batches', 'failovers', 'observer_errors']
+    """
+
+    def __init__(self):
+        self.n_requests = 0
+        self.n_batches = 0
+        self.n_samples = 0
+        self.failovers = 0        # requests routed past an unhealthy replica
+        self.rerouted_batches = 0  # in-flight batches re-dispatched on death
+        self.observer_errors = 0
+
+    def to_dict(self):
+        return {
+            "requests": self.n_requests,
+            "batches": self.n_batches,
+            "samples": self.n_samples,
+            "failovers": self.failovers,
+            "rerouted_batches": self.rerouted_batches,
+            "observer_errors": self.observer_errors,
+        }
+
+
+class _Inflight:
+    """One dispatched batch awaiting its result."""
+
+    __slots__ = ("X", "tickets", "replica_index", "seq")
+
+    def __init__(self, X, tickets, replica_index, seq):
+        self.X = X
+        self.tickets = tickets
+        self.replica_index = replica_index
+        self.seq = seq
+
+
+class Gateway:
+    """Fabric front-end: route, queue, dispatch, collect, observe.
+
+    Parameters
+    ----------
+    pool:
+        The :class:`ReplicaPool` to serve through.
+    max_batch:
+        Per-replica dispatch size trigger (defaults to the pool's).
+    max_queue:
+        Bound on requests in the fabric at once (queued + in flight).
+        Submitting past it applies the ``overflow`` policy.
+    overflow:
+        ``"wait"`` (default): collect finished work until there is room —
+        natural backpressure, nothing is ever dropped.  ``"error"``:
+        raise :class:`Backpressure` immediately (caller sheds load).
+    max_delay:
+        Optional deadline in seconds for the oldest queued request per
+        replica, checked on every submit (``None`` — the default — keeps
+        dispatch points deterministic).
+    clock:
+        Monotonic time source, injectable for deadline tests.
+    observers:
+        ``obs(X, class_sums, predictions)`` hooks run in the parent over
+        every *collected* batch, with the same error isolation as
+        :class:`~repro.serving.Batcher` observers.
+
+    >>> import numpy as np
+    >>> from repro.model import TMModel
+    >>> from repro.serving import Gateway, InferenceEngine, ReplicaPool
+    >>> include = np.zeros((2, 1, 4), dtype=bool)
+    >>> include[0, 0, 0] = True; include[1, 0, 2] = True
+    >>> model = TMModel(include=include, n_features=2, weights=[[1], [1]])
+    >>> pool = ReplicaPool(InferenceEngine.from_model(model, version=1),
+    ...                    n_replicas=2, mode="inline")
+    >>> gateway = Gateway(pool, max_batch=2)
+    >>> tickets = [gateway.submit(x) for x in ([1, 0], [0, 1], [1, 0])]
+    >>> _ = gateway.flush()
+    >>> [t.result() for t in tickets]
+    [0, 1, 0]
+    >>> sorted({t.replica for t in tickets})    # round-robin over 2 replicas
+    [0, 1]
+    """
+
+    def __init__(self, pool, max_batch=None, max_queue=4096, overflow="wait",
+                 max_delay=None, clock=time.monotonic, observers=()):
+        if overflow not in ("wait", "error"):
+            raise ValueError(f"unknown overflow policy {overflow!r}")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self.pool = pool
+        self.max_batch = int(max_batch if max_batch is not None
+                             else pool.max_batch)
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.max_queue = int(max_queue)
+        self.overflow = overflow
+        self.max_delay = max_delay
+        self._clock = clock
+        self.observers = list(observers)
+        self.observer_errors = []
+        self.stats = FabricStats()
+        n = len(pool.replicas)
+        self._queues = [[] for _ in range(n)]   # (x, ticket) per replica
+        self._queue_oldest = [None] * n         # clock() of oldest queued
+        self._inflight = {}                     # req_id -> _Inflight
+        self._order = [deque() for _ in range(n)]  # req_ids per replica, FIFO
+        self._next_req = 0
+        self._seq = 0
+        self._pending_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self):
+        """Requests inside the fabric (queued + in flight).
+
+        Maintained as a counter (+1 on submit, -len(batch) on resolve):
+        this is read on every submit's backpressure check, the parent's
+        hot path.
+        """
+        return self._pending_count
+
+    def add_observer(self, observer):
+        self.observers.append(observer)
+
+    # ------------------------------------------------------------------
+    def submit(self, x, key=None):
+        """Queue one sample; returns a :class:`FabricTicket`.
+
+        ``key`` picks the home replica deterministically
+        (``key % n_replicas``, probing past unhealthy replicas); without
+        one, requests round-robin in submit order.
+        """
+        x = np.asarray(x, dtype=np.uint8)
+        if x.ndim != 1:
+            raise ValueError("submit() takes a single sample; use "
+                             "submit_many() for batches")
+        if x.shape[0] != self.pool.engine.n_features:
+            raise ValueError(
+                f"expected {self.pool.engine.n_features} features, "
+                f"got {x.shape[0]}"
+            )
+        return self._submit_checked(x, key)
+
+    def submit_many(self, X, keys=None):
+        """Queue a whole array of samples; returns the tickets.
+
+        The bulk path of :meth:`submit`: one width check for the array,
+        then per-row routing identical to submitting each row in order.
+        """
+        X = np.asarray(X, dtype=np.uint8)
+        if X.ndim != 2 or X.shape[1] != self.pool.engine.n_features:
+            raise ValueError(
+                f"expected (n, {self.pool.engine.n_features}) samples, "
+                f"got {X.shape}"
+            )
+        if keys is not None and len(keys) != len(X):
+            raise ValueError("keys must match X row for row")
+        return [
+            self._submit_checked(x, keys[i] if keys is not None else None)
+            for i, x in enumerate(X)
+        ]
+
+    def _submit_checked(self, x, key):
+        while self.pending >= self.max_queue:
+            if self.overflow == "error":
+                raise Backpressure(
+                    f"fabric holds {self.pending} >= max_queue="
+                    f"{self.max_queue} requests"
+                )
+            self._make_room()
+        if key is None:
+            key = self._next_req
+        self._next_req += 1
+        idx = self._route(int(key))
+        now = self._clock()
+        if self.max_delay is not None:
+            # Every queue's deadline is honored on every submit (as the
+            # single-queue Batcher does) — sticky routing must not leave
+            # another replica's sub-max_batch tail waiting unboundedly.
+            for qidx, oldest in enumerate(self._queue_oldest):
+                if oldest is not None and now - oldest >= self.max_delay:
+                    self._dispatch_queue(qidx)
+        ticket = FabricTicket(self)
+        self._queues[idx].append((x, ticket))
+        self._pending_count += 1
+        if self._queue_oldest[idx] is None:
+            self._queue_oldest[idx] = now
+        self.stats.n_requests += 1
+        if len(self._queues[idx]) >= self.max_batch:
+            self._dispatch_queue(idx)
+        return ticket
+
+    def _make_room(self):
+        """Free queue space without dropping anything (overflow="wait")."""
+        if self._inflight:
+            self._collect_oldest()
+            return
+        # Nothing in flight: push the longest queue out as a batch.
+        idx = max(range(len(self._queues)), key=lambda i: len(self._queues[i]))
+        if not self._queues[idx]:
+            raise Backpressure(
+                f"max_queue={self.max_queue} is smaller than one request"
+            )
+        self._dispatch_queue(idx)
+
+    # ------------------------------------------------------------------
+    def _route(self, key):
+        replicas = self.pool.replicas
+        n = len(replicas)
+        home = key % n
+        for off in range(n):
+            replica = replicas[(home + off) % n]
+            if replica.healthy:
+                if off:
+                    self.stats.failovers += 1
+                return replica.index
+        raise ReplicaError("no healthy replicas in the pool")
+
+    def _dispatch_queue(self, idx):
+        queue = self._queues[idx]
+        if not queue:
+            return
+        self._queues[idx] = []
+        self._queue_oldest[idx] = None
+        X = np.stack([x for x, _ in queue])
+        tickets = [t for _, t in queue]
+        self._dispatch_batch(X, tickets, preferred=idx)
+
+    def _dispatch_batch(self, X, tickets, preferred):
+        replicas = self.pool.replicas
+        n = len(replicas)
+        for off in range(n):
+            replica = replicas[(preferred + off) % n]
+            if not replica.healthy:
+                continue
+            req_id = self._seq + 1
+            try:
+                replica.dispatch(req_id, X)
+            except ReplicaError:
+                continue  # replica marked itself unhealthy; probe on
+            self._seq = req_id
+            self._inflight[req_id] = _Inflight(X, tickets, replica.index,
+                                               req_id)
+            self._order[replica.index].append(req_id)
+            return
+        raise ReplicaError(
+            f"no healthy replica available for a batch of {len(tickets)}"
+        )
+
+    # ------------------------------------------------------------------
+    def _collect_from(self, replica):
+        """Collect one result from ``replica``; failover on death."""
+        order = self._order[replica.index]
+        if not order:
+            return 0
+        try:
+            req_id, preds, sums, version = replica.collect()
+        except ReplicaError:
+            self._reroute_replica(replica)
+            return 0
+        order.popleft()
+        entry = self._inflight.pop(req_id)
+        self._resolve(entry, preds, sums, replica.index, version)
+        return len(entry.tickets)
+
+    def _resolve(self, entry, preds, sums, replica_index, version):
+        for i, ticket in enumerate(entry.tickets):
+            ticket.done = True
+            ticket.prediction = int(preds[i])
+            ticket.class_sums = sums[i]
+            ticket.replica = replica_index
+            ticket.version = version
+        self.stats.n_batches += 1
+        self.stats.n_samples += len(entry.tickets)
+        self._pending_count -= len(entry.tickets)
+        notify_observers(self.observers, entry.X, sums, preds,
+                         self.stats, self.observer_errors)
+
+    def _reroute_replica(self, replica):
+        """Re-dispatch every in-flight batch of a dead replica (zero drop)."""
+        order = self._order[replica.index]
+        entries = [self._inflight.pop(req_id) for req_id in order]
+        order.clear()
+        for entry in entries:
+            self.stats.rerouted_batches += 1
+            self._dispatch_batch(entry.X, entry.tickets,
+                                 preferred=replica.index + 1)
+
+    def _collect_oldest(self):
+        """Collect from the replica holding the oldest in-flight batch."""
+        oldest = min(self._inflight.values(), key=lambda e: e.seq)
+        self._collect_from(self.pool.replicas[oldest.replica_index])
+
+    # ------------------------------------------------------------------
+    def flush(self):
+        """Dispatch everything queued and collect everything in flight.
+
+        Returns the number of samples served by this call.  Every ticket
+        accepted before the call is ``done`` afterwards (or a
+        :class:`ReplicaError` is raised because the whole fleet is down —
+        requests are never silently dropped).
+        """
+        served = 0
+        for idx in range(len(self._queues)):
+            self._dispatch_queue(idx)
+        # A collect can reroute a dead replica's batches onto a replica
+        # already visited this pass, so loop passes until nothing is in
+        # flight.  Termination: each pass strictly drains every order
+        # deque (collect pops one, a death clears the whole deque via
+        # reroute), a replica can die at most once, and a reroute with
+        # no healthy replica left raises instead of requeueing.
+        while self._inflight:
+            for replica in self.pool.replicas:
+                while self._order[replica.index]:
+                    served += self._collect_from(replica)
+        return served
+
+    def flush_replica(self, index):
+        """Drain one replica: dispatch its queue, collect its in-flight work."""
+        self._dispatch_queue(index)
+        replica = self.pool.replicas[index]
+        served = 0
+        while self._order[index]:
+            served += self._collect_from(replica)
+        return served
+
+    # ------------------------------------------------------------------
+    def rolling_swap(self, engine):
+        """Promote the fleet to ``engine`` one replica at a time.
+
+        Per replica: drain its queued and in-flight work (those tickets
+        resolve on the old snapshot), swap, then health-check the replica
+        before moving on — zero requests dropped, at most one replica in
+        transition at any instant.  If a replica fails mid-roll it is
+        marked unhealthy, the already-promoted replicas are swapped back,
+        and :class:`ReplicaError` is raised: the fleet is never left
+        serving two versions.
+
+        Returns the per-replica roll events (the promotion audit trail).
+        """
+        old_engine = self.pool.engine
+        rolled = []
+        events = []
+        for replica in self.pool.replicas:
+            if not replica.healthy:
+                events.append({"replica": replica.index, "skipped": "down"})
+                continue
+            # The drain is inside the guarded region: even an exception
+            # surfacing from it (a propagating observer such as a
+            # differential mismatch, not just a replica death) must
+            # restore the already-promoted replicas — the fleet is never
+            # left serving two versions.
+            try:
+                self.flush_replica(replica.index)
+                replica.swap(engine)
+                health = replica.ping()
+                if health.get("version") != engine.version:
+                    raise ReplicaError(
+                        f"replica {replica.index} reports "
+                        f"v{health.get('version')} after swap to "
+                        f"v{engine.version}"
+                    )
+            except Exception as exc:
+                if isinstance(exc, ReplicaError):
+                    replica.healthy = False
+                self._restore(rolled, old_engine)
+                if isinstance(exc, ReplicaError):
+                    raise ReplicaError(
+                        f"rolling promotion aborted at replica "
+                        f"{replica.index}; fleet restored to "
+                        f"v{old_engine.version} ({exc})"
+                    ) from exc
+                raise  # e.g. DifferentialMismatch from the drain
+            rolled.append(replica)
+            events.append({"replica": replica.index,
+                           "version": engine.version})
+        self.pool.engine = engine
+        return events
+
+    def _restore(self, rolled, old_engine):
+        """Best-effort swap-back of already-promoted replicas on abort."""
+        for back in rolled:
+            try:
+                self.flush_replica(back.index)
+                back.swap(old_engine)
+            except Exception:
+                # The abort is already propagating; a replica that cannot
+                # be restored is quarantined rather than left routable on
+                # the abandoned version.
+                back.healthy = False
+
+    # ------------------------------------------------------------------
+    def health_check(self):
+        """Drain in-flight work, then ping the fleet (delegates to the pool)."""
+        while self._inflight:
+            self._collect_oldest()
+        return self.pool.health_check()
+
+    def report(self):
+        """JSON-able gateway + per-replica metrics snapshot."""
+        return {
+            "replicas": len(self.pool.replicas),
+            "healthy": len(self.pool.healthy()),
+            "mode": self.pool.mode,
+            "version": self.pool.engine.version,
+            "max_batch": self.max_batch,
+            "max_queue": self.max_queue,
+            "pending": self.pending,
+            "fabric": self.stats.to_dict(),
+            "per_replica": {r.index: r.stats() for r in self.pool.replicas},
+        }
+
+    # ------------------------------------------------------------------
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.flush()
+        return False

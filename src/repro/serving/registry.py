@@ -29,11 +29,36 @@ __all__ = ["Registry", "ModelNotFound"]
 
 
 class ModelNotFound(KeyError):
-    """Unknown model name or version."""
+    """Unknown model name or version.
+
+    >>> issubclass(ModelNotFound, KeyError)
+    True
+    """
 
 
 class Registry:
-    """Name -> version -> frozen engine store."""
+    """Name -> version -> frozen engine store.
+
+    >>> import numpy as np
+    >>> from repro.model import TMModel
+    >>> from repro.serving import Registry
+    >>> include = np.zeros((2, 1, 4), dtype=bool)
+    >>> include[0, 0, 0] = True; include[1, 0, 2] = True
+    >>> model = TMModel(include=include, n_features=2, weights=[[1], [1]])
+    >>> registry = Registry()
+    >>> registry.publish("tiny", model).version
+    1
+    >>> registry.publish("tiny", model).version     # training continued
+    2
+    >>> registry.engine("tiny").version             # latest wins
+    2
+    >>> registry.pin("tiny", 1)
+    >>> registry.engine("tiny").version             # held for readers
+    1
+    >>> registry.unpin("tiny")
+    >>> registry.predict("tiny", [[1, 0]])
+    array([0])
+    """
 
     def __init__(self):
         self._models = {}  # name -> {version: engine}

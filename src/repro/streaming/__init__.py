@@ -23,6 +23,10 @@ Layer map::
                        champion, publishes to the Registry on win, swaps
                        the Batcher engine between flushes (zero-downtime)
                        and supports rollback
+    RollingPromoter    the multi-replica variant: rolls the promotion
+                       replica-by-replica through a serving fabric
+                       Gateway with per-replica drain + health check,
+                       and re-rolls the whole fleet on rollback
     StreamSession      the standing loop: serve -> detect -> adapt ->
                        promote, with a JSON-able report
     stream_benchmark   online updates/sec + detection-delay measurement
@@ -39,7 +43,7 @@ from .sources import (
 )
 from .online import OnlineTrainer
 from .drift import DriftDetector
-from .promote import Promoter
+from .promote import Promoter, RollingPromoter
 from .session import StreamSession, run_stream
 from .bench import format_stream_benchmark, stream_benchmark
 
@@ -53,6 +57,7 @@ __all__ = [
     "OnlineTrainer",
     "DriftDetector",
     "Promoter",
+    "RollingPromoter",
     "StreamSession",
     "run_stream",
     "format_stream_benchmark",

@@ -89,7 +89,18 @@ def _detection_delay(ds, clauses, T, s, seed, drift_at, n_samples,
 def stream_benchmark(dataset="mnist", n_train=400, n_test=100, clauses=120,
                      T=10, s=4.0, seed=42, n_samples=600, batch_size=64,
                      repeats=2, drift_at=300, detector_window=300):
-    """Measure online update throughput per backend + detection delay."""
+    """Measure online update throughput per backend + detection delay.
+
+    Trains one machine per backend over the same replayed stream and
+    times ``partial_fit`` updates/sec, then measures how many samples an
+    induced abrupt drift takes to detect.  Consumed by the CLI
+    (``bench-stream``) and ``benchmarks/test_stream_throughput.py``.
+
+    >>> from repro.streaming import stream_benchmark  # doctest: +SKIP
+    >>> payload = stream_benchmark(dataset="kws6")  # doctest: +SKIP
+    >>> payload["online_speedup"] >= 1.3  # doctest: +SKIP
+    True
+    """
     ds = load_dataset(dataset, n_train=n_train, n_test=n_test, seed=0)
     rates = {
         backend: _updates_per_sec(ds, backend, clauses, T, s, seed,
@@ -114,6 +125,18 @@ def stream_benchmark(dataset="mnist", n_train=400, n_test=100, clauses=120,
 
 
 def format_stream_benchmark(payload):
+    """Plain-text summary of a :func:`stream_benchmark` payload.
+
+    >>> print(format_stream_benchmark({
+    ...     "dataset": "kws6", "n_clauses": 24, "batch_size": 64,
+    ...     "reference_updates_per_sec": 500.0,
+    ...     "vectorized_updates_per_sec": 1100.0, "online_speedup": 2.2,
+    ...     "drift_at": 300, "detection_delay_samples": 84}))
+    online training on kws6 (24 clauses/class, batch 64):
+      reference        500.0 updates/s
+      vectorized      1100.0 updates/s  (2.2x)
+      drift @ 300: detected after 84 samples
+    """
     lines = [
         f"online training on {payload['dataset']} "
         f"({payload['n_clauses']} clauses/class, "

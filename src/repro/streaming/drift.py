@@ -43,6 +43,16 @@ class DriftDetector:
     check_every:
         Run the split scan every this-many updates (the scan is O(window)
         via cumulative sums; 1 = test after every sample).
+
+    >>> import numpy as np
+    >>> from repro.streaming import DriftDetector
+    >>> detector = DriftDetector(window=200, min_samples=20, check_every=1)
+    >>> detector.update(np.ones(100, dtype=bool))    # stable accuracy
+    False
+    >>> detector.update(np.zeros(60, dtype=bool))    # accuracy collapses
+    True
+    >>> detector.last_detection is not None
+    True
     """
 
     def __init__(self, window=400, min_samples=50, delta=0.002,

@@ -33,6 +33,20 @@ class OnlineTrainer:
         Evaluate each chunk before training on it (default).  Disable
         for pure-throughput ingestion where the extra predict pass
         would dominate.
+
+    >>> import numpy as np
+    >>> from repro.streaming import OnlineTrainer
+    >>> from repro.tsetlin import TsetlinMachine
+    >>> machine = TsetlinMachine(n_classes=2, n_features=4, n_clauses=4,
+    ...                          T=4, s=3.0, seed=1, backend="vectorized")
+    >>> trainer = OnlineTrainer(machine)
+    >>> X = np.array([[1, 0, 1, 0], [0, 1, 0, 1]] * 8, dtype=np.uint8)
+    >>> y = np.array([0, 1] * 8)
+    >>> _ = trainer.step(X, y)                  # test-then-train
+    >>> trainer.samples_seen, trainer.chunks_seen
+    (16, 1)
+    >>> trainer.prequential_accuracy is not None
+    True
     """
 
     def __init__(self, machine, prequential=True):

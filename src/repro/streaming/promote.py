@@ -18,6 +18,11 @@ ever dropped or served by a half-swapped state.
 Rollback is the same dance in reverse: the previous version is still in
 the registry (publish never overwrites), so :meth:`rollback` pins it and
 swaps it back in.
+
+:class:`RollingPromoter` is the multi-replica variant: the same shadow
+gate, but the swap rolls replica-by-replica through a serving fabric
+(:class:`~repro.serving.Gateway`) — each replica is drained, swapped and
+health-checked in turn, and a rollback re-rolls the whole fleet back.
 """
 
 from __future__ import annotations
@@ -26,7 +31,7 @@ import numpy as np
 
 from ..serving.engine import snapshot_engine
 
-__all__ = ["Promoter"]
+__all__ = ["Promoter", "RollingPromoter"]
 
 
 class Promoter:
@@ -49,6 +54,26 @@ class Promoter:
         Fraction of the offered labelled traffic actually replayed for
         the shadow evaluation (seeded subsample) — shadow scoring cost
         control for wide eval windows.
+
+    >>> import numpy as np
+    >>> from repro.model import TMModel
+    >>> from repro.serving import Registry
+    >>> from repro.streaming import Promoter
+    >>> inc = np.zeros((2, 1, 4), dtype=bool)
+    >>> inc[0, 0, 0] = True; inc[1, 0, 2] = True   # class 0: x0, class 1: ~x0
+    >>> champion = TMModel(include=inc, n_features=2, weights=[[1], [1]])
+    >>> challenger = TMModel(include=inc[::-1].copy(), n_features=2,
+    ...                      weights=[[1], [1]])   # the opposite concept
+    >>> registry = Registry()
+    >>> _ = registry.publish("m", champion)
+    >>> promoter = Promoter(registry, "m")
+    >>> X = np.array([[1, 0], [0, 1]], dtype=np.uint8)
+    >>> y = np.array([1, 0])                       # concept flipped: wins
+    >>> record = promoter.promote(challenger, X, y)
+    >>> record["promoted"], record["new_version"]
+    (True, 2)
+    >>> promoter.rollback()["restored_version"]
+    1
     """
 
     def __init__(self, registry, name, batcher=None, margin=0.0,
@@ -168,3 +193,114 @@ class Promoter:
         if self.batcher is not None:
             self.batcher.flush()  # pending tickets resolve on the old engine
             self.batcher.engine = engine
+
+
+class RollingPromoter(Promoter):
+    """Shadow-gate promotions rolled replica-by-replica across a fabric.
+
+    The decision logic is inherited from :class:`Promoter` unchanged —
+    shadow-evaluate on sampled labelled traffic, publish on a win, pin
+    the champion during the window — but the swap is the fabric's
+    :meth:`~repro.serving.fabric.Gateway.rolling_swap`: one replica at a
+    time is drained (its queued tickets resolve on the old snapshot),
+    swapped, and health-checked, so the fleet promotes with zero dropped
+    requests and at most one replica in transition.  :meth:`rollback`
+    re-rolls every replica back to the displaced version and pins it.
+
+    Promotion and rollback records gain a ``"roll"`` key: the
+    per-replica event list returned by ``rolling_swap`` (the audit trail
+    the e2e test asserts covers the whole fleet).
+
+    Parameters
+    ----------
+    registry, name:
+        As :class:`Promoter`.
+    gateway:
+        The :class:`~repro.serving.Gateway` fronting the replica fleet.
+    margin, sample_fraction, seed:
+        As :class:`Promoter`.
+
+    >>> import numpy as np
+    >>> from repro.model import TMModel
+    >>> from repro.serving import Gateway, Registry, ReplicaPool
+    >>> from repro.streaming import RollingPromoter
+    >>> inc = np.zeros((2, 1, 4), dtype=bool)
+    >>> inc[0, 0, 0] = True; inc[1, 0, 2] = True
+    >>> champion = TMModel(include=inc, n_features=2, weights=[[1], [1]])
+    >>> challenger = TMModel(include=inc[::-1].copy(), n_features=2,
+    ...                      weights=[[1], [1]])
+    >>> registry = Registry()
+    >>> _ = registry.publish("m", champion)
+    >>> pool = ReplicaPool.from_registry(registry, "m", n_replicas=3,
+    ...                                  mode="inline")
+    >>> gateway = Gateway(pool, max_batch=4)
+    >>> promoter = RollingPromoter(registry, "m", gateway)
+    >>> X = np.array([[1, 0], [0, 1]], dtype=np.uint8)
+    >>> record = promoter.promote(challenger, X, np.array([1, 0]))
+    >>> record["promoted"], [e["replica"] for e in record["roll"]]
+    (True, [0, 1, 2])
+    >>> pool.versions()
+    [2, 2, 2]
+    >>> _ = promoter.rollback()
+    >>> pool.versions()
+    [1, 1, 1]
+    """
+
+    def __init__(self, registry, name, gateway, margin=0.0,
+                 sample_fraction=1.0, seed=0):
+        super().__init__(registry, name, batcher=None, margin=margin,
+                         sample_fraction=sample_fraction, seed=seed)
+        self.gateway = gateway
+        self._last_roll = None
+
+    def live_engine(self):
+        """The snapshot the fleet serves right now."""
+        return self.gateway.pool.engine
+
+    def _swap(self, engine):
+        """Roll the fleet to ``engine`` (delegates to the gateway)."""
+        self._last_roll = self.gateway.rolling_swap(engine)
+
+    def promote(self, challenger, X, y):
+        """Shadow-evaluate; on a win, roll the fleet replica-by-replica.
+
+        See :meth:`Promoter.promote`; a winning record additionally
+        carries ``"roll"``, the per-replica promotion events.
+
+        A roll that fails mid-fleet re-raises — as
+        :class:`~repro.serving.ReplicaError` for a replica death, or as
+        whatever a propagating observer threw (e.g. a differential
+        mismatch during the drain) — after ``rolling_swap`` has restored
+        the already-promoted replicas.  In every abort path the version
+        the fleet actually serves is re-pinned in the registry, so
+        unversioned readers never resolve to the published-but-refused
+        challenger version (which stays queryable as the audit trail).
+        """
+        self._last_roll = None
+        try:
+            record = super().promote(challenger, X, y)
+        except Exception:
+            # The shadow gate may have won and published the challenger
+            # before the roll failed; the base promote's finally-block
+            # unpinned on the win, so the registry's latest-wins
+            # resolution would now point at the refused version while
+            # the fleet serves the restored one.  Re-pin whatever the
+            # fleet actually serves whenever the two disagree.
+            if self.name in self.registry:
+                served = self.live_engine().version
+                if (served in self.registry.versions(self.name)
+                        and self.registry.engine(self.name).version
+                        != served):
+                    self.registry.pin(self.name, served)
+            raise
+        if record.get("promoted") and self._last_roll is not None:
+            record["roll"] = self._last_roll
+        return record
+
+    def rollback(self):
+        """Re-roll every replica to the displaced version and pin it."""
+        self._last_roll = None
+        record = super().rollback()
+        if self._last_roll is not None:
+            record["roll"] = self._last_roll
+        return record

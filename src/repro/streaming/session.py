@@ -78,6 +78,17 @@ class StreamSession:
         Required challenger edge, passed to the Promoter.
     seed:
         Base seed for the champion/challenger factory calls.
+
+    >>> from repro.data import load_dataset  # doctest: +SKIP
+    >>> from repro.streaming import DriftStream, ReplayStream, StreamSession
+    >>> ds = load_dataset("kws6", n_train=500, n_test=100)  # doctest: +SKIP
+    >>> stream = DriftStream(ReplayStream(ds, n_samples=2600),
+    ...                      permute_labels(ds.n_classes),
+    ...                      drift_at=1200)  # doctest: +SKIP
+    >>> session = StreamSession(stream, factory, warmup=400)  # doctest: +SKIP
+    >>> report = session.run()  # doctest: +SKIP
+    >>> report["unresolved"]  # doctest: +SKIP
+    0
     """
 
     def __init__(self, stream, machine_factory, warmup=200, registry=None,
@@ -303,5 +314,11 @@ class StreamSession:
 
 
 def run_stream(stream, machine_factory, **kwargs):
-    """Convenience wrapper: build a session, run it, return the report."""
+    """Convenience wrapper: build a session, run it, return the report.
+
+    >>> from repro.streaming import run_stream  # doctest: +SKIP
+    >>> report = run_stream(stream, factory, warmup=400)  # doctest: +SKIP
+    >>> report["live_version"]  # doctest: +SKIP
+    2
+    """
     return StreamSession(stream, machine_factory, **kwargs).run()

@@ -31,7 +31,16 @@ __all__ = [
 
 
 class StreamBatch:
-    """One chunk of a stream: features, labels, global start index."""
+    """One chunk of a stream: features, labels, global start index.
+
+    >>> import numpy as np
+    >>> batch = StreamBatch(np.zeros((4, 2), dtype=np.uint8),
+    ...                     np.zeros(4, dtype=np.int64), start=32)
+    >>> len(batch), batch.stop
+    (4, 36)
+    >>> batch.indices
+    array([32, 33, 34, 35])
+    """
 
     __slots__ = ("X", "y", "start")
 
@@ -61,6 +70,15 @@ class StreamSource:
     source twice must yield bit-identical batches (seeded, no shared
     mutable cursor), and expose ``n_features`` / ``n_classes`` so
     consumers can size machines without peeking at the first batch.
+
+    >>> import numpy as np
+    >>> class Constant(StreamSource):
+    ...     n_features, n_classes = 2, 2
+    ...     def batches(self):
+    ...         yield StreamBatch(np.ones((3, 2), dtype=np.uint8),
+    ...                           np.zeros(3, dtype=np.int64), 0)
+    >>> sum(len(b) for b in Constant())
+    3
     """
 
     n_features = None
@@ -90,6 +108,17 @@ class ReplayStream(StreamSource):
         Shuffle the replay order once per pass (seeded).
     seed:
         Shuffle seed; iteration is deterministic per seed.
+
+    >>> from repro.data import load_dataset
+    >>> from repro.streaming import ReplayStream
+    >>> ds = load_dataset("kws6", n_train=64, n_test=16, seed=0)
+    >>> stream = ReplayStream(ds, batch_size=16, n_samples=48, seed=1)
+    >>> [batch.start for batch in stream]
+    [0, 16, 32]
+    >>> first = next(iter(stream))
+    >>> again = next(iter(stream))              # restartable: same batch
+    >>> bool((first.X == again.X).all())
+    True
     """
 
     def __init__(self, dataset, batch_size=32, n_samples=None, shuffle=True,
@@ -131,6 +160,13 @@ def permute_labels(n_classes, seed=0):
     Flipping ``P(y | x)`` while leaving the inputs untouched is the
     classic abrupt concept drift; a permutation with no fixed points
     guarantees every class's accuracy collapses at the onset.
+
+    >>> import numpy as np
+    >>> from repro.streaming import permute_labels
+    >>> transform = permute_labels(4, seed=0)
+    >>> _, relabelled = transform(None, np.array([0, 1, 2, 3]))
+    >>> bool(np.any(relabelled == np.array([0, 1, 2, 3])))
+    False
     """
     if n_classes < 2:
         raise ValueError("n_classes must be >= 2")
@@ -155,6 +191,13 @@ def flip_features(n_features, fraction=0.25, seed=0):
 
     Inverting a fraction of the boolean features shifts ``P(x)`` so that
     clauses trained pre-drift stop matching; labels are untouched.
+
+    >>> import numpy as np
+    >>> from repro.streaming import flip_features
+    >>> transform = flip_features(8, fraction=0.5, seed=0)
+    >>> X, y = transform(np.zeros((1, 8), dtype=np.uint8), np.array([3]))
+    >>> bool(X.any()), int(y[0])                # bits flipped, label kept
+    (True, 3)
     """
     if not 0.0 < fraction <= 1.0:
         raise ValueError("fraction must be in (0, 1]")
@@ -191,6 +234,19 @@ class DriftStream(StreamSource):
         the gradual hand-over between two concepts.
     seed:
         Ramp sampling seed (unused for abrupt shifts).
+
+    >>> import numpy as np
+    >>> from repro.data import load_dataset
+    >>> from repro.streaming import DriftStream, ReplayStream, permute_labels
+    >>> ds = load_dataset("kws6", n_train=64, n_test=16, seed=0)
+    >>> clean = ReplayStream(ds, batch_size=16, n_samples=48, seed=1)
+    >>> drifted = DriftStream(clean, permute_labels(ds.n_classes, seed=2),
+    ...                       drift_at=32)
+    >>> pairs = list(zip(clean, drifted))
+    >>> bool(np.array_equal(pairs[0][0].y, pairs[0][1].y))   # pre-onset
+    True
+    >>> bool(np.array_equal(pairs[2][0].y, pairs[2][1].y))   # post-onset
+    False
     """
 
     def __init__(self, base, transform, drift_at, width=0, seed=0):

@@ -1,0 +1,67 @@
+"""Documentation gates: fresh API reference, honest README, live links.
+
+Three ways docs rot, three tests:
+
+* the committed ``docs/api/*.md`` drift from the docstrings they were
+  generated from — regenerating must be a no-op (the same gate CI runs
+  via ``python docs/gen_api.py --check``);
+* the README layer map drifts from the actual ``src/repro`` packages —
+  the map's first-column tokens must equal the package set exactly;
+* a relative link in README/docs points at a file that moved or died.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _load(script_name):
+    """Import a docs/ script by path (docs/ is not a package)."""
+    path = REPO / "docs" / script_name
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[path.stem] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_api_reference_is_fresh():
+    gen_api = _load("gen_api.py")
+    stale = []
+    for path, content in gen_api.generate(REPO / "docs" / "api").items():
+        on_disk = path.read_text(encoding="utf-8") if path.exists() else None
+        if on_disk != content:
+            stale.append(path.name)
+    assert not stale, (
+        f"stale API reference pages {stale}; regenerate with "
+        "`PYTHONPATH=src python docs/gen_api.py` and commit the diff"
+    )
+
+
+def test_readme_layer_map_matches_packages():
+    packages = {
+        p.name for p in (REPO / "src" / "repro").iterdir()
+        if p.is_dir() and (p / "__init__.py").exists()
+    }
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    _, _, after = readme.partition("## Layer map")
+    assert after, "README has no '## Layer map' section"
+    block = after.split("```")[1]
+    rows = {
+        line.split()[0]
+        for line in block.splitlines()
+        if line and not line[0].isspace()
+    }
+    missing = packages - rows
+    stale = rows - packages
+    assert not missing, f"README layer map is missing packages: {sorted(missing)}"
+    assert not stale, f"README layer map lists dead packages: {sorted(stale)}"
+
+
+def test_all_relative_links_resolve():
+    check_links = _load("check_links.py")
+    assert check_links.main() == 0

@@ -195,6 +195,68 @@ class TestBatcher:
         assert sums0.shape == (2, eng.n_classes)
         assert np.array_equal(preds0, np.argmax(sums0, axis=1))
 
+    def test_observer_exception_does_not_drop_the_batch(self):
+        # Regression: a crashing metrics hook used to propagate out of
+        # flush(), so a size-triggered submit() could blow up after the
+        # engine had already served the batch.  Errors are now isolated.
+        eng = self._engine()
+        after = []
+
+        def bad_hook(X, sums, preds):
+            raise ValueError("metrics sink unreachable")
+
+        b = Batcher(eng, max_batch=2, max_delay=None,
+                    observers=[bad_hook, lambda X, s, p: after.append(len(X))])
+        xs = (np.random.default_rng(5).random((4, eng.n_features)) < 0.5
+              ).astype(np.uint8)
+        tickets = [b.submit(x) for x in xs]   # size flushes do not raise
+        assert all(t.done and t.prediction is not None for t in tickets)
+        assert after == [2, 2]                # later observers still ran
+        assert b.stats.observer_errors == 2
+        assert b.observer_errors[0][0] == "bad_hook"
+        # The serving loop keeps going after the bad hook.
+        assert b.submit(xs[0]).result() is not None
+
+    def test_opted_in_observer_errors_propagate_after_resolution(self):
+        # The differential checker's contract: a divergence surfaces, but
+        # only after every ticket resolved and every observer ran.
+        eng = self._engine()
+        others = []
+
+        def diverged(X, sums, preds):
+            raise AssertionError("hw != sw")
+
+        diverged.propagate_errors = True
+        b = Batcher(eng, max_batch=2, max_delay=None,
+                    observers=[diverged, lambda X, s, p: others.append(1)])
+        x = np.zeros(eng.n_features, dtype=np.uint8)
+        t1 = b.submit(x)
+        with pytest.raises(AssertionError, match="hw != sw"):
+            b.submit(x)
+        assert t1.done and others == [1]
+        assert b.stats.observer_errors == 0   # opted-in errors not swallowed
+
+    def test_second_propagating_observer_error_is_recorded(self):
+        # Only one exception can surface from a flush; a second
+        # propagating failure on the same batch must leave a trace.
+        eng = self._engine()
+
+        def diverged_a(X, sums, preds):
+            raise AssertionError("checker A")
+
+        def diverged_b(X, sums, preds):
+            raise AssertionError("checker B")
+
+        diverged_a.propagate_errors = True
+        diverged_b.propagate_errors = True
+        b = Batcher(eng, max_batch=1, max_delay=None,
+                    observers=[diverged_a, diverged_b])
+        with pytest.raises(AssertionError, match="checker A"):
+            b.submit(np.zeros(eng.n_features, dtype=np.uint8))
+        assert b.stats.observer_errors == 1
+        assert b.observer_errors[0] == ("diverged_b",
+                                        repr(AssertionError("checker B")))
+
     def test_submit_rejects_batches_and_bad_width(self):
         eng = self._engine()
         b = Batcher(eng)
