@@ -50,6 +50,9 @@ GATES = {
     ),
     "fabric_throughput.json": (
         "fabric_speedup",
+        # Zero-copy shm transport vs the pickle path (WARNs until the
+        # first 4-CPU run commits a baseline containing it).
+        "fabric_zero_copy_speedup",
     ),
 }
 
@@ -63,6 +66,7 @@ REPORTED = {
     ),
     "fabric_throughput.json": (
         "fabric_requests_per_s",
+        "fabric_pickle_requests_per_s",
         "single_replica_requests_per_s",
     ),
 }

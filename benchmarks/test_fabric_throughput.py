@@ -9,9 +9,15 @@ ratio isolates the fan-out; like the other scaling benches this skips on
 machines with fewer than 4 usable CPUs, where a process pool cannot
 physically deliver the ratio and the measurement is noise.
 
+The same payload carries the transport comparison:
+``fabric_zero_copy_speedup`` is the shared-memory slot-ring fleet rate
+over the same fleet forced onto the pickled-array pipe transport.  The
+zero-copy path must never lose to pickling (floor 1.0 here; the ratio
+itself is baseline-gated once committed).
+
 Results land in ``benchmarks/results/fabric_throughput.json`` and the
-``fabric_speedup`` ratio is gated against the committed baseline by
-``compare_bench.py``.
+``fabric_speedup`` / ``fabric_zero_copy_speedup`` ratios are gated
+against the committed baseline by ``compare_bench.py``.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from repro.serving import fabric_benchmark
 from repro.sweep import available_cpus
 
 MIN_FABRIC_SPEEDUP = 2.5
+MIN_ZERO_COPY_SPEEDUP = 1.0
 FABRIC_REPLICAS = 4
 
 
@@ -63,3 +70,6 @@ def test_fabric_aggregate_throughput_scales():
     save_results("fabric_throughput.json", payload)
     assert payload["fabric_speedup"] is not None
     assert payload["fabric_speedup"] >= MIN_FABRIC_SPEEDUP, payload
+    # Zero-copy must at least break even with pickling the arrays.
+    assert payload["fabric_zero_copy_speedup"] is not None
+    assert payload["fabric_zero_copy_speedup"] >= MIN_ZERO_COPY_SPEEDUP, payload

@@ -1,104 +1,27 @@
-"""Training-throughput micro-benchmark: samples/sec per backend.
+"""Training-throughput benchmark: samples/sec per backend.
 
-Records a perf trajectory for the training engine so future PRs can see
-regressions.  Two regimes are measured on an MNIST-scale synthetic task
-(10 classes, 1568 boolean features, 512 clauses/class):
+Thin pytest wrapper around :func:`repro.tsetlin.bench.train_benchmark`
+(shared with the ``bench-train`` CLI command — see that module for the
+regime definitions and measurement methodology).  Records a perf
+trajectory for the training engine so future PRs can see regressions,
+and gates the packed-word feedback path: the steady-state regime must
+hold a >=40x vectorized-vs-reference speedup.
 
-* **cold** — from-scratch training, where the dense random initialization
-  keeps clause selection probabilities high and every backend pays for
-  the full Type I random blocks;
-* **steady** — continued training from a converged model (the regime a
-  long training run or an online-learning deployment spends nearly all
-  its time in), where the reference backend still rematerializes the
-  full include matrix per sample while the vectorized backend's
-  incremental caches make updates nearly free.
-
-Both backends are verified bit-identical on every measured run; the
-steady-state regime is where the >=10x speedup target of the backend
-refactor is asserted.
+Every measured run is verified bit-identical across backends inside
+``train_benchmark`` itself — a divergence raises before any rate is
+recorded.
 """
 
 from __future__ import annotations
 
-import time
-
-import numpy as np
-
 from _harness import save_results
-from repro.tsetlin import TsetlinMachine
+from repro.tsetlin.bench import train_benchmark
 
-N_CLASSES = 10
-N_FEATURES = 1568
-N_CLAUSES = 512
-T = 16
-S = 5.0
-N_SAMPLES = 100
-WARM_EPOCHS = 25
-MEASURE_EPOCHS = 3
-MIN_STEADY_SPEEDUP = 10.0
-
-
-def _synthetic_task(seed=1, noise=0.02):
-    """Class prototypes + bit-flip noise: learnable to 100% accuracy."""
-    rng = np.random.default_rng(seed)
-    protos = rng.random((N_CLASSES, N_FEATURES)) < 0.5
-    y = rng.integers(0, N_CLASSES, N_SAMPLES)
-    flip = rng.random((N_SAMPLES, N_FEATURES)) < noise
-    X = (protos[y] ^ flip).astype(np.uint8)
-    return X, y
-
-
-def _machine(backend, seed=123):
-    return TsetlinMachine(
-        N_CLASSES, N_FEATURES, n_clauses=N_CLAUSES, T=T, s=S, seed=seed,
-        backend=backend,
-    )
-
-
-def _timed_fit(tm, X, y, epochs):
-    t0 = time.perf_counter()
-    tm.fit(X, y, epochs=epochs, track_metrics=False)
-    return len(X) * epochs / (time.perf_counter() - t0)
+MIN_STEADY_SPEEDUP = 40.0
 
 
 def test_train_throughput_per_backend():
-    X, y = _synthetic_task()
-
-    # Converge once (vectorized — backends are bit-identical, so the warm
-    # state is backend-independent) to obtain the steady-state start.
-    warm = _machine("vectorized", seed=7)
-    warm.fit(X, y, epochs=WARM_EPOCHS, track_metrics=False)
-    warm_state = warm.team.state.copy()
-    assert warm.evaluate(X, y) == 1.0, "benchmark task must converge"
-
-    results = {"config": {
-        "n_classes": N_CLASSES, "n_features": N_FEATURES,
-        "n_clauses": N_CLAUSES, "T": T, "s": S,
-        "n_samples": N_SAMPLES, "measure_epochs": MEASURE_EPOCHS,
-    }}
-    trained = {}
-    for regime in ("cold", "steady"):
-        for backend in ("reference", "vectorized"):
-            tm = _machine(backend)
-            if regime == "steady":
-                tm.team.state[:] = warm_state
-                tm.backend.sync()
-            rate = _timed_fit(tm, X, y, MEASURE_EPOCHS)
-            results[f"{regime}_{backend}_samples_per_sec"] = round(rate, 1)
-            trained[(regime, backend)] = tm
-
-    for regime in ("cold", "steady"):
-        ref = trained[(regime, "reference")]
-        vec = trained[(regime, "vectorized")]
-        assert np.array_equal(ref.team.state, vec.team.state), (
-            f"backends diverged in the {regime} regime"
-        )
-        assert np.array_equal(ref.predict(X), vec.predict(X))
-        results[f"{regime}_speedup"] = round(
-            results[f"{regime}_vectorized_samples_per_sec"]
-            / results[f"{regime}_reference_samples_per_sec"], 2
-        )
-
+    results = train_benchmark()
     save_results("train_throughput.json", results)
 
     assert results["cold_speedup"] > 1.0, results

@@ -14,6 +14,7 @@ flow stages as subcommands:
    matador serve --dataset kws6 --replicas 4 --requests 2048
    matador bench-serve --dataset mnist --batch-sizes 1,8,64,256
    matador bench-fabric --dataset mnist --replicas 4 --requests 2048
+   matador bench-train --steady-epochs 40 --save train.json --profile
    matador stream --dataset kws6 --samples 2600 --drift-at 1200 \\
        --report stream.json
    matador bench-stream --dataset kws6 --json
@@ -27,8 +28,12 @@ serving registry and drives micro-batched request traffic through the
 packed inference engine with differential sim-vs-software checking —
 ``--replicas N`` fans the traffic across a sharded multi-replica fabric
 (one worker process per replica) behind a routing gateway;
-``bench-serve`` measures packed-batch vs per-sample serving throughput
-and ``bench-fabric`` the multi-replica vs single-replica aggregate.
+``bench-serve`` measures packed-batch vs per-sample serving throughput,
+``bench-fabric`` the multi-replica vs single-replica aggregate (plus the
+zero-copy shared-memory transport vs pickling), and ``bench-train`` the
+packed-word training engine vs the reference backend in cold and
+converged steady-state regimes; ``bench-train``/``bench-fabric`` accept
+``--profile`` to drop a cProfile top-20 hotspot JSON next to ``--save``.
 ``stream`` runs a continual-learning session: replay a dataset as
 request traffic (optionally with induced concept drift), serve it
 micro-batched, detect drift from served predictions vs delayed labels,
@@ -134,6 +139,30 @@ def build_parser():
                               help="print the benchmark payload as JSON")
     bench_fabric.add_argument("--save", default=None,
                               help="also write the JSON payload to this path")
+    bench_fabric.add_argument("--profile", action="store_true",
+                              help="run under cProfile and write the top-20 "
+                                   "hotspots as JSON next to --save")
+
+    bench_train = sub.add_parser(
+        "bench-train",
+        help="measure packed-word vs reference training throughput",
+    )
+    bench_train.add_argument("--cold-epochs", type=int, default=3,
+                             help="epochs in the from-scratch regime")
+    bench_train.add_argument("--steady-epochs", type=int, default=40,
+                             help="epochs in the converged steady regime")
+    bench_train.add_argument("--repeats", type=int, default=3,
+                             help="vectorized repetitions per regime (best-of)")
+    bench_train.add_argument("--seed", type=int, default=1)
+    bench_train.add_argument("--noise", type=float, default=0.02,
+                             help="label-noise rate of the synthetic task")
+    bench_train.add_argument("--json", action="store_true",
+                             help="print the benchmark payload as JSON")
+    bench_train.add_argument("--save", default=None,
+                             help="also write the JSON payload to this path")
+    bench_train.add_argument("--profile", action="store_true",
+                             help="run under cProfile and write the top-20 "
+                                  "hotspots as JSON next to --save")
 
     stream = sub.add_parser(
         "stream",
@@ -454,6 +483,55 @@ def _cmd_serve(args, out):
     return 0
 
 
+def _run_profiled(fn, enabled):
+    """Run ``fn``, optionally under cProfile.
+
+    Returns ``(result, profile_payload)`` where the payload is ``None``
+    without profiling, else a JSON-able dict of the top-20 functions by
+    cumulative time — the artifact CI stores next to the bench JSONs so
+    a regression report comes with the hotspot list that explains it.
+    """
+    if not enabled:
+        return fn(), None
+    import cProfile
+
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        result = fn()
+    finally:
+        prof.disable()
+    prof.create_stats()
+    rows = [
+        {
+            "file": filename,
+            "line": lineno,
+            "function": funcname,
+            "ncalls": nc,
+            "tottime_s": round(tt, 6),
+            "cumtime_s": round(ct, 6),
+        }
+        for (filename, lineno, funcname), (cc, nc, tt, ct, callers)
+        in prof.stats.items()
+    ]
+    rows.sort(key=lambda r: -r["cumtime_s"])
+    return result, {"sort": "cumulative", "top": rows[:20]}
+
+
+def _write_profile(profile_payload, save, default_name, out):
+    """Write a :func:`_run_profiled` payload next to the bench JSON."""
+    if profile_payload is None:
+        return
+    if save:
+        path = Path(save)
+        path = path.with_name(f"{path.stem}_profile.json")
+    else:
+        path = Path(default_name)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(profile_payload, indent=1), encoding="utf-8")
+    print(f"profile: {path}", file=out)
+
+
 def _cmd_bench_serve(args, out):
     from ..serving import format_benchmark, serve_benchmark
 
@@ -491,10 +569,13 @@ def _cmd_bench_fabric(args, out):
     )
     flow.load_data()
     model = flow.train()
-    payload = fabric_benchmark(
-        model, n_replicas=args.replicas, max_batch=args.max_batch,
-        n_requests=args.requests, repeats=args.repeats,
-        seed=config.train_seed, mode=args.replica_mode,
+    payload, profile = _run_profiled(
+        lambda: fabric_benchmark(
+            model, n_replicas=args.replicas, max_batch=args.max_batch,
+            n_requests=args.requests, repeats=args.repeats,
+            seed=config.train_seed, mode=args.replica_mode,
+        ),
+        args.profile,
     )
     if args.json:
         print(json.dumps(payload, indent=1), file=out)
@@ -505,6 +586,30 @@ def _cmd_bench_fabric(args, out):
         save_path.parent.mkdir(parents=True, exist_ok=True)
         save_path.write_text(json.dumps(payload, indent=1), encoding="utf-8")
         print(f"saved: {args.save}", file=out)
+    _write_profile(profile, args.save, "bench_fabric_profile.json", out)
+    return 0
+
+
+def _cmd_bench_train(args, out):
+    from ..tsetlin.bench import format_train_benchmark, train_benchmark
+
+    payload, profile = _run_profiled(
+        lambda: train_benchmark(
+            cold_epochs=args.cold_epochs, steady_epochs=args.steady_epochs,
+            repeats=args.repeats, seed=args.seed, noise=args.noise,
+        ),
+        args.profile,
+    )
+    if args.json:
+        print(json.dumps(payload, indent=1), file=out)
+    else:
+        print(format_train_benchmark(payload), file=out)
+    if args.save:
+        save_path = Path(args.save)
+        save_path.parent.mkdir(parents=True, exist_ok=True)
+        save_path.write_text(json.dumps(payload, indent=1), encoding="utf-8")
+        print(f"saved: {args.save}", file=out)
+    _write_profile(profile, args.save, "bench_train_profile.json", out)
     return 0
 
 
@@ -690,6 +795,8 @@ def main(argv=None, out=None):
         return _cmd_bench_serve(args, out)
     if args.command == "bench-fabric":
         return _cmd_bench_fabric(args, out)
+    if args.command == "bench-train":
+        return _cmd_bench_train(args, out)
     if args.command == "stream":
         return _cmd_stream(args, out)
     if args.command == "bench-stream":

@@ -10,7 +10,11 @@ boolean-to-silicon translation effective:
    shared logic.
 
 This module quantifies both so the design generator and the Fig. 3 / Fig. 8
-benches can report them.
+benches can report them — and, since the sparsity observation holds, puts
+it to work: :class:`ActiveClauseIndex` compacts an include matrix down to
+its non-empty clauses so the serving hot loop evaluates only clauses that
+can ever fire, and densifies back to the exact original artifact on
+snapshot/promotion boundaries.
 """
 
 from __future__ import annotations
@@ -22,7 +26,13 @@ import numpy as np
 
 from .expressions import expressions_from_model, shared_expression_pool
 
-__all__ = ["SparsityReport", "SharingReport", "analyze_sparsity", "analyze_sharing"]
+__all__ = [
+    "ActiveClauseIndex",
+    "SparsityReport",
+    "SharingReport",
+    "analyze_sparsity",
+    "analyze_sharing",
+]
 
 
 @dataclass
@@ -77,6 +87,121 @@ class SharingReport:
             f"{self.duplicate_instances} duplicate instances "
             f"({self.full_clause_sharing_ratio:.2%} clause sharing), "
             f"mean literal overlap={self.pairwise_literal_overlap:.3f}"
+        )
+
+
+class ActiveClauseIndex:
+    """Compact form of an include matrix: only the non-empty clauses.
+
+    Empty clauses (no included literal) can never fire under the
+    hardware/serving convention — evaluating them is pure waste, and
+    trained models routinely leave a large fraction of the clause budget
+    empty (see :func:`analyze_sparsity`).  This index flattens a
+    ``(banks, clauses, 2f)`` include matrix to the ``A`` active rows plus
+    the bookkeeping needed to (a) vote them into per-class sums with one
+    matmul and (b) reconstruct the **exact** dense artifact.
+
+    ``banks`` is ``n_classes`` for per-class clause banks or 1 for a
+    coalesced shared pool (which votes every class's weight row).
+
+    Round-trip contract: :meth:`densify` returns an include matrix
+    ``np.array_equal`` to the original, and :meth:`densify_model` (when
+    built :meth:`from_model`) a :class:`~repro.model.TMModel` whose
+    serialized bytes equal the source model's — pruning is a hot-loop
+    layout change, never a semantic one.
+
+    >>> import numpy as np
+    >>> include = np.zeros((2, 3, 4), dtype=bool)
+    >>> include[0, 1, 0] = True; include[1, 2, 3] = True
+    >>> idx = ActiveClauseIndex.from_include(include, [[1, -1, 1], [1, -1, 1]])
+    >>> idx.n_active, idx.bank_ids.tolist(), idx.clause_ids.tolist()
+    (2, [0, 1], [1, 2])
+    >>> idx.weights_active.tolist()     # class x active-clause votes
+    [[-1, 0], [0, 1]]
+    >>> bool(np.array_equal(idx.densify(), include))
+    True
+    """
+
+    def __init__(self, include_active, bank_ids, clause_ids, weights_active,
+                 shape, weights=None):
+        self.include_active = include_active  # (A, 2f) bool
+        self.bank_ids = bank_ids              # (A,) source bank per row
+        self.clause_ids = clause_ids          # (A,) clause index in bank
+        self.weights_active = weights_active  # (C, A) int32 vote matrix
+        self.shape = tuple(int(s) for s in shape)  # dense (banks, K, 2f)
+        self.weights = weights                # dense (C, K) vote matrix
+        self._model_meta = None
+
+    @property
+    def n_active(self):
+        """Number of non-empty clauses across all banks."""
+        return int(self.include_active.shape[0])
+
+    @classmethod
+    def from_include(cls, include, weights):
+        """Build from a ``(banks, clauses, 2f)`` include + ``(C, K)`` weights."""
+        include = np.asarray(include, dtype=bool)
+        weights = np.asarray(weights, dtype=np.int32)
+        banks, n_clauses, _ = include.shape
+        n_classes = weights.shape[0]
+        bank_ids, clause_ids = np.nonzero(include.any(axis=2))
+        include_active = np.ascontiguousarray(include[bank_ids, clause_ids])
+        # One matmul votes the compact outputs into class sums: class c
+        # weights active row j iff the row's bank votes for c (its own
+        # bank for per-class banks; every class for a shared pool).
+        weights_active = weights[:, clause_ids].copy()
+        if banks != 1:
+            weights_active *= bank_ids[np.newaxis] == np.arange(
+                n_classes
+            )[:, np.newaxis]
+        return cls(include_active, bank_ids, clause_ids, weights_active,
+                   include.shape, weights=weights)
+
+    @classmethod
+    def from_model(cls, model):
+        """Build from a :class:`~repro.model.TMModel` (exact round-trip)."""
+        index = cls.from_include(model.include, model.vote_weights())
+        index._model_meta = {
+            "name": model.name,
+            "n_features": model.n_features,
+            "weights": model.weights,
+            "hyperparameters": dict(model.hyperparameters),
+        }
+        return index
+
+    def densify(self):
+        """The exact dense ``(banks, clauses, 2f)`` include matrix."""
+        include = np.zeros(self.shape, dtype=bool)
+        include[self.bank_ids, self.clause_ids] = self.include_active
+        return include
+
+    def densify_model(self):
+        """Reconstruct the source :class:`~repro.model.TMModel`.
+
+        Only available when built via :meth:`from_model`; the result
+        serializes to byte-identical JSON (same include matrix, name,
+        weights, and hyperparameters).
+        """
+        from .model import TMModel
+
+        if self._model_meta is None:
+            raise ValueError(
+                "densify_model() requires an index built with from_model()"
+            )
+        meta = self._model_meta
+        return TMModel(
+            include=self.densify(),
+            n_features=meta["n_features"],
+            name=meta["name"],
+            weights=meta["weights"],
+            hyperparameters=meta["hyperparameters"],
+        )
+
+    def __repr__(self):
+        banks, n_clauses, _ = self.shape
+        return (
+            f"ActiveClauseIndex({self.n_active}/{banks * n_clauses} "
+            f"clauses active, shape={self.shape})"
         )
 
 

@@ -31,11 +31,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..model.sparsity import ActiveClauseIndex
 from ..tsetlin.booleanize import literals_from_features
 from ..tsetlin.backend.packed import (
-    pack_include,
     pack_not_literals,
-    packed_class_sums,
     packed_clause_outputs,
 )
 from ..tsetlin.coalesced import CoalescedTsetlinMachine
@@ -101,7 +100,18 @@ class InferenceEngine:
         self.n_features = int(n_features)
         self.name = str(name)
         self.version = int(version)
-        self._inc_packed, self._nonempty = pack_include(include)
+        # Clause-sparsity skipping: the hot loop evaluates only the
+        # non-empty clauses (empty ones can never fire under the pruning
+        # convention) and votes them with one (n, A) @ (A, C) matmul.
+        # The dense snapshot above remains the interchange artifact for
+        # promotion/serialization; the index densifies back exactly.
+        self.active_index = ActiveClauseIndex.from_include(include, weights)
+        self._inc_packed_active = np.packbits(
+            self.active_index.include_active, axis=-1
+        )
+        self._weights_active_t = np.ascontiguousarray(
+            self.active_index.weights_active.T
+        )
         # Serving counters (read by the batcher stats and the CLI).
         self.requests_served = 0
         self.samples_served = 0
@@ -130,8 +140,8 @@ class InferenceEngine:
         """Vote totals ``(samples, classes)`` int32, empty clauses pruned."""
         X = self._check_features(X)
         nlp = pack_not_literals(literals_from_features(X).astype(bool))
-        sums = packed_class_sums(nlp, self._inc_packed, self._nonempty,
-                                 self.weights)
+        out = packed_clause_outputs(nlp, self._inc_packed_active)  # (n, A)
+        sums = out.astype(np.int32) @ self._weights_active_t
         self.requests_served += 1
         self.samples_served += len(X)
         return sums
@@ -216,12 +226,12 @@ class ConvolutionalInferenceEngine(InferenceEngine):
         lit = self._patch_literals(X)  # (n, P, 2f)
         n, P, _ = lit.shape
         nlp = pack_not_literals(lit.astype(bool).reshape(n * P, -1))
-        per_patch = packed_clause_outputs(nlp, self._inc_packed)  # (nP, C, K)
-        fired = per_patch.reshape(n, P, *per_patch.shape[1:]).any(axis=1)
-        fired &= self._nonempty[np.newaxis]
-        sums = np.einsum(
-            "nck,ck->nc", fired.astype(np.int32), self.weights
-        )
+        # Active clauses only: a pruned (empty) clause can never fire, so
+        # the patch-OR and the vote run over the compact rows.
+        per_patch = packed_clause_outputs(nlp, self._inc_packed_active)
+        A = per_patch.shape[-1]
+        fired = per_patch.reshape(n, P, A).any(axis=1)
+        sums = fired.astype(np.int32) @ self._weights_active_t
         self.requests_served += 1
         self.samples_served += n
         return sums

@@ -12,7 +12,14 @@ behind one front-end:
     starts one worker process per replica (the snapshot is packed once in
     the parent and shipped warm, so workers answer their first request at
     full speed); ``mode="inline"`` hosts the replicas in-process, which
-    is deterministic and what the end-to-end tests drive.
+    is deterministic and what the end-to-end tests drive.  Process
+    replicas default to a *zero-copy* transport: each replica owns a ring
+    of preallocated shared-memory slots (input bits in, predictions and
+    class sums out), so the steady-state hot path pickles nothing — only
+    a few ints cross the pipe per batch.  Replicas fall back to the
+    classic pickled-array transport per batch (oversize batch, busy ring,
+    post-swap geometry change) or wholesale (``transport="pickle"``,
+    platforms without POSIX shared memory).
 
 ``Gateway``
     The front-end: a bounded per-replica queue with backpressure,
@@ -40,12 +47,19 @@ version transitions and a zero drop count.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
+import uuid
 from collections import deque
 
 import numpy as np
 
 from .batcher import notify_observers
+
+try:  # pragma: no cover - absent only on exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
 
 __all__ = [
     "Backpressure",
@@ -74,9 +88,170 @@ class ReplicaError(RuntimeError):
 
 
 # ----------------------------------------------------------------------
+# Zero-copy transport: a ring of preallocated shared-memory slots
+# ----------------------------------------------------------------------
+def _slot_offsets(max_rows, n_features, n_classes):
+    """Byte offsets ``(preds, sums, total)`` of one slot's layout."""
+    pred_off = -(-(max_rows * n_features) // 8) * 8  # int64 block 8-aligned
+    sums_off = pred_off + max_rows * 8
+    return pred_off, sums_off, sums_off + max_rows * n_classes * 4
+
+
+def _slot_views(buf, max_rows, n_features, n_classes):
+    """``(X, preds, sums)`` ndarray views over one slot's buffer."""
+    pred_off, sums_off, _ = _slot_offsets(max_rows, n_features, n_classes)
+    X = np.frombuffer(buf, dtype=np.uint8,
+                      count=max_rows * n_features).reshape(max_rows,
+                                                           n_features)
+    preds = np.frombuffer(buf, dtype=np.int64, count=max_rows,
+                          offset=pred_off)
+    sums = np.frombuffer(buf, dtype=np.int32, count=max_rows * n_classes,
+                         offset=sums_off).reshape(max_rows, n_classes)
+    return X, preds, sums
+
+
+class _ShmRing:
+    """Ring of preallocated shared-memory slots for one process replica.
+
+    Each slot is one POSIX shared-memory segment laid out as
+    ``[X uint8 (max_rows, n_features) | preds int64 (max_rows) |
+    sums int32 (max_rows, n_classes)]`` with the ``preds`` block starting
+    at the next 8-byte boundary.  The parent writes a batch into a free
+    slot and sends only ``("predict_shm", req_id, slot, n_rows)`` down
+    the pipe; the worker computes over a view of the same pages and
+    writes the results back in place — no request or response payload is
+    ever pickled.
+
+    The ring is parent-owned: the worker attaches by name (and drops the
+    segments from its own resource tracker so only the parent unlinks),
+    and :meth:`destroy` — reached from ``ProcessReplica.close`` even when
+    the worker died mid-batch — unlinks every segment exactly once.
+    """
+
+    def __init__(self, key, max_rows, n_features, n_classes, n_slots=8):
+        if _shared_memory is None:
+            raise RuntimeError("shared_memory unavailable on this platform")
+        self.max_rows = int(max_rows)
+        self.n_features = int(n_features)
+        self.n_classes = int(n_classes)
+        self.n_slots = int(n_slots)
+        size = _slot_offsets(self.max_rows, self.n_features,
+                             self.n_classes)[2]
+        self._segments = []
+        # Views are materialized lazily, on first use *after* the worker
+        # fork: a forked child inheriting live ndarray exports over the
+        # segments could never close its inherited SharedMemory copies
+        # cleanly at exit.
+        self._views = None
+        try:
+            for slot in range(self.n_slots):
+                name = (f"tmfab-{os.getpid()}-{key}-{slot}-"
+                        f"{uuid.uuid4().hex[:8]}")
+                shm = _shared_memory.SharedMemory(name=name, create=True,
+                                                  size=size)
+                self._segments.append(shm)
+        except (OSError, ValueError):
+            self.destroy()
+            raise
+        self._free = list(range(self.n_slots))
+
+    def _slot(self, slot):
+        if self._views is None:
+            self._views = [
+                _slot_views(shm.buf, self.max_rows, self.n_features,
+                            self.n_classes)
+                for shm in self._segments
+            ]
+        return self._views[slot]
+
+    def spec(self):
+        """Attach instructions shipped to the worker at start-up."""
+        return {
+            "names": [shm.name for shm in self._segments],
+            "max_rows": self.max_rows,
+            "n_features": self.n_features,
+            "n_classes": self.n_classes,
+        }
+
+    def acquire(self, n_rows):
+        """A free slot index, or ``None`` (ring busy / batch oversize)."""
+        if n_rows > self.max_rows or not self._free:
+            return None
+        return self._free.pop()
+
+    def release(self, slot):
+        self._free.append(slot)
+
+    def write(self, slot, X):
+        self._slot(slot)[0][: len(X)] = X
+
+    def read_result(self, slot, n_rows):
+        """Copy ``(preds, sums)`` out of a slot (before releasing it)."""
+        _, preds, sums = self._slot(slot)
+        return preds[:n_rows].copy(), sums[:n_rows].copy()
+
+    def destroy(self):
+        """Close and unlink every segment (idempotent, dead-worker safe)."""
+        segments, self._segments = self._segments, []
+        self._views = None        # drop the buffer exports before close()
+        self._free = []
+        for shm in segments:
+            try:
+                shm.close()
+            except (OSError, BufferError):
+                pass
+            try:
+                shm.unlink()
+            except OSError:       # already gone (FileNotFoundError et al.)
+                pass
+
+
+def _untrack(shm):
+    """Drop a worker-attached segment from its resource tracker.
+
+    The parent owns the ring's lifetime; on spawn-style start methods
+    the worker has a tracker of its own that would unlink the segments
+    a second time at process exit.  Under ``fork`` the worker *shares*
+    the parent's tracker (registrations are idempotent set-adds there),
+    so unregistering would instead erase the parent's entry — skip.
+    """
+    try:
+        if multiprocessing.get_start_method(allow_none=True) == "fork":
+            return
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+
+
+def _attach_ring(spec):
+    """Worker-side attach of a parent ring; ``None`` if attaching fails."""
+    if _shared_memory is None:
+        return None
+    segments = []
+    views = []
+    try:
+        for name in spec["names"]:
+            shm = _shared_memory.SharedMemory(name=name)
+            _untrack(shm)
+            segments.append(shm)
+            views.append(_slot_views(shm.buf, spec["max_rows"],
+                                     spec["n_features"], spec["n_classes"]))
+    except (OSError, ValueError):
+        for shm in segments:
+            try:
+                shm.close()
+            except (OSError, BufferError):
+                pass
+        return None
+    return segments, views
+
+
+# ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
-def _host_loop(conn, engine):
+def _host_loop(conn, engine, shm_spec=None):
     """Replica worker body: one engine snapshot driven over a pipe.
 
     Each ``predict`` message carries an already-assembled micro-batch
@@ -86,9 +261,24 @@ def _host_loop(conn, engine):
     strictly in order, which is what makes the rolling swap zero-drop:
     every ``predict`` sent before a ``swap`` is answered by the old
     snapshot before the swap is acknowledged.
+
+    With ``shm_spec`` the worker attaches the parent's slot ring and
+    additionally serves ``predict_shm`` messages: the batch is read from
+    the slot's pages and the results written back in place, so only a
+    4-tuple of ints crosses the pipe.  The first message sent is then a
+    ``("shm", ok)`` handshake — a failed attach degrades the replica to
+    the pickle transport instead of poisoning it.
     """
     served_batches = 0
     served_samples = 0
+    ring_views = None
+    ring_segments = []
+    if shm_spec is not None:
+        attached = _attach_ring(shm_spec)
+        if attached is not None:
+            ring_segments, ring_views = attached
+        attached = None  # keep `ring_views` the only ref (see exit below)
+        conn.send(("shm", ring_views is not None))
     while True:
         try:
             msg = conn.recv()
@@ -102,6 +292,23 @@ def _host_loop(conn, engine):
                 served_batches += 1
                 served_samples += len(X)
                 conn.send(("result", req_id, preds, sums, engine.version))
+            elif kind == "predict_shm":
+                _, req_id, slot, n_rows = msg
+                Xv, predv, sumv = ring_views[slot]
+                preds, sums = engine.predict_with_sums(Xv[:n_rows])
+                served_batches += 1
+                served_samples += n_rows
+                if sums.shape == (n_rows, sumv.shape[1]):
+                    predv[:n_rows] = preds
+                    sumv[:n_rows] = sums
+                    conn.send(("result_shm", req_id, slot, n_rows,
+                               engine.version))
+                else:
+                    # A swap changed the snapshot geometry under an
+                    # in-flight ring: answer over the pickle path (the
+                    # parent releases the slot off its pending entry).
+                    conn.send(("result", req_id, preds, sums,
+                               engine.version))
             elif kind == "swap":
                 engine = msg[1]  # all prior predicts answered by the old one
                 conn.send(("swapped", engine.version))
@@ -121,6 +328,14 @@ def _host_loop(conn, engine):
                 conn.send(("error", repr(exc)))
             except (OSError, ValueError):
                 break
+    # Release every buffer export (the ring views *and* the loop's last
+    # slot bindings) so close() can unmap the segments.
+    ring_views = Xv = predv = sumv = None  # noqa: F841
+    for shm in ring_segments:
+        try:
+            shm.close()
+        except (OSError, BufferError):
+            pass
     conn.close()
 
 
@@ -218,22 +433,61 @@ class ProcessReplica(_ReplicaBase):
     worker single-threaded, so results come back in dispatch order and a
     ``swap`` sent after N ``predict`` messages is applied after exactly
     those N batches.
+
+    ``transport="auto"`` (default) tries to set up a :class:`_ShmRing`
+    of ``ring_slots`` zero-copy slots sized for ``max_rows``-row batches
+    and falls back to pickling whole arrays over the pipe when shared
+    memory is unavailable; ``"shm"`` makes ring *creation* failures
+    raise; ``"pickle"`` skips the ring.  Individual batches still fall
+    back to pickle when they exceed ``max_rows``, when every slot is in
+    flight, or after a swap changed the snapshot geometry.
     """
 
     kind = "process"
 
-    def __init__(self, index, engine):
+    def __init__(self, index, engine, transport="auto", max_rows=64,
+                 ring_slots=8):
         super().__init__(index, engine)
+        if transport not in ("auto", "shm", "pickle"):
+            raise ValueError(f"unknown transport {transport!r}")
+        self._ring = None
+        self._shm_ok = False
+        if transport != "pickle":
+            try:
+                self._ring = _ShmRing(index, max_rows, engine.n_features,
+                                      engine.n_classes, n_slots=ring_slots)
+            except (RuntimeError, OSError, ValueError):
+                if transport == "shm":
+                    raise
         parent_conn, child_conn = multiprocessing.Pipe(duplex=True)
         self._conn = parent_conn
-        self._proc = multiprocessing.Process(
-            target=_host_loop, args=(child_conn, engine),
-            daemon=True, name=f"fabric-replica-{index}",
-        )
-        self._proc.start()
+        spec = self._ring.spec() if self._ring is not None else None
+        try:
+            self._proc = multiprocessing.Process(
+                target=_host_loop, args=(child_conn, engine, spec),
+                daemon=True, name=f"fabric-replica-{index}",
+            )
+            self._proc.start()
+        except Exception:
+            if self._ring is not None:
+                self._ring.destroy()
+            raise
         child_conn.close()
-        self._pending = deque()  # (req_id, t0, n_samples) in dispatch order
+        self._pending = deque()  # (req_id, t0, n_samples, slot), FIFO
         self._stashed = deque()  # results received while awaiting an ack
+        if self._ring is not None:
+            try:
+                ok = bool(self._recv("shm")[1])
+            except ReplicaError:
+                self._ring.destroy()
+                self._ring = None
+                raise
+            if ok:
+                self._shm_ok = True
+            else:  # worker could not attach: degrade, don't poison
+                self._ring.destroy()
+                self._ring = None
+        self.transport = "shm" if self._ring is not None else "pickle"
 
     @property
     def outstanding(self):
@@ -243,23 +497,39 @@ class ProcessReplica(_ReplicaBase):
         return self._proc.is_alive()
 
     def dispatch(self, req_id, X):
+        slot = self._ring.acquire(len(X)) if self._shm_ok else None
         try:
-            self._conn.send(("predict", req_id,
-                             np.ascontiguousarray(X, dtype=np.uint8)))
+            if slot is not None:
+                self._ring.write(slot, X)
+                self._conn.send(("predict_shm", req_id, slot, len(X)))
+            else:
+                self._conn.send(("predict", req_id,
+                                 np.ascontiguousarray(X, dtype=np.uint8)))
         except (OSError, ValueError, BrokenPipeError) as exc:
+            if slot is not None:
+                self._ring.release(slot)
             self.healthy = False
             raise ReplicaError(
                 f"replica {self.index}: dispatch failed ({exc!r})"
             ) from exc
-        self._pending.append((req_id, time.perf_counter(), len(X)))
+        self._pending.append((req_id, time.perf_counter(), len(X), slot))
 
     def collect(self):
         if self._stashed:
             msg = self._stashed.popleft()
         else:
             msg = self._recv("result")
-        _, req_id, preds, sums, version = msg
-        sent_id, t0, n = self._pending.popleft()
+        if msg[0] == "result_shm":
+            _, req_id, slot_in, n_rows, version = msg
+            preds, sums = self._ring.read_result(slot_in, n_rows)
+        else:
+            _, req_id, preds, sums, version = msg
+        sent_id, t0, n, slot = self._pending.popleft()
+        if slot is not None:
+            # Freed off the dispatch record, not the reply kind: a
+            # geometry-fallback reply to an shm dispatch must still
+            # return the slot to the ring.
+            self._ring.release(slot)
         if sent_id != req_id:  # the pipe is FIFO; this is a logic error
             self.healthy = False
             raise ReplicaError(
@@ -272,8 +542,9 @@ class ProcessReplica(_ReplicaBase):
         """Receive the next message of ``expected`` kind, stashing results.
 
         A control reply (``swapped``/``pong``) can only arrive after the
-        results of every previously dispatched batch; those results are
-        buffered for the next :meth:`collect` instead of being dropped.
+        results of every previously dispatched batch; those results —
+        either transport kind — are buffered for the next
+        :meth:`collect` instead of being dropped.
         """
         while True:
             try:
@@ -284,9 +555,10 @@ class ProcessReplica(_ReplicaBase):
                     f"replica {self.index}: worker died ({exc!r})"
                 ) from exc
             kind = msg[0]
-            if kind == expected:
+            if kind == expected or (expected == "result"
+                                    and kind == "result_shm"):
                 return msg
-            if kind == "result":
+            if kind in ("result", "result_shm"):
                 self._stashed.append(msg)
                 continue
             if kind == "error":
@@ -311,6 +583,12 @@ class ProcessReplica(_ReplicaBase):
             ) from exc
         ack = self._recv("swapped")
         self.version = ack[1]
+        if self._ring is not None:
+            # The ring was sized for the old snapshot; a promotion that
+            # changes the request/response geometry falls back to pickle
+            # (and re-enables zero-copy if a later swap matches again).
+            self._shm_ok = (engine.n_features == self._ring.n_features
+                            and engine.n_classes == self._ring.n_classes)
 
     def ping(self):
         if not self.alive():
@@ -326,15 +604,22 @@ class ProcessReplica(_ReplicaBase):
 
     def close(self):
         try:
-            self._conn.send(("stop",))
-            self._recv("stopped")
-        except (ReplicaError, OSError, ValueError):
-            pass
-        self._proc.join(timeout=5.0)
-        if self._proc.is_alive():
-            self._proc.terminate()
+            try:
+                self._conn.send(("stop",))
+                self._recv("stopped")
+            except (ReplicaError, OSError, ValueError):
+                pass
             self._proc.join(timeout=5.0)
-        self._conn.close()
+            if self._proc.is_alive():
+                self._proc.terminate()
+                self._proc.join(timeout=5.0)
+            self._conn.close()
+        finally:
+            # The unlink must happen on every exit path — including a
+            # worker killed mid-batch — or /dev/shm leaks a ring per
+            # replica per run.
+            if self._ring is not None:
+                self._ring.destroy()
 
 
 # ----------------------------------------------------------------------
@@ -357,10 +642,20 @@ class ReplicaPool:
     max_batch:
         Default dispatch size trigger for gateways fronting this pool
         (the gateway assembles per-replica micro-batches; each worker
-        answers a batch with one packed engine call).
+        answers a batch with one packed engine call).  Process replicas
+        also size their zero-copy slots for ``max_batch`` rows.
+    transport:
+        Process-replica payload transport.  ``"auto"`` (default) uses a
+        ring of preallocated shared-memory slots per replica — input
+        bits in, class sums out, nothing pickled on the hot path — and
+        falls back to pickling when shared memory is unavailable;
+        ``"shm"`` raises if the ring cannot be created; ``"pickle"``
+        forces the classic pipe transport.  Inline replicas call the
+        engine directly, so the knob is ignored in ``mode="inline"``.
 
     The pool is a context manager; leaving the ``with`` block stops the
-    workers.
+    workers and unlinks their shared-memory rings (even for workers
+    that died mid-batch).
 
     >>> import numpy as np
     >>> from repro.model import TMModel
@@ -374,18 +669,29 @@ class ReplicaPool:
     (3, [1, 1, 1])
     """
 
-    def __init__(self, engine, n_replicas=2, mode="process", max_batch=64):
+    def __init__(self, engine, n_replicas=2, mode="process", max_batch=64,
+                 transport="auto"):
         if n_replicas < 1:
             raise ValueError("n_replicas must be >= 1")
         if mode not in ("process", "inline"):
             raise ValueError(f"unknown replica mode {mode!r}")
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if transport not in ("auto", "shm", "pickle"):
+            raise ValueError(f"unknown transport {transport!r}")
         self.engine = engine
         self.mode = mode
         self.max_batch = int(max_batch)
-        replica_cls = ProcessReplica if mode == "process" else InlineReplica
-        self.replicas = [replica_cls(i, engine) for i in range(n_replicas)]
+        self.transport = transport
+        if mode == "process":
+            self.replicas = [
+                ProcessReplica(i, engine, transport=transport,
+                               max_rows=self.max_batch)
+                for i in range(n_replicas)
+            ]
+        else:
+            self.replicas = [InlineReplica(i, engine)
+                             for i in range(n_replicas)]
 
     @classmethod
     def from_registry(cls, registry, name, version=None, **kwargs):

@@ -21,7 +21,10 @@ from pathlib import Path
 
 __all__ = ["CACHE_VERSION", "sweep_key", "SweepCache"]
 
-CACHE_VERSION = 1
+# v2: the vectorized backend moved to bit-plane packed automata state
+# (word-level feedback); training code paths changed, so every v1 record
+# predates the layout and must be re-evaluated.
+CACHE_VERSION = 2
 
 
 def canonical_json(payload):

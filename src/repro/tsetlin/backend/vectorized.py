@@ -1,4 +1,4 @@
-"""Vectorized backend — incremental include matrix + bit-packed clause eval.
+"""Vectorized backend — packed-word automata state + bit-packed clause eval.
 
 The reference trainer pays three per-sample costs that dwarf the actual
 learning signal: it rematerializes the full ``(classes, clauses, 2f)``
@@ -9,16 +9,30 @@ Type I event even though only the masked clause rows consume it.
 This backend removes all three while staying **bit-identical** with
 :class:`~repro.tsetlin.backend.reference.ReferenceBackend`:
 
-* the include matrix is maintained *incrementally* — after feedback only
-  the clause rows that received it are re-thresholded and re-packed;
-* clause evaluation works on ``np.packbits``-packed literals and includes,
-  so one sample/bank evaluation is a ``(clauses, 2f/8)`` byte AND plus a
-  reduction (a clause fails iff any included literal is 0, i.e. iff
-  ``include & ~literals`` has any set bit);
+* the automata strength counters themselves live in uint64 **bit-planes**
+  (:class:`~repro.tsetlin.backend.packed.PackedAutomataState`): Type I/II
+  feedback is a word-parallel saturating ±1 over the selected clause
+  rows, and the include matrix is literally the most-significant plane —
+  no per-literal unpack, no re-threshold, no re-pack on the hot path;
+* clause evaluation works on uint64-word-packed literals and includes,
+  so one sample/bank evaluation is a ``(clauses, ceil(2f/64))`` word AND
+  plus a reduction (a clause fails iff any included literal is 0, i.e.
+  iff ``include & ~literals`` has any set bit), with clause rows whose
+  include mask is empty skipped entirely via an active-clause index;
 * Type I feedback draws only the uniform rows belonging to selected
   clauses and *skips* the RNG stream past the rest (``TMRandom.skip`` —
   O(log n) for PCG64's ``advance``), leaving the generator in exactly the
   state the reference's full-block draw would.
+
+During a fit session the dense ``team.state`` writeback is deferred:
+touched rows are flagged dirty and decoded from the planes in bulk on
+:meth:`flush_state` / :meth:`end_fit` (machines flush before reading
+``team.state`` mid-fit).  Outside a fit session every feedback call
+writes ``team.state`` back immediately, so direct callers observe dense
+state with no extra step.  A shadow copy of the last written state makes
+:meth:`sync` O(compare) when nothing changed externally — the common case
+for back-to-back fits — while still rebuilding everything when the team
+is mutated behind the backend's back.
 
 Because the RNG stream and the arithmetic on touched automata are
 identical, a machine trained on this backend has the same include matrix,
@@ -30,117 +44,294 @@ from __future__ import annotations
 import numpy as np
 
 from .base import TMBackend, literal_matrix, register_backend
-from .packed import pack_not_literals, packed_class_sums, packed_clause_outputs
+from .packed import (
+    PackedAutomataState,
+    pack_not_literal_words,
+    pack_words,
+    packed_class_sums,
+    packed_clause_outputs,
+    unpack_words,
+)
 
 __all__ = ["VectorizedBackend"]
 
 
 @register_backend
 class VectorizedBackend(TMBackend):
-    """Batched/bit-packed backend, bit-identical with the reference."""
+    """Packed-word backend, bit-identical with the reference."""
 
     name = "vectorized"
 
+    # Retain the per-dataset output cache across fits only below this
+    # footprint; repeated fits over the same literal matrix (steady-state
+    # benchmarks, sweep refits) then skip the cold refill entirely.
+    _CACHE_KEEP_BYTES = 32 << 20
+
     def __init__(self, team):
         super().__init__(team)
-        self._nlp = None  # packed ~literals from begin_fit
+        self._shadow = None  # team.state as of our last writeback
+        self._nlw = None  # uint64-packed ~literals from begin_fit
+        self._nlw_ndim = 0
         self._out_cache = None  # per-(class, sample) clause outputs
+        self._in_fit = False
         self.sync()
+        self._reset_versions()
+
+    # A sample whose refresh would have to replay more than this many
+    # change-log entries re-evaluates the full bank instead; a class
+    # whose log outgrows 4x this is reset to full-refresh-for-everyone.
+    _LOG_WALK_MAX = 8
+
+    @staticmethod
+    def _states_equal(a, b):
+        """``np.array_equal`` over a wider view — the shadow compare."""
+        a, b = a.reshape(-1), b.reshape(-1)
+        if a.size % 4 == 0:
+            a, b = a.view(np.int64), b.view(np.int64)
+        return np.array_equal(a, b)
 
     # -- lifecycle -----------------------------------------------------
     def sync(self):
-        """Rebuild the include caches from ``team.state``."""
+        """Rebuild the packed caches from ``team.state``.
+
+        No-op when ``team.state`` is bit-identical to the backend's last
+        writeback (tracked via a shadow copy) — back-to-back fits and
+        explicit post-``fit`` syncs then skip the full re-pack.
+        """
+        state = self.team.state
+        if (
+            self._shadow is not None
+            and self._N == self.team.n_states
+            and self._shadow.shape == state.shape
+            and self._states_equal(state, self._shadow)
+        ):
+            return
         self._N = self.team.n_states
-        inc = np.ascontiguousarray(self.team.state > self._N)
-        self._inc = inc  # (C, K, F) bool
-        self._inc_packed = np.packbits(inc, axis=-1)  # (C, K, ceil(F/8))
+        self._packed = PackedAutomataState(state, self._N)
+        self._incw = self._packed.include_words  # (C, K, W) uint64 view
+        self._inc = np.ascontiguousarray(state > self._N)  # (C, K, F) bool
+        self._active = self._inc.any(axis=2)  # (C, K) nonempty-clause index
+        self._dirty = np.zeros(state.shape[:2], dtype=bool)
+        self._shadow = state.copy()
         if self._out_cache is not None:
-            # Everything cached is now suspect: mark every clause row newer
-            # than every sample's last refresh.
-            self._ver += 1
-            self._row_ver[:] = self._ver
-            self._class_ver[:] = self._ver
+            # Everything cached is now suspect: force a full re-evaluation
+            # on every sample's next visit.
+            self._reset_versions()
+
+    def _reset_versions(self):
+        """(Re)initialize the output-cache version bookkeeping.
+
+        Each class bank carries an integer version, bumped whenever any of
+        its clause include rows change, plus a change log of ``(version,
+        rows)`` events.  A sample row of the output cache stores the bank
+        version it was last scored against; on a later visit it replays
+        only the logged rows — or re-evaluates the whole bank when it is
+        older than ``base`` (the log was reset under it).
+        """
+        C = self.team.shape[0]
+        self._class_ver = [1] * C
+        self._base_ver = [1] * C
+        self._log = [[] for _ in range(C)]
+        if self._out_cache is not None:
+            n = self._out_cache.shape[1]
+            self._samp_ver = [[0] * n for _ in range(C)]
 
     def begin_fit(self, L_all):
         self.sync()
+        self._in_fit = True
         L = np.asarray(L_all, dtype=bool)
-        self._nlp = np.packbits(~L, axis=-1)
-        if L.ndim == 2:
-            # Incremental per-clause violation state: clause outputs per
-            # (class, sample), re-evaluated only for clause rows whose
-            # include set changed since the sample was last visited.
-            C, K, _ = self.team.shape
-            n = len(L)
-            self._ver = 1
-            self._out_cache = np.zeros((C, n, K), dtype=np.uint8)
-            self._row_ver = np.full((C, K), self._ver, dtype=np.int64)
-            self._class_ver = np.full(C, self._ver, dtype=np.int64)
-            self._samp_ver = np.zeros((C, n), dtype=np.int64)
+        nlw = pack_not_literal_words(L)
+        self._nlw_ndim = L.ndim
+        if L.ndim != 2:
+            self._nlw = nlw
+            self._out_cache = None
+            return
+        if (
+            self._out_cache is not None
+            and self._nlw is not None
+            and self._nlw.shape == nlw.shape
+            and np.array_equal(nlw, self._nlw)
+        ):
+            return  # same dataset as the previous fit: cache stays warm
+        n = len(L)
+        C, K, _ = self.team.shape
+        self._nlw = nlw
+        self._out_cache = np.zeros((C, n, K), dtype=np.uint8)
+        self._reset_versions()
 
     def end_fit(self):
-        self._nlp = None
-        self._out_cache = None
+        self.flush_state()
+        self._in_fit = False
+        keep = (
+            self._nlw_ndim == 2
+            and self._out_cache is not None
+            and self._out_cache.nbytes + self._nlw.nbytes
+            <= self._CACHE_KEEP_BYTES
+        )
+        if not keep:
+            self._nlw = None
+            self._out_cache = None
+
+    def flush_state(self):
+        """Decode dirty plane rows back into ``team.state`` in bulk."""
+        if not self._dirty.any():
+            return
+        state = self.team.state
+        for ci in np.flatnonzero(self._dirty.any(axis=1)):
+            rows = np.flatnonzero(self._dirty[ci])
+            st = self._packed.decode(self._packed.clause_rows(ci, rows))
+            state[ci][rows] = st
+            self._shadow[ci][rows] = st
+        self._dirty[:] = False
 
     # -- queries -------------------------------------------------------
     def includes(self):
         return self._inc
 
-    def _packed_not_literals(self, literals, lit_index):
-        if lit_index is not None and self._nlp is not None:
-            return self._nlp[lit_index]
-        return np.packbits(~literal_matrix(literals), axis=-1)
+    def _not_literal_words(self, literals, lit_index):
+        if lit_index is not None and self._in_fit and self._nlw is not None:
+            return self._nlw[lit_index]
+        return pack_not_literal_words(literal_matrix(literals))
 
     def bank_outputs(self, class_index, literals, lit_index=None):
-        if lit_index is not None and self._out_cache is not None:
-            row = self._out_cache[class_index, lit_index]
+        if (
+            lit_index is not None
+            and self._in_fit
+            and self._out_cache is not None
+        ):
+            row = self._out_cache[class_index][lit_index]
             cv = self._class_ver[class_index]
-            sv = self._samp_ver[class_index, lit_index]
-            if sv != cv:
-                # Re-evaluate only the clause rows whose include set
-                # changed since this sample was last scored.
-                stale = np.flatnonzero(self._row_ver[class_index] > sv)
-                nl = self._nlp[lit_index]
+            sample_vers = self._samp_ver[class_index]
+            sv = sample_vers[lit_index]
+            if sv == cv:
+                return row
+            nl = self._nlw[lit_index]
+            stale = None
+            if sv >= self._base_ver[class_index]:
+                # Replay only the rows logged since this sample was last
+                # scored — typically one or two tiny events.
+                parts = []
+                for ver, rows in reversed(self._log[class_index]):
+                    if ver <= sv:
+                        break
+                    parts.append(rows)
+                    if len(parts) > self._LOG_WALK_MAX:
+                        parts = None  # too much churn: full re-eval wins
+                        break
+                if parts is not None:
+                    stale = parts[0] if len(parts) == 1 else (
+                        np.concatenate(parts)
+                    )
+            if stale is None:
+                # Full-bank refresh: empty clauses have all-zero include
+                # words, hence no violation, hence output 1 — the training
+                # convention falls out with no active-mask step.
                 violated = np.bitwise_and(
-                    self._inc_packed[class_index][stale], nl
+                    self._incw[class_index], nl
                 ).any(axis=1)
-                row[stale] = ~violated
-                self._samp_ver[class_index, lit_index] = cv
+                np.logical_not(violated, out=row.view(bool))
+            else:
+                # Of the replayed rows, only active (non-empty) ones need
+                # evaluation; empty ones output 1 directly.
+                live = stale[self._active[class_index][stale]]
+                row[stale] = 1
+                if live.size:
+                    violated = np.bitwise_and(
+                        self._incw[class_index][live], nl
+                    ).any(axis=1)
+                    row[live] = ~violated
+            sample_vers[lit_index] = cv
             return row
-        nl = self._packed_not_literals(literals, lit_index)  # (Fb,)
-        violated = np.bitwise_and(self._inc_packed[class_index], nl).any(axis=1)
+        nl = self._not_literal_words(literals, lit_index)  # (W,)
+        violated = np.bitwise_and(self._incw[class_index], nl).any(axis=1)
         return (~violated).view(np.uint8)
 
     def batch_outputs(self, L, empty_output=0):
-        nl = pack_not_literals(literal_matrix(L))  # (n, Fb)
-        nonempty = self._inc.any(axis=2) if empty_output == 0 else None
-        return packed_clause_outputs(nl, self._inc_packed, nonempty)
+        nlw = pack_not_literal_words(literal_matrix(L))  # (n, W)
+        nonempty = self._active if empty_output == 0 else None
+        return packed_clause_outputs(nlw, self._incw, nonempty)
 
     def packed_class_sums(self, L, weights):
-        # Reuses the incrementally maintained packed includes — no re-pack.
-        nl = pack_not_literals(literal_matrix(L))
-        return packed_class_sums(
-            nl, self._inc_packed, self._inc.any(axis=2), weights
-        )
+        # Reuses the incrementally maintained include plane — no re-pack.
+        nlw = pack_not_literal_words(literal_matrix(L))
+        return packed_class_sums(nlw, self._incw, self._active, weights)
 
     def patch_match(self, class_index, patch_literals, lit_index=None):
-        nl = self._packed_not_literals(patch_literals, lit_index)  # (P, Fb)
-        v = np.bitwise_and(nl[:, None, :], self._inc_packed[class_index][None])
+        nl = self._not_literal_words(patch_literals, lit_index)  # (P, W)
+        v = np.bitwise_and(nl[:, None, :], self._incw[class_index][None])
         return ~v.any(axis=2)  # (P, K)
 
     # -- feedback ------------------------------------------------------
-    def _refresh_rows(self, class_index, rows, new_states):
-        inc_rows = new_states > self._N
-        changed = np.any(inc_rows != self._inc[class_index][rows], axis=1)
-        if not changed.any():
-            return
-        touched = rows[changed]
-        inc_touched = inc_rows[changed]
-        self._inc[class_index][touched] = inc_touched
-        self._inc_packed[class_index][touched] = np.packbits(inc_touched, axis=1)
-        if self._out_cache is not None:
-            self._ver += 1
-            self._row_ver[class_index][touched] = self._ver
-            self._class_ver[class_index] = self._ver
+    def _apply_planes(self, class_index, rows, inc_words, dec_words,
+                      guard_increment=True):
+        """Word-masked saturating ±1 on the plane rows of one bank.
+
+        ``inc_words``/``dec_words`` are uint64 word masks over the
+        selected ``rows`` (either may be None); they are disjoint by
+        construction of the Type I arithmetic, so applying the increment
+        then the decrement matches the reference's net-delta-then-clip.
+        Include-plane changes propagate to the dense/active caches and
+        bump the output-cache versions; the dense ``team.state`` writeback
+        is immediate outside a fit session and deferred (dirty rows)
+        inside one.
+        """
+        packed = self._packed
+        sub = packed.clause_rows(class_index, rows)  # (B, R, W) copy
+        old_inc = sub[-1].copy()
+        if inc_words is not None:
+            if guard_increment:
+                packed.saturating_increment(sub, inc_words)
+            else:
+                packed.increment(sub, inc_words)
+        if dec_words is not None:
+            packed.saturating_decrement(sub, dec_words)
+        packed.write_rows(class_index, rows, sub)
+        if self._in_fit:
+            self._dirty[class_index][rows] = True
+        else:
+            st = packed.decode(sub)
+            self.team.state[class_index][rows] = st
+            self._shadow[class_index][rows] = st
+        changed = np.flatnonzero(np.any(old_inc != sub[-1], axis=1))
+        if changed.size:
+            touched = rows[changed]
+            inc_rows = unpack_words(sub[-1][changed], packed.n_bits)
+            self._inc[class_index][touched] = inc_rows
+            self._active[class_index][touched] = inc_rows.any(axis=1)
+            ver = self._class_ver[class_index] + 1
+            self._class_ver[class_index] = ver
+            log = self._log[class_index]
+            log.append((ver, touched))
+            if len(log) > 4 * self._LOG_WALK_MAX:
+                # High churn: stop logging individual events and make
+                # every sample of this class do a full refresh instead.
+                self._base_ver[class_index] = ver
+                log.clear()
+            if (
+                self._in_fit
+                and self._out_cache is not None
+                and self._nlw_ndim == 2
+                and self._nlw is not None
+            ):
+                # Eager refresh: re-score the touched rows for every
+                # cached sample while the (rare) event is already being
+                # paid for, then fast-forward the samples that were fully
+                # fresh — their whole row is current again, so they keep
+                # taking bank_outputs' O(1) hit path.  Samples with older
+                # rows keep their version and repair lazily through the
+                # log/full-refresh machinery on their next visit (this
+                # event is in the log too).  Empty rows have all-zero
+                # include words, hence no violation, hence output 1 — the
+                # training convention falls out as usual.
+                viol = np.bitwise_and(
+                    self._nlw[:, None, :], sub[-1][changed][None, :, :]
+                ).any(axis=2)
+                self._out_cache[class_index][:, touched] = ~viol
+                prev = ver - 1
+                self._samp_ver[class_index] = [
+                    ver if v == prev else v
+                    for v in self._samp_ver[class_index]
+                ]
 
     def _draw_rows(self, rng, rows, n_clauses, n_literals):
         """Uniform draws for ``rows`` of a ``(n_clauses, n_literals)`` block.
@@ -186,8 +377,7 @@ class VectorizedBackend(TMBackend):
 
     def apply_type_i(self, class_index, clause_mask, outputs, literals, s,
                      rng, boost_true_positive=False, always_draw=False):
-        bank = self.team.state[class_index]
-        n_clauses, n_literals = bank.shape
+        _, n_clauses, n_literals = self.team.shape
         clause_mask = np.asarray(clause_mask, dtype=bool)
         if not clause_mask.any():
             if always_draw:
@@ -200,32 +390,36 @@ class VectorizedBackend(TMBackend):
         lit = lit[np.newaxis, :] if lit.ndim == 1 else lit[rows]
         fired = np.asarray(outputs, dtype=bool)[rows, np.newaxis]
 
-        low = draws < (1.0 / s)
-        # Mirrors the reference delta arithmetic on the selected rows only.
+        # Mirrors the reference delta arithmetic on the selected rows
+        # only; memorize/erode are disjoint, so the packed path applies
+        # them as two word-masked saturating steps.  The erode condition
+        # ``(fired & ~lit) | ~fired`` is ``~(fired & lit)`` by
+        # absorption, so one shared base term covers both masks.
+        base = fired & lit
         if boost_true_positive:
-            memorize = fired & lit  # high prob = 1.0 > any draw
+            memorize = base  # high prob = 1.0 > any draw
         else:
-            memorize = fired & lit & (draws < (s - 1.0) / s)
-        delta = memorize.astype(np.int16)
-        delta -= ((fired & ~lit) | ~fired) & low
-
-        st = bank[rows]
-        st += delta
-        np.clip(st, 1, 2 * self._N, out=st)
-        bank[rows] = st
-        self._refresh_rows(class_index, rows, st)
+            memorize = base & (draws < (s - 1.0) / s)
+        erode = ~base
+        erode &= draws < (1.0 / s)
+        self._apply_planes(class_index, rows,
+                           pack_words(memorize), pack_words(erode))
 
     def apply_type_ii(self, class_index, clause_mask, outputs, literals):
-        mask = np.asarray(clause_mask, dtype=bool) & np.asarray(outputs, dtype=bool)
-        rows = np.flatnonzero(mask)
-        if rows.size == 0:
+        mask = np.asarray(clause_mask, dtype=bool) & np.asarray(
+            outputs, dtype=bool
+        )
+        if not mask.any():
             return
-        bank = self.team.state[class_index]
+        rows = np.flatnonzero(mask)
         lit = literal_matrix(literals)
-        lit = lit[np.newaxis, :] if lit.ndim == 1 else lit[rows]
-        st = bank[rows]
+        nlw = pack_not_literal_words(
+            lit[np.newaxis, :] if lit.ndim == 1 else lit[rows]
+        )
         # Step excluded automata of 0-valued literals one state toward
-        # include; the result never exceeds N + 1 <= 2N, so no clip needed.
-        st += (~lit & (st <= self._N)).astype(np.int16)
-        bank[rows] = st
-        self._refresh_rows(class_index, rows, st)
+        # include; ~include on the MSB plane is exactly state <= N, and
+        # the result never exceeds N + 1 <= 2N, so saturation never
+        # fires and the unguarded word add is exact.
+        bump = nlw & ~self._incw[class_index][rows]
+        self._apply_planes(class_index, rows, bump, None,
+                           guard_increment=False)

@@ -113,6 +113,11 @@ class TsetlinMachine(InferenceMixin):
         # Polarity alternates [+1, -1, +1, ...] along the clause index
         # (Fig. 1a of the paper).
         self.polarity = np.where(np.arange(self.n_clauses) % 2 == 0, 1, -1)
+        self._positive = self.polarity > 0
+        self._negative = ~self._positive
+        # int32 copy for the per-update vote dot: narrower accumulation
+        # than the default int64 polarity, same value range (|vote| <= K).
+        self._polarity32 = self.polarity.astype(np.int32)
         self.backend = make_backend(backend, self.team)
         self.log = TrainingLog()
 
@@ -165,31 +170,47 @@ class TsetlinMachine(InferenceMixin):
 
         # --- target class -------------------------------------------------
         out_t = be.bank_outputs(target, literals, lit_index)
-        vote_t = int(np.dot(out_t.astype(np.int32), self.polarity))
+        vote_t = int(np.dot(out_t, self._polarity32))
         vote_t = max(-T, min(T, vote_t))
         p_t = (T - vote_t) / (2.0 * T)
-        sel = self.rng.bernoulli(p_t, (self.n_clauses,))
-        pos = self.polarity > 0
-        be.apply_type_i(
-            target, sel & pos, out_t, literals, self.s, self.rng,
-            boost_true_positive=self.boost_true_positive,
-        )
-        be.apply_type_ii(target, sel & ~pos, out_t, literals)
+        pos, neg = self._positive, self._negative
+        # An all-False selection consumes no further RNG draws (the
+        # backends only draw for non-empty masks), so skipping both
+        # feedback calls is stream-exact — and in the trained steady
+        # state votes sit at ±T, making empty selections the common case.
+        # At p == 0 the selection is all-False with certainty (uniforms
+        # are never < 0), so an O(1) stream skip replaces the draw.
+        if p_t <= 0.0:
+            self.rng.skip(self.n_clauses)
+            sel = None
+        else:
+            sel = self.rng.bernoulli(p_t, (self.n_clauses,))
+        if sel is not None and sel.any():
+            be.apply_type_i(
+                target, sel & pos, out_t, literals, self.s, self.rng,
+                boost_true_positive=self.boost_true_positive,
+            )
+            be.apply_type_ii(target, sel & neg, out_t, literals)
 
         # --- one rival class ----------------------------------------------
         rival = self.rng.integers(0, self.n_classes - 1)
         if rival >= target:
             rival += 1
         out_r = be.bank_outputs(rival, literals, lit_index)
-        vote_r = int(np.dot(out_r.astype(np.int32), self.polarity))
+        vote_r = int(np.dot(out_r, self._polarity32))
         vote_r = max(-T, min(T, vote_r))
         p_r = (T + vote_r) / (2.0 * T)
-        sel_r = self.rng.bernoulli(p_r, (self.n_clauses,))
-        be.apply_type_ii(rival, sel_r & pos, out_r, literals)
-        be.apply_type_i(
-            rival, sel_r & ~pos, out_r, literals, self.s, self.rng,
-            boost_true_positive=self.boost_true_positive,
-        )
+        if p_r <= 0.0:
+            self.rng.skip(self.n_clauses)
+            sel_r = None
+        else:
+            sel_r = self.rng.bernoulli(p_r, (self.n_clauses,))
+        if sel_r is not None and sel_r.any():
+            be.apply_type_ii(rival, sel_r & pos, out_r, literals)
+            be.apply_type_i(
+                rival, sel_r & neg, out_r, literals, self.s, self.rng,
+                boost_true_positive=self.boost_true_positive,
+            )
 
     def fit(self, X, y, epochs=10, X_val=None, y_val=None, shuffle=True,
             progress=None, track_metrics=True):
@@ -222,19 +243,23 @@ class TsetlinMachine(InferenceMixin):
 
         self.backend.begin_fit(L_all)
         try:
+            y_list = y.tolist()  # plain ints: no per-update numpy scalar
             order = np.arange(len(X))
             for epoch in range(epochs):
                 if shuffle:
                     perm = np.argsort(self.rng.random((len(X),)))
                     order = order[perm]
-                for idx in order:
-                    self._update_one(L_all[idx], int(y[idx]), lit_index=idx)
+                for idx in order.tolist():
+                    self._update_one(L_all[idx], y_list[idx], lit_index=idx)
                 if not track_metrics:
                     continue
                 train_acc = self.evaluate(X, y)
                 val_acc = None
                 if X_val is not None and y_val is not None:
                     val_acc = self.evaluate(X_val, y_val)
+                # include_fraction reads team.state — make sure a packed
+                # backend has written its deferred updates back first.
+                self.backend.flush_state()
                 self.log.record(
                     epoch, train_acc, self.team.include_fraction(), val_acc
                 )

@@ -304,6 +304,130 @@ class TestProcessFabric:
 
 
 # ----------------------------------------------------------------------
+# Zero-copy shared-memory transport
+# ----------------------------------------------------------------------
+def _ring_names(pool):
+    """Shared-memory segment names owned by a pool's replicas."""
+    return [
+        name
+        for replica in pool.replicas
+        if getattr(replica, "_ring", None) is not None
+        for name in replica._ring.spec()["names"]
+    ]
+
+
+def _segment_exists(name):
+    from multiprocessing import shared_memory
+
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    seg.close()
+    return True
+
+
+class TestZeroCopyTransport:
+    def test_shm_transport_engages_and_matches_inline(self):
+        engine = _engine()
+        X = _traffic(engine, 40)
+        with ReplicaPool(engine, n_replicas=2, mode="process",
+                         max_batch=8) as pool:
+            if any(r.transport != "shm" for r in pool.replicas):
+                pytest.skip("shared memory unavailable on this platform")
+            gateway = Gateway(pool, max_batch=8)
+            tickets = gateway.submit_many(X)
+            gateway.flush()
+            assert [t.prediction for t in tickets] == \
+                engine.predict(X).tolist()
+
+    def test_forced_pickle_transport_matches(self):
+        engine = _engine()
+        X = _traffic(engine, 20)
+        with ReplicaPool(engine, n_replicas=2, mode="process", max_batch=8,
+                         transport="pickle") as pool:
+            assert all(r.transport == "pickle" for r in pool.replicas)
+            gateway = Gateway(pool, max_batch=8)
+            tickets = gateway.submit_many(X)
+            gateway.flush()
+            assert [t.prediction for t in tickets] == \
+                engine.predict(X).tolist()
+
+    def test_invalid_transport_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicaPool(_engine(), n_replicas=1, transport="carrier-pigeon")
+
+    def test_oversize_batch_falls_back_to_pickle_per_batch(self):
+        engine = _engine()
+        X = _traffic(engine, 12)
+        with ReplicaPool(engine, n_replicas=1, mode="process",
+                         max_batch=4) as pool:
+            replica = pool.replicas[0]
+            if replica.transport != "shm":
+                pytest.skip("shared memory unavailable on this platform")
+            replica.dispatch(1, X)  # 12 rows > 4-row slots
+            assert replica._pending[0][3] is None  # no slot consumed
+            req_id, preds, _, _ = replica.collect()
+            assert req_id == 1
+            assert preds.tolist() == engine.predict(X).tolist()
+
+    def test_geometry_changing_swap_disables_ring_then_reenables(self):
+        v1 = _engine(version=1)
+        wide = InferenceEngine.from_model(
+            random_model(seed=3, n_features=v1.n_features + 2), version=2)
+        X = _traffic(wide, 10)
+        with ReplicaPool(v1, n_replicas=1, mode="process",
+                         max_batch=8) as pool:
+            replica = pool.replicas[0]
+            if replica.transport != "shm":
+                pytest.skip("shared memory unavailable on this platform")
+            replica.swap(wide)
+            assert not replica._shm_ok  # ring sized for the old snapshot
+            replica.dispatch(1, X)
+            assert replica._pending[0][3] is None
+            assert replica.collect()[1].tolist() == \
+                wide.predict(X).tolist()
+            replica.swap(_engine(version=3))  # original geometry again
+            assert replica._shm_ok
+
+    def test_close_unlinks_every_segment(self):
+        with ReplicaPool(_engine(), n_replicas=2, mode="process",
+                         max_batch=8) as pool:
+            names = _ring_names(pool)
+            if not names:
+                pytest.skip("shared memory unavailable on this platform")
+            assert all(_segment_exists(n) for n in names)
+        assert not any(_segment_exists(n) for n in names)
+
+    def test_close_unlinks_segments_of_worker_killed_mid_batch(self):
+        engine = _engine()
+        X = _traffic(engine, 8)
+        with ReplicaPool(engine, n_replicas=2, mode="process",
+                         max_batch=8) as pool:
+            names = _ring_names(pool)
+            if not names:
+                pytest.skip("shared memory unavailable on this platform")
+            gateway = Gateway(pool, max_batch=8)
+            tickets = gateway.submit_many(X, keys=[0] * len(X))
+            victim = pool.replicas[0]  # holds the in-flight shm batch
+            victim._proc.kill()
+            victim._proc.join(timeout=5.0)
+            gateway.flush()  # failover reroutes off the parent-side copy
+            assert [t.prediction for t in tickets] == \
+                engine.predict(X).tolist()
+            # The first reply can race ahead of the SIGKILL; a second
+            # round routed at the victim must detect the death, fail
+            # over, and still answer every request.
+            again = gateway.submit_many(X, keys=[0] * len(X))
+            gateway.flush()
+            assert [t.prediction for t in again] == \
+                engine.predict(X).tolist()
+            assert not victim.healthy
+        # Both rings — the dead worker's included — must be unlinked.
+        assert not any(_segment_exists(n) for n in names)
+
+
+# ----------------------------------------------------------------------
 # Rolling promotion end-to-end (the acceptance scenario)
 # ----------------------------------------------------------------------
 class TestRollingPromotionE2E:

@@ -140,3 +140,72 @@ def test_engine_matches_reference_backend_machine(n_classes, n_clauses,
     engine = snapshot_engine(tm)
     assert np.array_equal(engine.predict(X), tm.predict(X))
     assert np.array_equal(engine.class_sums(X), tm.class_sums(X))
+
+
+@given(
+    n_classes=st.integers(2, 4),
+    n_clauses=st.sampled_from([1, 2, 4, 8]),
+    n_features=st.integers(3, 12),
+    n_samples=st.integers(1, 8),
+    density=st.sampled_from([0.0, 0.05, 0.3, 1.0]),
+    seed=st.integers(0, 2**32 - 1),
+)
+@_fast
+def test_active_clause_pruning_round_trips_exactly(n_classes, n_clauses,
+                                                   n_features, n_samples,
+                                                   density, seed):
+    """Prune + re-densify is a layout change, never a semantic one.
+
+    For arbitrary include densities (including all-empty and all-full
+    banks) the compact :class:`~repro.model.sparsity.ActiveClauseIndex`
+    must (a) produce bit-identical ``class_sums`` through the engine,
+    (b) densify back to an ``array_equal`` include matrix, and
+    (c) reconstruct a model whose serialized JSON bytes equal the
+    source's — the promotion/serialization artifact is untouched by the
+    hot-loop compaction.
+    """
+    import json
+
+    from repro.model import TMModel
+    from repro.model.sparsity import ActiveClauseIndex
+    from repro.serving import InferenceEngine
+
+    rng = np.random.default_rng(seed)
+    include = rng.random((n_classes, n_clauses, 2 * n_features)) < density
+    weights = rng.integers(-3, 4, (n_classes, n_clauses))
+    model = TMModel(include=include, n_features=n_features, name="prune",
+                    weights=weights,
+                    hyperparameters={"s": 5.0, "T": 4})
+    X = _inputs(rng, n_samples, n_features)
+
+    engine = InferenceEngine.from_model(model)
+    dense_sums = (
+        np.einsum(
+            "ck,nck->nc",
+            model.vote_weights(),
+            np.stack([_dense_clause_outputs(model, x) for x in X]),
+            dtype=np.int32,
+        )
+        if len(X)
+        else np.zeros((0, n_classes), dtype=np.int32)
+    )
+    assert np.array_equal(engine.class_sums(X), dense_sums)
+
+    index = ActiveClauseIndex.from_model(model)
+    assert np.array_equal(index.densify(), model.include)
+    rebuilt = index.densify_model()
+    assert json.dumps(rebuilt.to_dict(), sort_keys=True) == \
+        json.dumps(model.to_dict(), sort_keys=True)
+
+
+def _dense_clause_outputs(model, x):
+    """Naive per-clause evaluation (empty clauses pruned), one sample."""
+    literals = np.concatenate([x, 1 - x]).astype(bool)
+    out = np.zeros((model.n_classes, model.n_clauses), dtype=np.int32)
+    for c in range(model.n_classes):
+        for k in range(model.n_clauses):
+            inc = model.include[c, k]
+            if not inc.any():
+                continue  # pruned: an empty clause never fires
+            out[c, k] = bool(np.all(literals[inc]))
+    return out

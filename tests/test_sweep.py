@@ -100,6 +100,19 @@ class TestSweepCache:
         path.write_text("{not json", encoding="utf-8")
         assert cache.get(key) is None
 
+    def test_cache_version_invalidates_old_records(self, monkeypatch):
+        # The packed-word backend state layout landed in schema v2: any
+        # key minted under an older version must not resolve records
+        # written by the new code (and vice versa).
+        from repro.sweep import cache as cache_mod
+
+        payload = {"config": {"s": 5.0}, "seed": 1}
+        assert cache_mod.CACHE_VERSION >= 2
+        current = sweep_key(payload)
+        monkeypatch.setattr(cache_mod, "CACHE_VERSION",
+                            cache_mod.CACHE_VERSION - 1)
+        assert cache_mod.sweep_key(payload) != current
+
     def test_foreign_record_rejected(self, tmp_path):
         cache = SweepCache(tmp_path / "c")
         key = sweep_key({"x": 1})
