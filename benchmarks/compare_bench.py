@@ -54,6 +54,13 @@ GATES = {
         # first 4-CPU run commits a baseline containing it).
         "fabric_zero_copy_speedup",
     ),
+    # Virtual-time overload simulation: both metrics are deterministic
+    # ratios (pure functions of the seed), so any drop is a behaviour
+    # change in the QoS stack, not runner noise.
+    "traffic_sim.json": (
+        "goodput",
+        "slo_attainment",
+    ),
 }
 
 # Reported (never gated) context metrics, when present.
@@ -68,6 +75,11 @@ REPORTED = {
         "fabric_requests_per_s",
         "fabric_pickle_requests_per_s",
         "single_replica_requests_per_s",
+    ),
+    "traffic_sim.json": (
+        "shed_rate",
+        "latency_ms.p99",
+        "burst.p99_ms",
     ),
 }
 

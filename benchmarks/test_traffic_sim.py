@@ -1,0 +1,70 @@
+"""Overload-conduct benchmark: the seeded traffic simulator under burst.
+
+The throughput benches measure how fast the fabric serves; this one
+measures how it *behaves* when offered more than it can serve.  A
+4-replica virtual fleet (``repro.serving.traffic``) is driven with
+seeded open-loop Poisson arrivals — a 4x burst over ~1.5x fleet
+capacity, hot-key and hot-tenant skew — and the gateway must:
+
+* shed deterministically (the whole report is a pure function of the
+  seed, so the committed baseline is exact, not statistical);
+* keep goodput above the floor — shedding is for the overflow, not the
+  steady state;
+* keep every *accepted* request inside the configured SLO deadline
+  (that is the point of deadline-aware shedding: refuse provably-late
+  work instead of serving it late).
+
+Virtual time means no CPU-count skip: the simulation is exact on one
+core.  Results land in ``benchmarks/results/traffic_sim.json``; the
+``goodput`` and ``slo_attainment`` ratios are gated against the
+committed baseline by ``compare_bench.py`` (shed rate and burst p99 are
+reported for the artifact trail).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _harness import save_results
+from repro.model import TMModel
+from repro.serving import simulate_traffic, snapshot_engine
+
+MIN_GOODPUT = 0.60
+MIN_SLO_ATTAINMENT = 0.95
+DEADLINE_MS = 100.0
+SIM_SEED = 0
+
+
+def bench_model():
+    """Deterministic synthetic model (predictions are computed for real)."""
+    rng = np.random.default_rng(23)
+    n_classes, n_clauses, n_features = 6, 24, 64
+    include = rng.random((n_classes, n_clauses, 2 * n_features)) < 0.10
+    pos = include[:, :, :n_features]
+    neg = include[:, :, n_features:]
+    neg &= ~(pos & neg)  # no contradictory literals: clauses can fire
+    include = np.concatenate([pos, neg], axis=2)
+    return TMModel(include=include, n_features=n_features,
+                   name="traffic_bench")
+
+
+def test_gateway_conduct_under_overload_burst():
+    engine = snapshot_engine(bench_model())
+    kwargs = dict(n_replicas=4, deadline_ms=DEADLINE_MS, seed=SIM_SEED)
+    report = simulate_traffic(engine, **kwargs)
+    save_results("traffic_sim.json", report)
+
+    # Every offered request is accounted for: served or shed, never lost.
+    assert report["offered"] == report["served"] + report["shed"]
+    # The 4x burst genuinely overloads the fleet: shedding engages...
+    assert report["shed"] > 0
+    assert report["burst"]["shed_rate"] > 0.0
+    # ...but the steady state keeps serving.
+    assert report["goodput"] >= MIN_GOODPUT, report
+    # Accepted requests meet the deadline — including through the burst.
+    assert report["slo_attainment"] >= MIN_SLO_ATTAINMENT, report
+    assert report["latency_ms"]["p99"] <= DEADLINE_MS, report
+    assert report["burst"]["p99_ms"] is not None
+
+    # Exact determinism: the report is a pure function of the seed.
+    assert report == simulate_traffic(engine, **kwargs)

@@ -104,6 +104,22 @@ def build_parser():
     serve.add_argument("--no-check", action="store_true",
                        help="skip accelerator generation and differential "
                             "checking")
+    serve.add_argument("--max-queue", type=int, default=4096,
+                       help="fabric bound on requests queued + in flight")
+    serve.add_argument("--overflow", default="wait",
+                       choices=("wait", "error", "shed"),
+                       help="fabric policy past --max-queue: wait "
+                            "(backpressure), error (raise), shed (resolve "
+                            "the request as refused)")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="latency SLO deadline; requests the fabric "
+                            "provably cannot serve in time are shed")
+    serve.add_argument("--admit-rate", type=float, default=None,
+                       help="per-tenant admission rate limit (requests/s)")
+    serve.add_argument("--admit-burst", type=float, default=None,
+                       help="per-tenant admission burst tokens")
+    serve.add_argument("--quota", type=int, default=None,
+                       help="per-tenant lifetime request quota")
     serve.add_argument("--json", action="store_true",
                        help="print machine-readable serving stats")
 
@@ -142,6 +158,43 @@ def build_parser():
     bench_fabric.add_argument("--profile", action="store_true",
                               help="run under cProfile and write the top-20 "
                                    "hotspots as JSON next to --save")
+    bench_fabric.add_argument("--traffic-sim", action="store_true",
+                              help="run the seeded virtual-time overload "
+                                   "simulator (Poisson arrivals, burst, "
+                                   "hot keys) instead of the throughput "
+                                   "benchmark; emits the overload report")
+    bench_fabric.add_argument("--duration", type=float, default=3.0,
+                              help="traffic-sim: virtual seconds of arrivals")
+    bench_fabric.add_argument("--rate", type=float, default=1200.0,
+                              help="traffic-sim: Poisson arrival rate (req/s)")
+    bench_fabric.add_argument("--burst-x", type=float, default=4.0,
+                              help="traffic-sim: burst rate multiplier")
+    bench_fabric.add_argument("--burst-at", type=float, default=0.4,
+                              help="traffic-sim: burst start (fraction)")
+    bench_fabric.add_argument("--burst-len", type=float, default=0.25,
+                              help="traffic-sim: burst length (fraction)")
+    bench_fabric.add_argument("--hot-key-fraction", type=float, default=0.2,
+                              help="traffic-sim: share of traffic on the "
+                                   "hot keys")
+    bench_fabric.add_argument("--service-rate", type=float, default=800.0,
+                              help="traffic-sim: modelled per-replica "
+                                   "service rate (samples/s)")
+    bench_fabric.add_argument("--deadline-ms", type=float, default=100.0,
+                              help="traffic-sim: latency SLO deadline")
+    bench_fabric.add_argument("--max-queue", type=int, default=512,
+                              help="traffic-sim: gateway queue bound")
+    bench_fabric.add_argument("--admit-rate", type=float, default=None,
+                              help="traffic-sim: per-tenant admission "
+                                   "rate limit (requests/s)")
+    bench_fabric.add_argument("--admit-burst", type=float, default=None,
+                              help="traffic-sim: per-tenant burst tokens")
+    bench_fabric.add_argument("--quota", type=int, default=None,
+                              help="traffic-sim: per-tenant lifetime quota")
+    bench_fabric.add_argument("--autoscale-max", type=int, default=0,
+                              help="traffic-sim: autoscale up to this many "
+                                   "replicas (0 = autoscaling off)")
+    bench_fabric.add_argument("--sim-seed", type=int, default=0,
+                              help="traffic-sim: arrival/key/payload seed")
 
     bench_train = sub.add_parser(
         "bench-train",
@@ -421,15 +474,27 @@ def _cmd_serve(args, out):
     y = ds.y_test[np.arange(n) % len(ds.y_test)]
 
     if args.replicas > 1:
-        from ..serving import Gateway, ReplicaPool
+        from ..serving import SLO, AdmissionController, Gateway, ReplicaPool
 
+        admission = None
+        if args.admit_rate is not None or args.quota is not None:
+            admission = AdmissionController(
+                rate=args.admit_rate, burst=args.admit_burst,
+                quota=args.quota)
+        slo = None
+        if args.deadline_ms is not None:
+            slo = SLO(deadline_s=args.deadline_ms * 1e-3)
         with ReplicaPool(engine, n_replicas=args.replicas,
                          mode=args.replica_mode,
                          max_batch=args.max_batch) as pool:
             gateway = Gateway(
                 pool,
                 max_batch=args.max_batch,
+                max_queue=args.max_queue,
+                overflow=args.overflow,
                 max_delay=args.max_delay_us * 1e-6,
+                admission=admission,
+                slo=slo,
                 observers=[checker] if checker is not None else (),
             )
             t0 = time.perf_counter()
@@ -437,7 +502,9 @@ def _cmd_serve(args, out):
             gateway.flush()
             elapsed = time.perf_counter() - t0
             fabric_report = gateway.report()
-        correct = sum(t.result() == int(lbl) for t, lbl in zip(tickets, y))
+        answered = [(t, lbl) for t, lbl in zip(tickets, y) if not t.shed]
+        n_shed = len(tickets) - len(answered)
+        correct = sum(t.result() == int(lbl) for t, lbl in answered)
         served_detail = fabric_report
         n_batches = gateway.stats.n_batches
     else:
@@ -454,14 +521,17 @@ def _cmd_serve(args, out):
         correct = sum(t.result() == int(lbl) for t, lbl in zip(tickets, y))
         served_detail = {"batcher": batcher.stats.to_dict()}
         n_batches = batcher.stats.n_batches
+        n_shed = 0
 
+    n_answered = n - n_shed
     stats = {
         "model": f"{engine.name}:v{engine.version}",
         "requests": n,
         "replicas": args.replicas,
         "elapsed_s": round(elapsed, 4),
         "requests_per_s": round(n / elapsed, 1) if elapsed > 0 else None,
-        "accuracy": round(correct / n, 4),
+        "shed": n_shed,
+        "accuracy": round(correct / n_answered, 4) if n_answered else None,
         "serving": served_detail,
         "differential": checker.report() if checker is not None else None,
     }
@@ -470,10 +540,11 @@ def _cmd_serve(args, out):
     else:
         front = (f"{args.replicas}-replica fabric"
                  if args.replicas > 1 else "batcher")
+        shed_note = f", {n_shed} shed" if n_shed else ""
         print(
-            f"served {n} requests as {n_batches} batches via {front} in "
-            f"{elapsed:.3f}s = {stats['requests_per_s']:.0f} req/s, "
-            f"accuracy {stats['accuracy']:.4f}",
+            f"served {n_answered} requests as {n_batches} batches via "
+            f"{front} in {elapsed:.3f}s = {stats['requests_per_s']:.0f} "
+            f"req/s{shed_note}, accuracy {stats['accuracy']:.4f}",
             file=out,
         )
         if checker is not None:
@@ -557,7 +628,13 @@ def _cmd_bench_serve(args, out):
 
 
 def _cmd_bench_fabric(args, out):
-    from ..serving import fabric_benchmark, format_fabric_benchmark
+    from ..serving import (
+        fabric_benchmark,
+        format_fabric_benchmark,
+        format_traffic_report,
+        simulate_traffic,
+        snapshot_engine,
+    )
 
     if args.replicas < 2:
         print("bench-fabric: --replicas must be >= 2", file=out)
@@ -569,18 +646,47 @@ def _cmd_bench_fabric(args, out):
     )
     flow.load_data()
     model = flow.train()
-    payload, profile = _run_profiled(
-        lambda: fabric_benchmark(
-            model, n_replicas=args.replicas, max_batch=args.max_batch,
-            n_requests=args.requests, repeats=args.repeats,
-            seed=config.train_seed, mode=args.replica_mode,
-        ),
-        args.profile,
-    )
+    if args.traffic_sim:
+        autoscale = None
+        if args.autoscale_max > args.replicas:
+            autoscale = {"max_replicas": args.autoscale_max}
+        payload, profile = _run_profiled(
+            lambda: simulate_traffic(
+                snapshot_engine(model),
+                n_replicas=args.replicas,
+                duration_s=args.duration,
+                rate=args.rate,
+                burst_at=args.burst_at,
+                burst_len=args.burst_len,
+                burst_x=args.burst_x,
+                hot_key_fraction=args.hot_key_fraction,
+                service_rate=args.service_rate,
+                deadline_ms=args.deadline_ms,
+                max_batch=args.max_batch,
+                max_queue=args.max_queue,
+                admit_rate=args.admit_rate,
+                admit_burst=args.admit_burst,
+                quota=args.quota,
+                autoscale=autoscale,
+                seed=args.sim_seed,
+            ),
+            args.profile,
+        )
+        rendered = format_traffic_report(payload)
+    else:
+        payload, profile = _run_profiled(
+            lambda: fabric_benchmark(
+                model, n_replicas=args.replicas, max_batch=args.max_batch,
+                n_requests=args.requests, repeats=args.repeats,
+                seed=config.train_seed, mode=args.replica_mode,
+            ),
+            args.profile,
+        )
+        rendered = format_fabric_benchmark(payload)
     if args.json:
         print(json.dumps(payload, indent=1), file=out)
     else:
-        print(format_fabric_benchmark(payload), file=out)
+        print(rendered, file=out)
     if args.save:
         save_path = Path(args.save)
         save_path.parent.mkdir(parents=True, exist_ok=True)

@@ -24,6 +24,16 @@ Layer map::
     Gateway               fabric front-end: bounded queue, backpressure,
                           deterministic routing with failover, rolling
                           replica-by-replica engine swap, metrics
+    AdmissionController   QoS front door: per-tenant token buckets +
+                          lifetime quotas (refusals shed at submit)
+    SLO / LatencyHistogram  deadline objectives + streaming p50/p95/p99
+                          latency tracking, deadline-aware shedding
+    Autoscaler            queue-depth driven fleet sizing over
+                          Gateway.add_replica / remove_replica
+                          (drained scale-down, zero drops)
+    simulate_traffic      seeded open-loop Poisson/burst/hot-key traffic
+                          simulator in virtual time -> overload report
+                          (CLI `bench-fabric --traffic-sim`)
     serve_benchmark       packed-vs-per-sample throughput measurement
                           (CLI `bench-serve`, benchmarks suite)
     fabric_benchmark      multi-replica vs single-replica throughput
@@ -41,7 +51,21 @@ from .fabric import (
     ReplicaError,
     ReplicaPool,
 )
+from .fabric_qos import (
+    AdmissionController,
+    Autoscaler,
+    LatencyHistogram,
+    SLO,
+    TokenBucket,
+)
 from .registry import ModelNotFound, Registry
+from .traffic import (
+    SimClock,
+    SimReplica,
+    SimReplicaPool,
+    format_traffic_report,
+    simulate_traffic,
+)
 from .bench import (
     fabric_benchmark,
     format_benchmark,
@@ -64,8 +88,18 @@ __all__ = [
     "Gateway",
     "ReplicaError",
     "ReplicaPool",
+    "AdmissionController",
+    "Autoscaler",
+    "LatencyHistogram",
+    "SLO",
+    "TokenBucket",
     "ModelNotFound",
     "Registry",
+    "SimClock",
+    "SimReplica",
+    "SimReplicaPool",
+    "format_traffic_report",
+    "simulate_traffic",
     "fabric_benchmark",
     "format_benchmark",
     "format_fabric_benchmark",

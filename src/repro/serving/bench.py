@@ -18,7 +18,10 @@ CLI prints.
 request traffic through a single-replica fabric and an N-replica fabric
 (:mod:`repro.serving.fabric`) and reports the aggregate speedup — the
 number ``bench-fabric`` prints and
-``benchmarks/test_fabric_throughput.py`` gates on.
+``benchmarks/test_fabric_throughput.py`` gates on.  For behaviour
+*under overload* (shedding, SLO attainment, burst p99) see the seeded
+virtual-time simulator in :mod:`repro.serving.traffic`
+(``bench-fabric --traffic-sim``).
 """
 
 from __future__ import annotations
@@ -196,6 +199,8 @@ def fabric_benchmark(model, n_replicas=4, max_batch=64, n_requests=2048,
         if single_rps else None,
         "fabric_zero_copy_speedup": round(fabric_rps / pickle_rps, 2)
         if pickle_rps else None,
+        "fabric_latency_ms": (fabric_report or {}).get(
+            "fabric", {}).get("latency"),
         "fabric_report": fabric_report,
     }
 

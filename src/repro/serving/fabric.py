@@ -38,6 +38,19 @@ behind one front-end:
     promoted replicas back.  :class:`~repro.streaming.RollingPromoter`
     drives it from the shadow-evaluation gate.
 
+Overload behaviour (the QoS layer, policies in
+:mod:`repro.serving.fabric_qos`): an optional
+:class:`~repro.serving.AdmissionController` rate-limits per tenant at
+the door, ``overflow="shed"`` resolves over-queue requests immediately
+as ``shed=True`` tickets instead of blocking, and an optional
+:class:`~repro.serving.SLO` sheds requests whose predicted queue wait
+already exceeds their deadline.  Request latency is tracked in
+streaming histograms per replica and fleet-wide
+(``Gateway.report()["fabric"]["latency"]``), and
+:meth:`Gateway.add_replica` / :meth:`Gateway.remove_replica` let an
+:class:`~repro.serving.Autoscaler` resize the fleet between flushes —
+removal drains the tail replica first, so scale-down drops nothing.
+
 Determinism: routing, dispatch points, and per-replica batch contents
 are pure functions of the submit sequence (inline mode adds nothing
 else), which is what lets the rolling-promotion e2e test assert exact
@@ -55,6 +68,7 @@ from collections import deque
 import numpy as np
 
 from .batcher import notify_observers
+from .fabric_qos import LatencyHistogram
 
 try:  # pragma: no cover - absent only on exotic platforms
     from multiprocessing import shared_memory as _shared_memory
@@ -353,15 +367,18 @@ class _ReplicaBase:
         self.n_samples = 0
         self.busy_s = 0.0        # summed dispatch->collect wall time
         self.max_latency_s = 0.0
+        self.latency = LatencyHistogram()   # per-batch dispatch->collect
 
     def _account(self, n_samples, latency_s):
         self.n_batches += 1
         self.n_samples += n_samples
         self.busy_s += latency_s
         self.max_latency_s = max(self.max_latency_s, latency_s)
+        self.latency.record(latency_s)
 
     def stats(self):
         """Per-replica counter snapshot (JSON-able)."""
+        quantiles = self.latency.summary()
         return {
             "kind": self.kind,
             "healthy": self.healthy,
@@ -370,6 +387,9 @@ class _ReplicaBase:
             "samples": self.n_samples,
             "busy_s": round(self.busy_s, 4),
             "max_latency_ms": round(self.max_latency_s * 1e3, 3),
+            "p50_ms": quantiles["p50_ms"],
+            "p95_ms": quantiles["p95_ms"],
+            "p99_ms": quantiles["p99_ms"],
         }
 
     def __repr__(self):
@@ -399,6 +419,10 @@ class InlineReplica(_ReplicaBase):
 
     def alive(self):
         return True
+
+    def has_ready(self):
+        """Whether :meth:`collect` would return without blocking."""
+        return bool(self._results)
 
     def dispatch(self, req_id, X):
         t0 = time.perf_counter()
@@ -479,8 +503,10 @@ class ProcessReplica(_ReplicaBase):
             try:
                 ok = bool(self._recv("shm")[1])
             except ReplicaError:
-                self._ring.destroy()
-                self._ring = None
+                # A failed handshake must tear down the *whole* half-built
+                # replica — destroying only the ring leaked the started
+                # worker process and the parent pipe end.
+                self._abort_init()
                 raise
             if ok:
                 self._shm_ok = True
@@ -489,12 +515,38 @@ class ProcessReplica(_ReplicaBase):
                 self._ring = None
         self.transport = "shm" if self._ring is not None else "pickle"
 
+    def _abort_init(self):
+        """Tear down a half-constructed replica: worker, pipe, and ring."""
+        try:
+            self._proc.terminate()
+            self._proc.join(timeout=5.0)
+            if self._proc.is_alive():  # pragma: no cover - stuck worker
+                self._proc.kill()
+                self._proc.join(timeout=5.0)
+        finally:
+            try:
+                self._conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            if self._ring is not None:
+                self._ring.destroy()
+                self._ring = None
+
     @property
     def outstanding(self):
         return len(self._pending) + len(self._stashed)
 
     def alive(self):
         return self._proc.is_alive()
+
+    def has_ready(self):
+        """Whether :meth:`collect` would return without blocking."""
+        if self._stashed:
+            return True
+        try:
+            return self._conn.poll()
+        except (OSError, ValueError):  # pragma: no cover - racing close
+            return False
 
     def dispatch(self, req_id, X):
         slot = self._ring.acquire(len(X)) if self._shm_ok else None
@@ -683,15 +735,52 @@ class ReplicaPool:
         self.mode = mode
         self.max_batch = int(max_batch)
         self.transport = transport
-        if mode == "process":
-            self.replicas = [
-                ProcessReplica(i, engine, transport=transport,
-                               max_rows=self.max_batch)
-                for i in range(n_replicas)
-            ]
-        else:
-            self.replicas = [InlineReplica(i, engine)
-                             for i in range(n_replicas)]
+        # Build incrementally so a replica that fails to construct (e.g.
+        # worker spawn or shm handshake failure) does not abandon the
+        # already-started workers and their /dev/shm rings.
+        self.replicas = []
+        try:
+            for i in range(n_replicas):
+                self.replicas.append(self._spawn(i, engine))
+        except Exception:
+            self.close()
+            raise
+
+    def _spawn(self, index, engine):
+        """One replica of this pool's mode at ``index`` (not registered)."""
+        if self.mode == "process":
+            return ProcessReplica(index, engine, transport=self.transport,
+                                  max_rows=self.max_batch)
+        return InlineReplica(index, engine)
+
+    def add_replica(self, engine=None):
+        """Grow the pool by one replica (warm-started); returns its index.
+
+        The new replica serves ``engine`` (default: the pool's current
+        snapshot, so an autoscaled-up fleet comes up on the promoted
+        version).  Prefer :meth:`Gateway.add_replica`, which also grows
+        the gateway's routing structures.
+        """
+        index = len(self.replicas)
+        self.replicas.append(self._spawn(index, engine or self.engine))
+        return index
+
+    def remove_replica(self):
+        """Close and drop the tail replica; returns its index.
+
+        Tail-only removal keeps replica indices dense (``0..n-1``), which
+        the gateway's ``key % n`` routing relies on.  The caller must
+        have drained the replica first (:meth:`Gateway.remove_replica`
+        does); any still-queued work would be dropped here.
+        """
+        if len(self.replicas) <= 1:
+            raise ValueError("cannot remove the last replica")
+        replica = self.replicas.pop()
+        try:
+            replica.close()
+        except ReplicaError:
+            pass
+        return replica.index
 
     @classmethod
     def from_registry(cls, registry, name, version=None, **kwargs):
@@ -777,6 +866,11 @@ class FabricTicket:
     which engine version* served it — the provenance the rolling-
     promotion test asserts on.
 
+    A request refused by the QoS layer (admission, quota, full queue
+    under ``overflow="shed"``, or an unmeetable deadline) resolves
+    immediately with ``shed=True``, ``shed_reason`` set, and
+    ``prediction=None`` — shedding is an answer, not an exception.
+
     >>> import numpy as np
     >>> from repro.model import TMModel
     >>> from repro.serving import Gateway, InferenceEngine, ReplicaPool
@@ -789,21 +883,33 @@ class FabricTicket:
     >>> ticket = gateway.submit([1, 0])
     >>> ticket.result(), ticket.replica, ticket.version
     (0, 0, 1)
+    >>> ticket.shed, ticket.latency_s is not None
+    (False, True)
     """
 
     __slots__ = ("_gateway", "done", "prediction", "class_sums", "replica",
-                 "version")
+                 "version", "tenant", "submit_t", "latency_s", "shed",
+                 "shed_reason")
 
-    def __init__(self, gateway):
+    def __init__(self, gateway, tenant=None):
         self._gateway = gateway
         self.done = False
         self.prediction = None
         self.class_sums = None
         self.replica = None
         self.version = None
+        self.tenant = tenant
+        self.submit_t = None
+        self.latency_s = None
+        self.shed = False
+        self.shed_reason = None
 
     def result(self):
-        """The predicted class; forces a fabric flush if still pending."""
+        """The predicted class; forces a fabric flush if still pending.
+
+        ``None`` for a shed ticket (check :attr:`shed` to distinguish a
+        refusal from a prediction of class ``None`` — there is none).
+        """
         if not self.done:
             self._gateway.flush()
         return self.prediction
@@ -812,11 +918,15 @@ class FabricTicket:
 class FabricStats:
     """Aggregate counters for one gateway.
 
+    ``n_requests`` counts *accepted* requests; ``shed`` (broken down by
+    reason in ``shed_by_reason``) counts requests the QoS layer refused,
+    and ``latency`` holds the fleet-wide submit->resolve histogram.
+
     >>> stats = FabricStats()
-    >>> stats.n_requests, stats.failovers
-    (0, 0)
-    >>> sorted(stats.to_dict())[:3]
-    ['batches', 'failovers', 'observer_errors']
+    >>> stats.n_requests, stats.failovers, stats.shed
+    (0, 0, 0)
+    >>> sorted(stats.to_dict())[:4]
+    ['batches', 'failovers', 'latency', 'observer_errors']
     """
 
     def __init__(self):
@@ -826,6 +936,9 @@ class FabricStats:
         self.failovers = 0        # requests routed past an unhealthy replica
         self.rerouted_batches = 0  # in-flight batches re-dispatched on death
         self.observer_errors = 0
+        self.shed = 0             # requests refused by the QoS layer
+        self.shed_by_reason = {}  # reason -> count
+        self.latency = LatencyHistogram()  # request submit->resolve
 
     def to_dict(self):
         return {
@@ -835,6 +948,9 @@ class FabricStats:
             "failovers": self.failovers,
             "rerouted_batches": self.rerouted_batches,
             "observer_errors": self.observer_errors,
+            "shed": self.shed,
+            "shed_by_reason": dict(self.shed_by_reason),
+            "latency": self.latency.summary(),
         }
 
 
@@ -866,12 +982,26 @@ class Gateway:
         ``"wait"`` (default): collect finished work until there is room —
         natural backpressure, nothing is ever dropped.  ``"error"``:
         raise :class:`Backpressure` immediately (caller sheds load).
+        ``"shed"``: resolve the overflow request immediately as a
+        ``shed=True`` ticket (``shed_reason="queue"``) — the fabric
+        sheds load so callers never block.
     max_delay:
         Optional deadline in seconds for the oldest queued request per
         replica, checked on every submit (``None`` — the default — keeps
         dispatch points deterministic).
     clock:
         Monotonic time source, injectable for deadline tests.
+    admission:
+        Optional :class:`~repro.serving.AdmissionController` consulted
+        first on every submit; a refusal (per-tenant rate or quota)
+        sheds the request at the door.
+    slo:
+        Optional :class:`~repro.serving.SLO`.  When the request's
+        deadline is provably unmeetable — predicted queue wait plus one
+        batch's service time exceeds it — the request is shed
+        (``shed_reason="deadline"``) instead of queued to time out.
+        Request submit->resolve latency is recorded fleet-wide either
+        way (``report()["fabric"]["latency"]``).
     observers:
         ``obs(X, class_sums, predictions)`` hooks run in the parent over
         every *collected* batch, with the same error isolation as
@@ -895,8 +1025,9 @@ class Gateway:
     """
 
     def __init__(self, pool, max_batch=None, max_queue=4096, overflow="wait",
-                 max_delay=None, clock=time.monotonic, observers=()):
-        if overflow not in ("wait", "error"):
+                 max_delay=None, clock=time.monotonic, admission=None,
+                 slo=None, observers=()):
+        if overflow not in ("wait", "error", "shed"):
             raise ValueError(f"unknown overflow policy {overflow!r}")
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
@@ -909,6 +1040,8 @@ class Gateway:
         self.overflow = overflow
         self.max_delay = max_delay
         self._clock = clock
+        self.admission = admission
+        self.slo = slo
         self.observers = list(observers)
         self.observer_errors = []
         self.stats = FabricStats()
@@ -936,12 +1069,15 @@ class Gateway:
         self.observers.append(observer)
 
     # ------------------------------------------------------------------
-    def submit(self, x, key=None):
+    def submit(self, x, key=None, tenant=None, klass=None):
         """Queue one sample; returns a :class:`FabricTicket`.
 
         ``key`` picks the home replica deterministically
         (``key % n_replicas``, probing past unhealthy replicas); without
-        one, requests round-robin in submit order.
+        one, requests round-robin in submit order.  ``tenant`` scopes
+        admission control and quotas; ``klass`` selects the SLO deadline
+        class.  A request the QoS layer refuses comes back as an
+        already-resolved ``shed=True`` ticket.
         """
         x = np.asarray(x, dtype=np.uint8)
         if x.ndim != 1:
@@ -952,9 +1088,9 @@ class Gateway:
                 f"expected {self.pool.engine.n_features} features, "
                 f"got {x.shape[0]}"
             )
-        return self._submit_checked(x, key)
+        return self._submit_checked(x, key, tenant, klass)
 
-    def submit_many(self, X, keys=None):
+    def submit_many(self, X, keys=None, tenants=None, klass=None):
         """Queue a whole array of samples; returns the tickets.
 
         The bulk path of :meth:`submit`: one width check for the array,
@@ -968,12 +1104,63 @@ class Gateway:
             )
         if keys is not None and len(keys) != len(X):
             raise ValueError("keys must match X row for row")
+        if tenants is not None and len(tenants) != len(X):
+            raise ValueError("tenants must match X row for row")
         return [
-            self._submit_checked(x, keys[i] if keys is not None else None)
+            self._submit_checked(
+                x,
+                keys[i] if keys is not None else None,
+                tenants[i] if tenants is not None else None,
+                klass,
+            )
             for i, x in enumerate(X)
         ]
 
-    def _submit_checked(self, x, key):
+    def _shed(self, reason, tenant):
+        """Resolve a refused request immediately (shedding is an answer)."""
+        self.stats.shed += 1
+        self.stats.shed_by_reason[reason] = (
+            self.stats.shed_by_reason.get(reason, 0) + 1)
+        ticket = FabricTicket(self, tenant=tenant)
+        ticket.done = True
+        ticket.shed = True
+        ticket.shed_reason = reason
+        return ticket
+
+    def _predicted_wait(self, idx):
+        """Predicted completion time (s) at replica ``idx``, or ``None``.
+
+        The routed replica's backlog (queued + in-flight samples) over
+        its service rate, plus the request's own batch — sized by the
+        queue's current occupancy — plus the dispatch-deadline slack.
+        Per replica, so a hot-key-skewed queue sheds on *its* depth, not
+        the fleet average.  The rate comes from ``slo.service_rate``
+        (samples/s per replica) or, when unset, the replicas' own
+        served-samples/busy-time history; ``None`` (never shed) until
+        there is evidence to predict from.
+        """
+        rate = self.slo.service_rate
+        if rate is None:
+            busy = sum(r.busy_s for r in self.pool.replicas)
+            served = sum(r.n_samples for r in self.pool.replicas)
+            if busy <= 0.0 or served < self.max_batch:
+                return None
+            rate = served / busy
+        queued = len(self._queues[idx])
+        inflight = sum(len(self._inflight[req_id].tickets)
+                       for req_id in self._order[idx])
+        own_batch = min(self.max_batch, queued + 1)
+        return ((queued + inflight + own_batch) / rate
+                + (self.max_delay or 0.0))
+
+    def _submit_checked(self, x, key, tenant=None, klass=None):
+        now = self._clock()
+        if self.admission is not None:
+            reason = self.admission.admit(tenant, now)
+            if reason is not None:
+                return self._shed(reason, tenant)
+        if self.overflow == "shed" and self.pending >= self.max_queue:
+            return self._shed("queue", tenant)
         while self.pending >= self.max_queue:
             if self.overflow == "error":
                 raise Backpressure(
@@ -985,7 +1172,12 @@ class Gateway:
             key = self._next_req
         self._next_req += 1
         idx = self._route(int(key))
-        now = self._clock()
+        if self.slo is not None:
+            deadline = self.slo.deadline_for(klass)
+            if deadline is not None:
+                wait = self._predicted_wait(idx)
+                if wait is not None and wait > deadline:
+                    return self._shed("deadline", tenant)
         if self.max_delay is not None:
             # Every queue's deadline is honored on every submit (as the
             # single-queue Batcher does) — sticky routing must not leave
@@ -993,7 +1185,8 @@ class Gateway:
             for qidx, oldest in enumerate(self._queue_oldest):
                 if oldest is not None and now - oldest >= self.max_delay:
                     self._dispatch_queue(qidx)
-        ticket = FabricTicket(self)
+        ticket = FabricTicket(self, tenant=tenant)
+        ticket.submit_t = now
         self._queues[idx].append((x, ticket))
         self._pending_count += 1
         if self._queue_oldest[idx] is None:
@@ -1051,6 +1244,10 @@ class Gateway:
                 replica.dispatch(req_id, X)
             except ReplicaError:
                 continue  # replica marked itself unhealthy; probe on
+            if off:
+                # Dispatch-time failover (the routed replica died after
+                # submit): counted in request units, same as _route.
+                self.stats.failovers += len(tickets)
             self._seq = req_id
             self._inflight[req_id] = _Inflight(X, tickets, replica.index,
                                                req_id)
@@ -1077,12 +1274,16 @@ class Gateway:
         return len(entry.tickets)
 
     def _resolve(self, entry, preds, sums, replica_index, version):
+        now = self._clock()
         for i, ticket in enumerate(entry.tickets):
             ticket.done = True
             ticket.prediction = int(preds[i])
             ticket.class_sums = sums[i]
             ticket.replica = replica_index
             ticket.version = version
+            if ticket.submit_t is not None:
+                ticket.latency_s = max(0.0, now - ticket.submit_t)
+                self.stats.latency.record(ticket.latency_s)
         self.stats.n_batches += 1
         self.stats.n_samples += len(entry.tickets)
         self._pending_count -= len(entry.tickets)
@@ -1137,6 +1338,61 @@ class Gateway:
             served += self._collect_from(replica)
         return served
 
+    def dispatch_queued(self):
+        """Dispatch every per-replica queue now, without collecting.
+
+        The open-loop path (traffic simulator, autoscaler drains) uses
+        this with :meth:`poll` instead of the blocking :meth:`flush`.
+        """
+        for idx in range(len(self._queues)):
+            self._dispatch_queue(idx)
+
+    def poll(self):
+        """Collect every result that is ready *now*, without blocking.
+
+        Returns the number of samples resolved.  Unlike :meth:`flush`
+        this never waits on a replica, so an open-loop caller (the
+        traffic simulator, a serving loop between arrivals) can drain
+        completed work while requests are still streaming in.
+        """
+        served = 0
+        for replica in list(self.pool.replicas):
+            while self._order[replica.index] and replica.has_ready():
+                served += self._collect_from(replica)
+        return served
+
+    # ------------------------------------------------------------------
+    def add_replica(self):
+        """Grow the fleet by one warm replica; returns its index.
+
+        The replica comes up on the pool's *current* engine (so scaling
+        up after a promotion serves the promoted version) and is
+        immediately routable — the gateway's queue/order structures grow
+        with the pool.
+        """
+        index = self.pool.add_replica()
+        self._queues.append([])
+        self._queue_oldest.append(None)
+        self._order.append(deque())
+        return index
+
+    def remove_replica(self):
+        """Drain and drop the tail replica; returns the served count.
+
+        The replica's queued and in-flight work is flushed *before* the
+        removal (its tickets resolve normally), so scale-down drops zero
+        requests.
+        """
+        index = len(self.pool.replicas) - 1
+        if index < 1:
+            raise ValueError("cannot remove the last replica")
+        served = self.flush_replica(index)
+        self.pool.remove_replica()
+        del self._queues[index]
+        del self._queue_oldest[index]
+        del self._order[index]
+        return served
+
     # ------------------------------------------------------------------
     def rolling_swap(self, engine):
         """Promote the fleet to ``engine`` one replica at a time.
@@ -1154,7 +1410,9 @@ class Gateway:
         old_engine = self.pool.engine
         rolled = []
         events = []
-        for replica in self.pool.replicas:
+        # Snapshot: the fleet may have been autoscaled since the last
+        # promotion — the roll covers exactly the replicas present now.
+        for replica in list(self.pool.replicas):
             if not replica.healthy:
                 events.append({"replica": replica.index, "skipped": "down"})
                 continue
@@ -1211,22 +1469,35 @@ class Gateway:
 
     def report(self):
         """JSON-able gateway + per-replica metrics snapshot."""
-        return {
+        report = {
             "replicas": len(self.pool.replicas),
             "healthy": len(self.pool.healthy()),
             "mode": self.pool.mode,
             "version": self.pool.engine.version,
             "max_batch": self.max_batch,
             "max_queue": self.max_queue,
+            "overflow": self.overflow,
             "pending": self.pending,
             "fabric": self.stats.to_dict(),
             "per_replica": {r.index: r.stats() for r in self.pool.replicas},
         }
+        if self.admission is not None:
+            report["tenants"] = self.admission.report()
+        return report
 
     # ------------------------------------------------------------------
     def __enter__(self):
         return self
 
     def __exit__(self, exc_type, exc, tb):
-        self.flush()
+        if exc_type is None:
+            self.flush()
+            return False
+        # An exception is already propagating out of the body: a flush
+        # failure here (e.g. the fleet died, ReplicaError) must not mask
+        # it — drain best-effort instead.
+        try:
+            self.flush()
+        except Exception:
+            pass
         return False

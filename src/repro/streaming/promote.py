@@ -207,9 +207,14 @@ class RollingPromoter(Promoter):
     requests and at most one replica in transition.  :meth:`rollback`
     re-rolls every replica back to the displaced version and pins it.
 
-    Promotion and rollback records gain a ``"roll"`` key: the
+    Promotion and rollback records gain a ``"roll"`` key — the
     per-replica event list returned by ``rolling_swap`` (the audit trail
-    the e2e test asserts covers the whole fleet).
+    the e2e test asserts covers the whole fleet) — and a ``"fleet"``
+    key, the pool size at roll time.  The roll covers whatever fleet an
+    :class:`~repro.serving.Autoscaler` has sized the pool to, and a
+    replica added *after* a promotion comes up on the pool's current
+    (promoted) engine, so autoscaling and rolling promotion compose:
+    the fleet never serves two versions.
 
     Parameters
     ----------
@@ -295,12 +300,18 @@ class RollingPromoter(Promoter):
             raise
         if record.get("promoted") and self._last_roll is not None:
             record["roll"] = self._last_roll
+            record["fleet"] = len(self.gateway.pool.replicas)
         return record
 
     def rollback(self):
-        """Re-roll every replica to the displaced version and pin it."""
+        """Re-roll every replica to the displaced version and pin it.
+
+        The roll covers the fleet *as currently sized* — replicas added
+        by an autoscaler since the promotion are rolled back too.
+        """
         self._last_roll = None
         record = super().rollback()
         if self._last_roll is not None:
             record["roll"] = self._last_roll
+            record["fleet"] = len(self.gateway.pool.replicas)
         return record

@@ -175,4 +175,8 @@ class TestCommittedBaselines:
             for metric in metrics:
                 value = compare_bench.lookup(payload, metric)
                 assert isinstance(value, (int, float)), (filename, metric)
-                assert value > 1.0, (filename, metric, value)
+                if filename == "traffic_sim.json":
+                    # goodput / slo_attainment are fractions, not speedups.
+                    assert 0.0 < value <= 1.0, (filename, metric, value)
+                else:
+                    assert value > 1.0, (filename, metric, value)

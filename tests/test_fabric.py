@@ -8,10 +8,13 @@ acceptance check: v1 -> v2 across every replica with zero dropped
 requests, then a fleet-wide rollback to v1.
 """
 
+import multiprocessing
+
 import numpy as np
 import pytest
 
 from _fixtures import random_model
+from repro.serving import fabric
 from repro.serving import (
     Backpressure,
     Gateway,
@@ -571,6 +574,136 @@ class TestRollingPromotionE2E:
         tickets = gateway.submit_many(X)
         gateway.flush()
         assert all(t.done and t.version == 1 for t in tickets)
+
+
+# ----------------------------------------------------------------------
+# Construction-failure leak regressions
+# ----------------------------------------------------------------------
+def _kaboom_host_loop(conn, engine, shm_spec=None):
+    """Worker body that fails the shm handshake instead of serving."""
+    conn.send(("error", "attach kaboom"))
+    conn.close()
+
+
+class TestConstructionLeaks:
+    def test_pool_init_failure_closes_started_replicas(self, monkeypatch):
+        # Regression: a replica that fails to construct used to abandon
+        # the already-started workers (and their /dev/shm rings) because
+        # the list comprehension building self.replicas never ran close.
+        engine = _engine()
+        created = []  # (replica, ring segment names at construction)
+
+        class ThirdReplicaFails(fabric.ProcessReplica):
+            def __init__(self, index, engine, **kwargs):
+                if index == 2:
+                    raise RuntimeError("replica 2 spawn blew up")
+                super().__init__(index, engine, **kwargs)
+                names = (self._ring.spec()["names"]
+                         if self._ring is not None else [])
+                created.append((self, names))
+
+        monkeypatch.setattr(fabric, "ProcessReplica", ThirdReplicaFails)
+        with pytest.raises(RuntimeError, match="spawn blew up"):
+            ReplicaPool(engine, n_replicas=3, mode="process", max_batch=8)
+        assert len(created) == 2
+        for replica, _ in created:
+            assert not replica._proc.is_alive()
+            assert replica._conn.closed
+        leaked = [n for _, names in created for n in names
+                  if _segment_exists(n)]
+        assert leaked == []
+
+    def test_failed_handshake_reaps_worker_pipe_and_ring(self, monkeypatch):
+        # Regression: a ("shm", ok) handshake that came back as an error
+        # used to destroy only the ring, leaking the started worker
+        # process and the parent pipe end.
+        if multiprocessing.get_start_method(allow_none=True) != "fork":
+            pytest.skip("monkeypatched worker body needs fork inheritance")
+        engine = _engine()
+        try:
+            probe = fabric._ShmRing(99, 8, engine.n_features,
+                                    engine.n_classes)
+        except (RuntimeError, OSError, ValueError):
+            pytest.skip("shared memory unavailable on this platform")
+        probe.destroy()
+
+        names = []
+
+        class SpyRing(fabric._ShmRing):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                names.extend(self.spec()["names"])
+
+        monkeypatch.setattr(fabric, "_ShmRing", SpyRing)
+        monkeypatch.setattr(fabric, "_host_loop", _kaboom_host_loop)
+        with pytest.raises(ReplicaError, match="attach kaboom"):
+            fabric.ProcessReplica(7, engine, transport="shm", max_rows=8)
+        assert names and not any(_segment_exists(n) for n in names)
+        assert not any(
+            p.name == "fabric-replica-7" and p.is_alive()
+            for p in multiprocessing.active_children()
+        )
+
+
+# ----------------------------------------------------------------------
+# Metric drift + context-manager regressions
+# ----------------------------------------------------------------------
+class TestMetricAndExitRegressions:
+    def test_dispatch_time_failover_is_counted(self):
+        # Regression: _dispatch_batch probed past a failed replica
+        # without counting stats.failovers, so dispatch-time failovers
+        # (replica died after submit) drifted out of the metrics.
+        engine = _engine()
+        pool = ReplicaPool(engine, n_replicas=2, mode="inline")
+        gateway = Gateway(pool, max_batch=64)
+        X = _traffic(engine, 5)
+        tickets = gateway.submit_many(X, keys=[1] * 5)  # routed while healthy
+        assert gateway.stats.failovers == 0
+        pool.replicas[1].healthy = False                # dies before dispatch
+        gateway.flush()
+        # Counted in request units, same as submit-time failover.
+        assert gateway.stats.failovers == 5
+        assert all(t.done and t.replica == 0 for t in tickets)
+        assert [t.prediction for t in tickets] == engine.predict(X).tolist()
+
+    def test_exit_does_not_mask_body_exception(self):
+        # Regression: __exit__ flushed unconditionally, so a fleet-down
+        # ReplicaError from the flush replaced the exception the body
+        # was already raising.
+        engine = _engine()
+        pool = ReplicaPool(engine, n_replicas=1, mode="inline")
+        with pytest.raises(ValueError, match="body error"):
+            with Gateway(pool, max_batch=4) as gateway:
+                gateway.submit(_traffic(engine, 1)[0])
+                pool.replicas[0].healthy = False  # flush would raise
+                raise ValueError("body error")
+
+    def test_exit_still_flushes_on_clean_body(self):
+        engine = _engine()
+        pool = ReplicaPool(engine, n_replicas=1, mode="inline")
+        with Gateway(pool, max_batch=64) as gateway:
+            ticket = gateway.submit(_traffic(engine, 1)[0])
+        assert ticket.done
+
+    def test_rolling_promotion_covers_autoscaled_fleet(self):
+        champion = random_model(seed=4, name="fleet")
+        challenger = random_model(seed=11, name="fleet")
+        registry = Registry()
+        registry.publish("fleet", champion)
+        pool = ReplicaPool.from_registry(registry, "fleet", n_replicas=2,
+                                         mode="inline")
+        gateway = Gateway(pool, max_batch=4)
+        gateway.add_replica()                   # autoscaled mid-flight
+        promoter = RollingPromoter(registry, "fleet", gateway)
+        X = _traffic(pool.engine, 20)
+        record = promoter.promote(challenger, X, challenger.predict(X))
+        assert record["promoted"] is True
+        assert record["fleet"] == 3             # the roll saw all 3 replicas
+        assert [e["replica"] for e in record["roll"]] == [0, 1, 2]
+        assert pool.versions() == [2, 2, 2]
+        rollback = promoter.rollback()
+        assert rollback["fleet"] == 3
+        assert pool.versions() == [1, 1, 1]
 
 
 # ----------------------------------------------------------------------

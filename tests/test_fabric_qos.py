@@ -1,0 +1,421 @@
+"""QoS layer tests: admission, SLO shedding, autoscaling, traffic sim.
+
+Everything runs on inline or simulated replicas under injected clocks,
+so each refusal, histogram bucket, and scaling event is deterministic —
+the overload contracts of ISSUE's tentpole are asserted exactly, not
+statistically.
+"""
+
+import numpy as np
+import pytest
+
+from _fixtures import random_model
+from repro.serving import (
+    AdmissionController,
+    Autoscaler,
+    Gateway,
+    InferenceEngine,
+    LatencyHistogram,
+    ReplicaPool,
+    SLO,
+    TokenBucket,
+    simulate_traffic,
+    format_traffic_report,
+)
+
+
+def _engine(seed=0, version=1, **kwargs):
+    return InferenceEngine.from_model(random_model(seed=seed, **kwargs),
+                                      version=version)
+
+
+def _traffic(engine, n, seed=1):
+    rng = np.random.default_rng(seed)
+    return (rng.random((n, engine.n_features)) < 0.5).astype(np.uint8)
+
+
+class FakeClock:
+    """Settable monotonic clock for driving the gateway deterministically."""
+
+    def __init__(self, start=0.0):
+        self.now = float(start)
+
+    def __call__(self):
+        return self.now
+
+
+# ----------------------------------------------------------------------
+# TokenBucket / AdmissionController
+# ----------------------------------------------------------------------
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate=10.0, burst=3)
+        assert [bucket.try_take(0.0) for _ in range(4)] == \
+            [True, True, True, False]
+        # 0.2 s refills two tokens; a third take at the same instant fails.
+        assert bucket.try_take(0.2)
+        assert bucket.try_take(0.2)
+        assert not bucket.try_take(0.2)
+
+    def test_tokens_cap_at_burst(self):
+        bucket = TokenBucket(rate=1000.0, burst=2)
+        bucket.try_take(0.0)
+        bucket.try_take(100.0)  # a long idle gap must not bank > burst
+        assert bucket.try_take(100.0)
+        assert not bucket.try_take(100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestAdmissionController:
+    def test_tenants_have_isolated_buckets(self):
+        ctl = AdmissionController(rate=5.0, burst=1)
+        assert ctl.admit("hot", 0.0) is None
+        assert ctl.admit("hot", 0.0) == "rate"
+        # A different tenant at the same instant has its own full bucket.
+        assert ctl.admit("cold", 0.0) is None
+
+    def test_quota_exhaustion_is_per_tenant(self):
+        ctl = AdmissionController(quota=2)
+        assert [ctl.admit("a", t) for t in (0.0, 0.1, 0.2)] == \
+            [None, None, "quota"]
+        assert ctl.admit("b", 0.2) is None
+        report = ctl.report()
+        assert report["a"] == {"offered": 3, "admitted": 2, "shed": 1}
+        assert report["b"] == {"offered": 1, "admitted": 1, "shed": 0}
+
+    def test_shed_requests_do_not_consume_quota(self):
+        ctl = AdmissionController(rate=1.0, burst=1, quota=2)
+        assert ctl.admit("a", 0.0) is None
+        assert ctl.admit("a", 0.0) == "rate"   # refused by rate...
+        assert ctl.admit("a", 10.0) is None    # ...still one quota slot left
+        assert ctl.admit("a", 20.0) == "quota"
+
+    def test_per_tenant_overrides(self):
+        ctl = AdmissionController(rate=1.0, burst=1,
+                                  tenants={"vip": {"rate": None},
+                                           "capped": {"quota": 1}})
+        # vip: no rate limit at all.
+        assert all(ctl.admit("vip", 0.0) is None for _ in range(5))
+        assert ctl.admit("capped", 0.0) is None
+        assert ctl.admit("capped", 5.0) == "quota"
+
+    def test_none_tenant_maps_to_default(self):
+        ctl = AdmissionController(quota=1)
+        assert ctl.admit(None, 0.0) is None
+        assert ctl.admit(None, 0.0) == "quota"
+        assert AdmissionController.DEFAULT_TENANT in ctl.report()
+
+
+# ----------------------------------------------------------------------
+# LatencyHistogram
+# ----------------------------------------------------------------------
+class TestLatencyHistogram:
+    def test_quantiles_track_numpy_within_bucket_error(self):
+        rng = np.random.default_rng(3)
+        samples = rng.lognormal(mean=-4.0, sigma=1.0, size=5000)
+        hist = LatencyHistogram()
+        for s in samples:
+            hist.record(s)
+        for q in (0.50, 0.95, 0.99):
+            exact = float(np.quantile(samples, q))
+            approx = hist.quantile(q)
+            assert abs(approx - exact) / exact < 0.20
+
+    def test_max_is_exact_and_quantiles_clamped(self):
+        hist = LatencyHistogram()
+        for ms in (1, 2, 3, 400):
+            hist.record(ms / 1000.0)
+        assert hist.quantile(1.0) == 0.4
+        assert hist.summary()["max_ms"] == 400.0
+
+    def test_merge_equals_recording_everything_in_one(self):
+        a, b, both = (LatencyHistogram() for _ in range(3))
+        rng = np.random.default_rng(5)
+        for i, s in enumerate(rng.exponential(0.01, size=400)):
+            (a if i % 2 else b).record(s)
+            both.record(s)
+        a.merge(b)
+        assert a.counts == both.counts
+        assert a.summary() == both.summary()
+
+    def test_merge_rejects_different_geometry(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().merge(LatencyHistogram(min_latency_s=1e-3))
+
+    def test_empty_summary_is_all_none(self):
+        summary = LatencyHistogram().summary()
+        assert summary["count"] == 0
+        assert summary["p99_ms"] is None
+        assert LatencyHistogram().quantile(0.5) is None
+
+
+# ----------------------------------------------------------------------
+# Gateway: shed overflow policy
+# ----------------------------------------------------------------------
+class TestShedOverflow:
+    def _run(self, engine, X):
+        pool = ReplicaPool(engine, n_replicas=2, mode="inline")
+        gateway = Gateway(pool, max_batch=8, max_queue=4, overflow="shed")
+        tickets = gateway.submit_many(X, keys=[0] * len(X))
+        gateway.flush()
+        return gateway, tickets
+
+    def test_queue_overflow_sheds_deterministically(self):
+        engine = _engine()
+        X = _traffic(engine, 10)
+        runs = [self._run(engine, X) for _ in range(2)]
+        patterns = [[t.shed for t in tickets] for _, tickets in runs]
+        # max_queue=4 < max_batch=8: exactly the first four are accepted,
+        # identically on both runs.
+        assert patterns[0] == patterns[1] == [False] * 4 + [True] * 6
+        gateway, tickets = runs[0]
+        assert all(t.shed_reason == "queue" for t in tickets[4:])
+        assert all(t.done and t.result() is None for t in tickets[4:])
+        assert [t.prediction for t in tickets[:4]] == \
+            engine.predict(X[:4]).tolist()
+
+    def test_shed_is_counted_apart_from_accepted(self):
+        gateway, tickets = self._run(_engine(), _traffic(_engine(), 10))
+        assert gateway.stats.n_requests == 4         # accepted only
+        assert gateway.stats.shed == 6
+        assert gateway.stats.shed_by_reason == {"queue": 6}
+        assert gateway.report()["fabric"]["shed"] == 6
+
+    def test_admission_shed_via_gateway(self):
+        engine = _engine()
+        pool = ReplicaPool(engine, n_replicas=2, mode="inline")
+        clock = FakeClock()
+        gateway = Gateway(pool, max_batch=4, clock=clock,
+                          admission=AdmissionController(quota=2))
+        X = _traffic(engine, 3)
+        tickets = [gateway.submit(x, tenant="a") for x in X]
+        gateway.flush()
+        assert [t.shed for t in tickets] == [False, False, True]
+        assert tickets[2].shed_reason == "quota"
+        assert tickets[2].tenant == "a"
+        assert gateway.report()["tenants"]["a"]["shed"] == 1
+
+
+# ----------------------------------------------------------------------
+# Gateway: deadline-aware shedding + SLO latency accounting
+# ----------------------------------------------------------------------
+class TestDeadlineShed:
+    def test_provably_late_request_is_shed(self):
+        engine = _engine()
+        pool = ReplicaPool(engine, n_replicas=1, mode="inline")
+        gateway = Gateway(pool, max_batch=4, clock=FakeClock(),
+                          slo=SLO(deadline_s=0.02, service_rate=100.0))
+        X = _traffic(engine, 2)
+        # First request: predicted wait (0 queued + own batch of 1)/100
+        # = 10 ms <= 20 ms deadline -> admitted.
+        first = gateway.submit(X[0], key=0)
+        assert not first.shed
+        # Second: (1 queued + own batch of 2)/100 = 30 ms > 20 ms -> shed.
+        second = gateway.submit(X[1], key=0)
+        assert second.shed and second.shed_reason == "deadline"
+        gateway.flush()
+        assert first.prediction == int(engine.predict(X[:1])[0])
+
+    def test_class_deadlines_select_per_request(self):
+        engine = _engine()
+        pool = ReplicaPool(engine, n_replicas=1, mode="inline")
+        slo = SLO(deadline_s=0.005, class_deadlines={"batch": 10.0},
+                  service_rate=100.0)
+        gateway = Gateway(pool, max_batch=4, clock=FakeClock(), slo=slo)
+        x = _traffic(engine, 1)[0]
+        assert gateway.submit(x, klass=None).shed          # 10ms > 5ms
+        assert not gateway.submit(x, klass="batch").shed   # vs 10s budget
+        gateway.flush()
+
+    def test_no_shedding_without_service_rate_evidence(self):
+        engine = _engine()
+        pool = ReplicaPool(engine, n_replicas=1, mode="inline")
+        gateway = Gateway(pool, max_batch=64, clock=FakeClock(),
+                          slo=SLO(deadline_s=1e-6))  # absurd deadline
+        tickets = gateway.submit_many(_traffic(engine, 20))
+        gateway.flush()
+        # service_rate=None and fresh replicas: no evidence, never shed.
+        assert not any(t.shed for t in tickets)
+        assert gateway.stats.shed == 0
+
+    def test_latency_histogram_tracks_fake_clock(self):
+        engine = _engine()
+        pool = ReplicaPool(engine, n_replicas=2, mode="inline")
+        clock = FakeClock()
+        gateway = Gateway(pool, max_batch=64, clock=clock)
+        tickets = gateway.submit_many(_traffic(engine, 10))
+        clock.now = 0.050
+        gateway.flush()
+        assert all(t.latency_s == pytest.approx(0.050) for t in tickets)
+        summary = gateway.stats.latency.summary()
+        assert summary["count"] == 10
+        assert summary["max_ms"] == 50.0
+        assert summary["p50_ms"] == pytest.approx(50.0, rel=0.15)
+        assert gateway.report()["fabric"]["latency"]["count"] == 10
+
+    def test_per_replica_stats_report_percentiles(self):
+        engine = _engine()
+        pool = ReplicaPool(engine, n_replicas=2, mode="inline")
+        gateway = Gateway(pool, max_batch=4)
+        gateway.submit_many(_traffic(engine, 8))
+        gateway.flush()
+        for stats in gateway.report()["per_replica"].values():
+            assert {"p50_ms", "p95_ms", "p99_ms"} <= set(stats)
+            assert stats["p50_ms"] is not None
+
+
+# ----------------------------------------------------------------------
+# Autoscaler + gateway add/remove replica
+# ----------------------------------------------------------------------
+class TestAutoscaler:
+    def test_scale_up_then_down_drops_nothing(self):
+        engine = _engine()
+        pool = ReplicaPool(engine, n_replicas=1, mode="inline")
+        gateway = Gateway(pool, max_batch=64)
+        scaler = Autoscaler(gateway, max_replicas=2, high_watermark=4,
+                            low_watermark=1)
+        X = _traffic(engine, 10)
+        tickets = gateway.submit_many(X)
+        up = scaler.step()
+        assert up["action"] == "up" and len(pool.replicas) == 2
+        gateway.flush()
+        down = scaler.step()
+        assert down["action"] == "down" and len(pool.replicas) == 1
+        assert scaler.events == [up, down]
+        assert all(t.done and not t.shed for t in tickets)
+        assert [t.prediction for t in tickets] == engine.predict(X).tolist()
+
+    def test_scale_down_drains_queued_tail_work(self):
+        engine = _engine()
+        pool = ReplicaPool(engine, n_replicas=2, mode="inline")
+        gateway = Gateway(pool, max_batch=64)
+        X = _traffic(engine, 5)
+        # Key every request to the tail replica, then remove it: its
+        # queue must be flushed (not dropped) before the pool shrinks.
+        tickets = gateway.submit_many(X, keys=[1] * len(X))
+        served = gateway.remove_replica()
+        assert served == 5
+        assert len(pool.replicas) == 1
+        assert all(t.done and t.replica == 1 for t in tickets)
+        assert [t.prediction for t in tickets] == engine.predict(X).tolist()
+
+    def test_added_replica_is_immediately_routable(self):
+        engine = _engine()
+        pool = ReplicaPool(engine, n_replicas=1, mode="inline")
+        gateway = Gateway(pool, max_batch=4)
+        assert gateway.add_replica() == 1
+        X = _traffic(engine, 2)
+        tickets = gateway.submit_many(X, keys=[0, 1])
+        gateway.flush()
+        assert [t.replica for t in tickets] == [0, 1]
+        assert [t.prediction for t in tickets] == engine.predict(X).tolist()
+
+    def test_cannot_remove_last_replica(self):
+        gateway = Gateway(ReplicaPool(_engine(), n_replicas=1, mode="inline"),
+                          max_batch=4)
+        with pytest.raises(ValueError):
+            gateway.remove_replica()
+
+    def test_cooldown_suppresses_consecutive_actions(self):
+        engine = _engine()
+        pool = ReplicaPool(engine, n_replicas=1, mode="inline")
+        gateway = Gateway(pool, max_batch=64)
+        scaler = Autoscaler(gateway, max_replicas=4, high_watermark=2,
+                            low_watermark=0, cooldown=2)
+        gateway.submit_many(_traffic(engine, 10))
+        assert scaler.step()["action"] == "up"
+        assert scaler.step() is None      # inside the cooldown window
+        assert scaler.step() is None
+        assert scaler.step()["action"] == "up"
+        gateway.flush()
+
+    def test_watermark_validation(self):
+        gateway = Gateway(ReplicaPool(_engine(), n_replicas=1, mode="inline"),
+                          max_batch=4)
+        with pytest.raises(ValueError):
+            Autoscaler(gateway, high_watermark=2, low_watermark=2)
+        with pytest.raises(ValueError):
+            Autoscaler(gateway, min_replicas=3, max_replicas=2)
+
+
+class TestGatewayPoll:
+    def test_poll_collects_ready_without_blocking(self):
+        engine = _engine()
+        pool = ReplicaPool(engine, n_replicas=2, mode="inline")
+        gateway = Gateway(pool, max_batch=2)
+        X = _traffic(engine, 4)
+        tickets = gateway.submit_many(X, keys=[0, 0, 1, 1])
+        # max_batch reached on both replicas: batches dispatched, results
+        # buffered inline — poll resolves them with no flush.
+        assert gateway.poll() == 4
+        assert all(t.done for t in tickets)
+        assert gateway.pending == 0
+
+    def test_poll_leaves_queued_work_alone(self):
+        engine = _engine()
+        gateway = Gateway(ReplicaPool(engine, n_replicas=1, mode="inline"),
+                          max_batch=64)
+        ticket = gateway.submit(_traffic(engine, 1)[0])
+        assert gateway.poll() == 0        # queued, never dispatched
+        assert not ticket.done
+        gateway.flush()
+        assert ticket.done
+
+
+# ----------------------------------------------------------------------
+# Traffic simulator
+# ----------------------------------------------------------------------
+class TestTrafficSimulator:
+    def _report(self, **kwargs):
+        opts = dict(n_replicas=2, duration_s=0.5, rate=400.0,
+                    service_rate=150.0, seed=7)
+        opts.update(kwargs)
+        return simulate_traffic(_engine(), **opts)
+
+    def test_report_is_a_pure_function_of_the_seed(self):
+        assert self._report() == self._report()
+        assert self._report(seed=8) != self._report(seed=7)
+
+    def test_overload_sheds_and_accounts_every_request(self):
+        report = self._report()
+        assert report["offered"] == report["served"] + report["shed"]
+        assert report["shed"] > 0 and 0.0 < report["goodput"] < 1.0
+        assert sum(report["shed_by_reason"].values()) == report["shed"]
+        assert report["burst"]["shed_rate"] > 0.0
+
+    def test_served_requests_meet_the_deadline(self):
+        report = self._report(deadline_ms=100.0)
+        assert report["slo_attainment"] >= 0.95
+        assert report["latency_ms"]["p99"] <= 100.0
+
+    def test_admission_isolates_hot_tenants(self):
+        report = self._report(admit_rate=60.0, admit_burst=8,
+                              hot_key_fraction=0.5, n_tenants=4)
+        tenants = report["fabric"]["tenants"]
+        hot = tenants["t0"]
+        cold = max((t for k, t in tenants.items() if k != "t0"),
+                   key=lambda t: t["shed"])
+        # The hot tenant soaks the rate sheds; colder tenants keep serving.
+        assert hot["shed"] > cold["shed"]
+        assert "rate" in report["shed_by_reason"]
+
+    def test_autoscaler_reacts_to_the_burst(self):
+        report = self._report(
+            deadline_ms=None,
+            autoscale={"max_replicas": 6, "high_watermark": 20,
+                       "low_watermark": 1, "every": 16},
+        )
+        assert report["autoscale_events"]
+        assert any(e["action"] == "up" for e in report["autoscale_events"])
+        assert report["offered"] == report["served"] + report["shed"]
+
+    def test_format_traffic_report_renders_every_section(self):
+        text = format_traffic_report(self._report())
+        for token in ("traffic-sim:", "fleet", "latency", "SLO", "burst",
+                      "shed by"):
+            assert token in text
