@@ -10,8 +10,11 @@ when any gated metric regresses by more than ``--max-regression``
 Gated metrics are *ratios* (vectorized-vs-reference training speedup,
 packed-vs-per-sample serving speedup), which are stable across runner
 hardware generations; absolute rates are reported for the artifact trail
-but never gated.  Refresh the baselines after an intentional perf change
-with::
+but never gated.  Most gates are higher-is-better (``GATES``); metrics
+where an *increase* is the regression — e.g. the AutoML scheduler's
+spent-budget fraction — register in ``GATES_LOWER`` and are checked
+against a ceiling of ``baseline * (1 + max_regression)`` instead.
+Refresh the baselines after an intentional perf change with::
 
     python benchmarks/compare_bench.py --update
 
@@ -61,6 +64,22 @@ GATES = {
         "goodput",
         "slo_attainment",
     ),
+    # Successive-halving scheduler vs the exhaustive grid: the winner's
+    # Pareto score must keep matching the grid winner's (ratio of 1.0).
+    "automl_efficiency.json": (
+        "winner_score_ratio",
+    ),
+}
+
+# filename -> dotted paths of gated LOWER-is-better metrics: the fresh
+# value must stay under ``baseline * (1 + max_regression)``.  A metric
+# must never appear in both GATES and GATES_LOWER.
+GATES_LOWER = {
+    # Fraction of the exhaustive grid's training epochs the scheduler
+    # spends to find its winner; an increase is a search regression.
+    "automl_efficiency.json": (
+        "automl_budget_fraction",
+    ),
 }
 
 # Reported (never gated) context metrics, when present.
@@ -81,7 +100,17 @@ REPORTED = {
         "latency_ms.p99",
         "burst.p99_ms",
     ),
+    "automl_efficiency.json": (
+        "spent_epochs",
+        "grid_epochs",
+        "n_candidates",
+    ),
 }
+
+
+def _gated_files():
+    """Every filename with at least one gated metric, either direction."""
+    return sorted(set(GATES) | set(GATES_LOWER))
 
 
 def lookup(payload, dotted):
@@ -104,7 +133,7 @@ def load(path):
 def update_baselines(baselines, results, out):
     baselines.mkdir(parents=True, exist_ok=True)
     wrote = 0
-    for filename in sorted(GATES):
+    for filename in _gated_files():
         payload = load(results / filename)
         if payload is None:
             print(f"update: {filename}: no fresh result, skipped", file=out)
@@ -120,7 +149,7 @@ def compare(baselines, results, max_regression, out):
     failures = []
     warnings = []
     rows = []
-    for filename in sorted(GATES):
+    for filename in _gated_files():
         base = load(baselines / filename)
         fresh = load(results / filename)
         if base is None and fresh is None:
@@ -137,7 +166,9 @@ def compare(baselines, results, max_regression, out):
                 f"{filename}: no fresh result (bench skipped or not run)"
             )
             continue
-        for metric in GATES[filename]:
+        gated = [(m, "higher") for m in GATES.get(filename, ())]
+        gated += [(m, "lower") for m in GATES_LOWER.get(filename, ())]
+        for metric, direction in gated:
             base_value = lookup(base, metric)
             fresh_value = lookup(fresh, metric)
             if base_value is None and fresh_value is None:
@@ -155,13 +186,21 @@ def compare(baselines, results, max_regression, out):
                     "fresh result"
                 )
                 continue
-            floor = base_value * (1.0 - max_regression)
-            ok = fresh_value >= floor
-            rows.append((filename, metric, base_value, fresh_value, floor, ok))
+            if direction == "lower":
+                # Lower-is-better (e.g. spent training budget): regressing
+                # means growing, so the bound is a ceiling, not a floor.
+                bound = base_value * (1.0 + max_regression)
+                ok = fresh_value <= bound
+                verdict = f"{fresh_value:.2f} > ceiling {bound:.2f}"
+            else:
+                bound = base_value * (1.0 - max_regression)
+                ok = fresh_value >= bound
+                verdict = f"{fresh_value:.2f} < floor {bound:.2f}"
+            rows.append((filename, metric, base_value, fresh_value, bound, ok))
             if not ok:
                 failures.append(
-                    f"{filename}:{metric}: {fresh_value:.2f} < floor {floor:.2f} "
-                    f"(baseline {base_value:.2f}, -{max_regression:.0%} budget)"
+                    f"{filename}:{metric}: {verdict} "
+                    f"(baseline {base_value:.2f}, {max_regression:.0%} budget)"
                 )
         for metric in REPORTED.get(filename, ()):
             value = lookup(fresh, metric)
@@ -171,13 +210,13 @@ def compare(baselines, results, max_regression, out):
     if rows:
         width = max(len(f"{f}:{m}") for f, m, *_ in rows)
         header = "metric".ljust(width)
-        print(f"{header}  baseline     fresh      floor   ", file=out)
-        for filename, metric, base_value, fresh_value, floor, ok in rows:
+        print(f"{header}  baseline     fresh      bound   ", file=out)
+        for filename, metric, base_value, fresh_value, bound, ok in rows:
             status = "ok" if ok else "REGRESSION"
             label = f"{filename}:{metric}".ljust(width)
             print(
                 f"{label}  {base_value:8.2f}  {fresh_value:8.2f}  "
-                f"{floor:8.2f}  {status}",
+                f"{bound:8.2f}  {status}",
                 file=out,
             )
     for warning in warnings:

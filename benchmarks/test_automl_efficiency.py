@@ -1,0 +1,105 @@
+"""AutoML search-efficiency benchmark: successive halving vs the grid.
+
+The exhaustive sweep trains every candidate to the full epoch budget;
+the successive-halving scheduler (``repro.sweep.scheduler``) must find
+the *same* winner while spending at most half of that training budget.
+This bench runs both arms over one deterministic 9-candidate design
+grid (kws6, T x s axes at fixed clause count, so the Pareto ranking is
+driven by the accuracy/latency/LUT trade the scheduler actually
+navigates) and records:
+
+* ``winner_score_ratio`` — scheduler winner accuracy over grid winner
+  accuracy.  Both arms share the deterministic ``evaluate_candidate``
+  worker, so when the scheduler finds the grid winner the ratio is
+  exactly 1.0; gated higher-is-better in ``compare_bench.py``.
+* ``automl_budget_fraction`` — training epochs the scheduler spent over
+  the grid's ``n_candidates * max_budget``.  Gated LOWER-is-better: a
+  change that makes the search spend more must fail the gate.
+
+Everything here is a pure function of the spec (virtual metrics, seeded
+training), so the committed baseline is exact — any drift is a search
+behaviour change, not runner noise.
+"""
+
+from __future__ import annotations
+
+from _harness import save_results
+from repro.flow.flow import FlowConfig
+from repro.sweep import SweepSpec, rank_candidates, run_automl
+from repro.sweep.cache import sweep_key
+from repro.sweep.scheduler import AUTOML_VERSION, evaluate_candidate
+
+MAX_BUDGET_FRACTION = 0.50
+ETA = 3
+MIN_BUDGET = 1
+MAX_BUDGET = 9
+
+
+def bench_spec():
+    """9 candidates over T x s at a fixed clause count (kws6)."""
+    base = FlowConfig(
+        dataset="kws6", n_train=160, n_test=80, epochs=MAX_BUDGET,
+        clauses_per_class=16,
+    )
+    return SweepSpec.from_grid(base, T=[8, 12, 16], s=[3.0, 4.0, 5.0])
+
+
+def exhaustive_grid_winner(spec):
+    """Rank every candidate at the full budget — the grid reference arm."""
+    records = []
+    for cfg in spec:
+        cfg_dict = cfg.to_dict()
+        record = evaluate_candidate({"config": cfg_dict, "budget": MAX_BUDGET})
+        record.pop("state", None)
+        record["key"] = sweep_key({"automl": AUTOML_VERSION, "config": cfg_dict})
+        records.append(record)
+    return rank_candidates(records)[0]
+
+
+def test_scheduler_matches_grid_winner_at_half_budget():
+    spec = bench_spec()
+    result = run_automl(
+        spec, eta=ETA, min_budget=MIN_BUDGET, max_budget=MAX_BUDGET, jobs=1,
+    )
+    grid_winner = exhaustive_grid_winner(spec)
+
+    sched_accuracy = result.winner["metrics"]["accuracy"]
+    grid_accuracy = grid_winner["metrics"]["accuracy"]
+    payload = {
+        "eta": ETA,
+        "budgets": result.budgets,
+        "n_candidates": result.n_candidates,
+        "spent_epochs": result.spent_epochs,
+        "grid_epochs": result.grid_epochs,
+        "automl_budget_fraction": round(result.budget_fraction, 6),
+        "winner_score_ratio": round(sched_accuracy / grid_accuracy, 6),
+        "scheduler_winner": result.winner,
+        "grid_winner": {
+            "key": grid_winner["key"],
+            "config": dict(sorted(grid_winner["config"].items())),
+            "metrics": grid_winner["metrics"],
+        },
+    }
+    save_results("automl_efficiency.json", payload)
+
+    # The scheduler converges on the exact grid winner: same candidate
+    # key, hence byte-identical metrics from the shared worker.
+    assert result.winner["key"] == grid_winner["key"], payload
+    assert sched_accuracy == grid_accuracy
+    assert payload["winner_score_ratio"] == 1.0
+
+    # ...while spending at most half the grid's training epochs.
+    assert result.budget_fraction <= MAX_BUDGET_FRACTION, payload
+    # Successive-halving accounting is exact, not approximate: rung 0
+    # trains all candidates at min_budget; later rungs only the epoch
+    # delta for survivors.
+    assert result.spent_epochs == sum(
+        rung["trained_epochs"] for rung in result.rungs
+    )
+    assert result.grid_epochs == result.n_candidates * MAX_BUDGET
+
+    # The audit report is a pure function of the spec.
+    rerun = run_automl(
+        spec, eta=ETA, min_budget=MIN_BUDGET, max_budget=MAX_BUDGET, jobs=1,
+    )
+    assert rerun.report() == result.report()

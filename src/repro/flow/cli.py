@@ -20,6 +20,9 @@ flow stages as subcommands:
    matador bench-stream --dataset kws6 --json
    matador sweep --dataset kws6 --clauses 8,16,24 --T 10,20 --jobs 4 \\
        --resume --report pareto.json
+   matador automl --dataset kws6 --T 8,12,16 --s 3,4,5 --eta 3 \\
+       --min-budget 1 --max-budget 9 --resume --deploy \\
+       --report automl.json
 
 ``run`` executes train -> analyze -> generate -> implement -> verify and
 optionally writes the deployment bundle; ``emit`` stops after RTL
@@ -42,7 +45,12 @@ train a challenger online and hot-promote it through the registry;
 plus drift-detection delay.  ``sweep`` fans a design-space grid across a
 process pool with a content-addressed result cache (``--resume``
 recovers crashed or repeated sweeps instantly) and emits
-Pareto-annotated JSON/CSV reports.  JSON flow
+Pareto-annotated JSON/CSV reports.  ``automl`` replaces the exhaustive
+grid with a successive-halving budget allocator: every candidate trains
+a few epochs, each rung keeps the Pareto-best ``1/eta`` fraction with an
+``eta``-multiplied budget, rung records resume bit-identically from the
+same cache, and ``--deploy`` ships the winner to a live replica fleet
+through the rolling promoter, emitting the full audit report.  JSON flow
 configs (``--config flow.json``) reproduce runs exactly; the same CLI is
 installed as both ``matador`` and ``repro`` (``python -m repro``).
 """
@@ -251,6 +259,13 @@ def build_parser():
     )
     _add_sweep_args(sweep)
 
+    automl = sub.add_parser(
+        "automl",
+        help="successive-halving search over the grid, optionally "
+             "deploying the winner to a serving fleet",
+    )
+    _add_automl_args(automl)
+
     sub.add_parser("datasets", help="list available datasets")
     sub.add_parser("table2", help="print the Table II model configurations")
     return parser
@@ -326,8 +341,8 @@ def _add_stream_args(cmd):
                      help="print the session report as JSON")
 
 
-def _add_sweep_args(cmd):
-    """Sweep flags: every grid axis takes a comma-separated value list."""
+def _add_grid_args(cmd, cache_default):
+    """Shared grid flags: every axis takes a comma-separated value list."""
     cmd.add_argument("--spec", default=None,
                      help="JSON sweep spec ({'base':..., 'grid':...} or "
                           "{'points': [...]}); grid flags are ignored")
@@ -351,23 +366,53 @@ def _add_sweep_args(cmd):
     cmd.add_argument("--train", type=int, default=300, dest="n_train")
     cmd.add_argument("--test", type=int, default=150, dest="n_test")
     cmd.add_argument("--seed", type=int, default=42)
-    cmd.add_argument("--verify", action="store_true",
-                     help="run auto-debug verification for every point")
     cmd.add_argument("--jobs", type=int, default=1,
                      help="process-pool width (1 = inline)")
-    cmd.add_argument("--cache-dir", default=".matador_sweep",
+    cmd.add_argument("--cache-dir", default=cache_default,
                      help="content-addressed result cache root")
     cmd.add_argument("--no-cache", action="store_true",
                      help="disable the result cache entirely")
     cmd.add_argument("--resume", action="store_true",
-                     help="reuse cached points (re-runs and crashed sweeps "
+                     help="reuse cached records (re-runs and crashed runs "
                           "complete instantly)")
     cmd.add_argument("--report", default=None,
-                     help="write the Pareto JSON report here")
-    cmd.add_argument("--csv", default=None,
-                     help="write the flat per-point CSV here")
+                     help="write the JSON report here")
     cmd.add_argument("--json", action="store_true",
                      help="print the JSON report to stdout")
+
+
+def _add_sweep_args(cmd):
+    _add_grid_args(cmd, cache_default=".matador_sweep")
+    cmd.add_argument("--verify", action="store_true",
+                     help="run auto-debug verification for every point")
+    cmd.add_argument("--csv", default=None,
+                     help="write the flat per-point CSV here")
+
+
+def _add_automl_args(cmd):
+    _add_grid_args(cmd, cache_default=".matador_automl")
+    cmd.add_argument("--eta", type=int, default=3,
+                     help="halving rate: each rung keeps the Pareto-best "
+                          "ceil(n/eta) candidates with eta x the budget")
+    cmd.add_argument("--min-budget", type=int, default=1,
+                     help="first-rung epoch budget")
+    cmd.add_argument("--max-budget", type=int, default=None,
+                     help="final epoch budget (default: --epochs)")
+    cmd.add_argument("--deploy", action="store_true",
+                     help="ship the winner to a replica fleet via the "
+                          "rolling promoter after the search")
+    cmd.add_argument("--replicas", type=int, default=2,
+                     help="deploy fleet width")
+    cmd.add_argument("--replica-mode", default="inline",
+                     choices=("process", "inline"),
+                     help="deploy replica hosting (inline = in-process, "
+                          "deterministic)")
+    cmd.add_argument("--max-batch", type=int, default=32,
+                     help="deploy micro-batch size trigger")
+    cmd.add_argument("--deploy-requests", type=int, default=256,
+                     help="post-promotion requests driven through the fleet")
+    cmd.add_argument("--margin", type=float, default=0.0,
+                     help="required challenger shadow-accuracy edge")
 
 
 def _config_from_args(args):
@@ -809,34 +854,38 @@ def _split_axis(text, convert=str):
     return [convert(part) for part in str(text).split(",") if part != ""]
 
 
+def _spec_from_args(args):
+    from ..sweep import SweepSpec
+
+    if args.spec:
+        return SweepSpec.from_file(args.spec)
+    base = FlowConfig(
+        n_train=args.n_train,
+        n_test=args.n_test,
+        epochs=args.epochs,
+        train_seed=args.seed,
+    )
+    axes = {
+        "dataset": _split_axis(args.dataset),
+        "clauses_per_class": _split_axis(args.clauses, int),
+        "T": _split_axis(args.T, int),
+        "s": _split_axis(args.s, float),
+        "bus_width": _split_axis(args.bus_width, int),
+        "model_family": _split_axis(args.model_family),
+        "backend": _split_axis(args.backend),
+    }
+    if args.clock:
+        axes["clock_mhz"] = _split_axis(args.clock, float)
+    return SweepSpec.from_grid(base=base, **axes)
+
+
 def _cmd_sweep(args, out):
-    from ..sweep import SweepSpec, run_sweep
+    from ..sweep import run_sweep
 
     if args.jobs < 1:
         print("sweep: --jobs must be >= 1", file=out)
         return 2
-    if args.spec:
-        spec = SweepSpec.from_file(args.spec)
-    else:
-        base = FlowConfig(
-            n_train=args.n_train,
-            n_test=args.n_test,
-            epochs=args.epochs,
-            train_seed=args.seed,
-        )
-        axes = {
-            "dataset": _split_axis(args.dataset),
-            "clauses_per_class": _split_axis(args.clauses, int),
-            "T": _split_axis(args.T, int),
-            "s": _split_axis(args.s, float),
-            "bus_width": _split_axis(args.bus_width, int),
-            "model_family": _split_axis(args.model_family),
-            "backend": _split_axis(args.backend),
-        }
-        if args.clock:
-            axes["clock_mhz"] = _split_axis(args.clock, float)
-        spec = SweepSpec.from_grid(base=base, **axes)
-
+    spec = _spec_from_args(args)
     cache_dir = None if args.no_cache else args.cache_dir
     result = run_sweep(
         spec,
@@ -867,6 +916,69 @@ def _cmd_sweep(args, out):
         csv_path.write_text(result.to_csv(), encoding="utf-8")
         print(f"csv: {args.csv}", file=out)
     return 1 if result.errors else 0
+
+
+def _cmd_automl(args, out):
+    from ..sweep import deploy_winner, run_automl
+
+    if args.jobs < 1:
+        print("automl: --jobs must be >= 1", file=out)
+        return 2
+    if args.eta < 2:
+        print("automl: --eta must be >= 2", file=out)
+        return 2
+    if args.min_budget < 1:
+        print("automl: --min-budget must be >= 1", file=out)
+        return 2
+    max_budget = args.max_budget if args.max_budget is not None else args.epochs
+    if max_budget < args.min_budget:
+        print("automl: --max-budget must be >= --min-budget", file=out)
+        return 2
+    spec = _spec_from_args(args)
+
+    def progress(rung, budget, ranked):
+        best = ranked[0]["metrics"].get("accuracy") if ranked else None
+        best_text = f"{best:.4f}" if best is not None else "n/a"
+        print(f"  [rung {rung}] budget={budget} candidates={len(ranked)} "
+              f"best accuracy={best_text}", file=out)
+
+    result = run_automl(
+        spec,
+        eta=args.eta,
+        min_budget=args.min_budget,
+        max_budget=max_budget,
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        resume=args.resume,
+        progress=None if args.json else progress,
+    )
+    deploy_ok = True
+    if args.deploy and result.winner is not None:
+        result.deploy = deploy_winner(
+            result,
+            replicas=args.replicas,
+            mode=args.replica_mode,
+            max_batch=args.max_batch,
+            requests=args.deploy_requests,
+            margin=args.margin,
+        )
+        deploy_ok = result.deploy["promoted"] and result.deploy["shed"] == 0
+
+    if args.json:
+        print(result.to_json(), file=out)
+    else:
+        print(result.summary(), file=out)
+        if result.deploy is not None:
+            d = result.deploy
+            print(f"deployed {d['model']} v{d['new_version']} to "
+                  f"{d['fleet']} replicas (promoted={d['promoted']}, "
+                  f"shed={d['shed']})", file=out)
+    if args.report:
+        report_path = Path(args.report)
+        report_path.parent.mkdir(parents=True, exist_ok=True)
+        report_path.write_text(result.to_json(), encoding="utf-8")
+        print(f"report: {args.report}", file=out)
+    return 0 if (result.winner is not None and deploy_ok) else 1
 
 
 def _cmd_datasets(out):
@@ -909,6 +1021,8 @@ def main(argv=None, out=None):
         return _cmd_bench_stream(args, out)
     if args.command == "sweep":
         return _cmd_sweep(args, out)
+    if args.command == "automl":
+        return _cmd_automl(args, out)
     if args.command == "datasets":
         return _cmd_datasets(out)
     if args.command == "table2":

@@ -171,8 +171,13 @@ class MatadorFlow:
         self._log("load_data", time.perf_counter() - t0)
         return self.result.dataset
 
-    def _build_machine(self, ds):
-        """Instantiate the configured model family for a dataset."""
+    def build_machine(self, ds):
+        """Instantiate the configured model family for a dataset.
+
+        Public so external trainers (the successive-halving scheduler's
+        epoch-at-a-time ``partial_fit`` loop) can construct the exact
+        machine :meth:`train` would, without running the full flow.
+        """
         cfg = self.config
         common = dict(
             n_clauses=cfg.clauses_per_class,
@@ -221,7 +226,7 @@ class MatadorFlow:
                 )
             self.result.model = model
         else:
-            tm = self._build_machine(ds)
+            tm = self.build_machine(ds)
             tm.fit(ds.X_train, ds.y_train, epochs=cfg.epochs)
             self.result.machine = tm
             if hasattr(tm, "export_model"):

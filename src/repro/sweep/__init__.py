@@ -6,6 +6,11 @@ process pool, cache every result content-addressed on disk so re-runs and
 crashed sweeps resume instantly, and aggregate multi-objective Pareto
 frontiers (accuracy / latency / LUTs / power) into JSON and CSV reports
 that CI can gate on.
+
+On top of the exhaustive runner sits :mod:`repro.sweep.scheduler` — a
+successive-halving AutoML budget allocator (:func:`run_automl`) that
+reaches the grid winner at a fraction of the grid's training cost and
+ships it to a live serving fleet (:func:`deploy_winner`).
 """
 
 from .cache import CACHE_VERSION, SweepCache, sweep_key
@@ -23,8 +28,17 @@ from .result import (
 # loaded lazily (PEP 562) to keep the package import-cycle free.
 _LAZY = {
     "evaluate_flow_config": "run",
+    "flatten_metrics": "run",
     "run_sweep": "run",
     "SweepSpec": "spec",
+    "AUTOML_OBJECTIVES": "scheduler",
+    "AutoMLResult": "scheduler",
+    "deploy_winner": "scheduler",
+    "evaluate_candidate": "scheduler",
+    "rank_candidates": "scheduler",
+    "run_automl": "scheduler",
+    "rung_budgets": "scheduler",
+    "train_candidate": "scheduler",
 }
 
 
@@ -51,6 +65,15 @@ __all__ = [
     "SweepPoint",
     "SweepResult",
     "evaluate_flow_config",
+    "flatten_metrics",
     "run_sweep",
     "SweepSpec",
+    "AUTOML_OBJECTIVES",
+    "AutoMLResult",
+    "deploy_winner",
+    "evaluate_candidate",
+    "rank_candidates",
+    "run_automl",
+    "rung_budgets",
+    "train_candidate",
 ]

@@ -137,9 +137,7 @@ class SweepResult:
         }
 
     def to_json(self, objectives=None):
-        return json.dumps(
-            self.report(objectives), indent=1, sort_keys=True
-        )
+        return json.dumps(self.report(objectives), indent=1, sort_keys=True)
 
     def to_csv(self):
         """Flat CSV: key, config fields, metrics, error (sorted by key).
@@ -148,9 +146,7 @@ class SweepResult:
         name with a measured metric (``clock_mhz``: target vs achieved)
         stay distinguishable.
         """
-        config_fields = sorted(
-            {name for p in self.points for name in p.config}
-        )
+        config_fields = sorted({name for p in self.points for name in p.config})
         columns = [
             "key",
             *(f"config.{name}" for name in config_fields),
@@ -195,16 +191,11 @@ class SweepResult:
                 row["pareto"] = "ERROR"
             rows.append(row)
         columns.append("pareto")
-        widths = {
-            c: max(len(str(c)), *(len(str(r[c])) for r in rows))
-            for c in columns
-        }
+        widths = {c: max(len(str(c)), *(len(str(r[c])) for r in rows)) for c in columns}
         header = "  ".join(str(c).ljust(widths[c]) for c in columns)
         lines = [header, "-" * len(header)]
         for r in rows:
-            lines.append(
-                "  ".join(str(r[c]).ljust(widths[c]) for c in columns)
-            )
+            lines.append("  ".join(str(r[c]).ljust(widths[c]) for c in columns))
         return "\n".join(lines)
 
     def summary(self):

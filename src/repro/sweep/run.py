@@ -11,6 +11,11 @@ and reports render those as ``n/a`` rather than dropping the point.
 ``parallel_map`` fan-out over the misses, then cache writes.  Failed
 points are recorded but never cached, so a resumed sweep retries exactly
 the work that did not finish.
+
+``flatten_metrics`` is the one place a :class:`~repro.flow.flow.FlowResult`
+becomes the fixed ``METRIC_FIELDS`` record — the successive-halving
+scheduler (:mod:`repro.sweep.scheduler`) reuses it so rung records and
+exhaustive-sweep records can never disagree on a metric's definition.
 """
 
 from __future__ import annotations
@@ -22,11 +27,44 @@ from .cache import SweepCache, sweep_key
 from .executor import parallel_map
 from .result import METRIC_FIELDS, SweepPoint, SweepResult
 
-__all__ = ["evaluate_flow_config", "run_sweep"]
+__all__ = ["evaluate_flow_config", "flatten_metrics", "run_sweep"]
 
 
 def _empty_metrics():
     return {name: None for name in METRIC_FIELDS}
+
+
+def flatten_metrics(result):
+    """Flatten a :class:`~repro.flow.flow.FlowResult` into ``METRIC_FIELDS``.
+
+    Stages that did not run leave their metrics ``None`` (rendered as
+    ``n/a`` downstream); every value is rounded/cast to a JSON-native
+    type so cached records are bit-stable across runs.
+    """
+    metrics = _empty_metrics()
+    if result.accuracy is not None:
+        metrics["accuracy"] = round(float(result.accuracy), 6)
+    machine = result.machine
+    if machine is not None and hasattr(machine, "team"):
+        metrics["include_count"] = int(machine.team.include_count())
+    design = result.design
+    impl = result.implementation
+    if design is not None and impl is not None:
+        lat = design.latency
+        clock = impl.clock_mhz
+        metrics["n_packets"] = int(design.n_packets)
+        metrics["initiation_interval"] = int(lat.initiation_interval)
+        metrics["latency_us"] = round(lat.latency_us(clock), 6)
+        metrics["throughput_inf_per_s"] = int(lat.throughput_inf_per_s(clock))
+        metrics["clock_mhz"] = round(float(clock), 3)
+        metrics["luts"] = int(impl.resources.luts)
+        metrics["registers"] = int(impl.resources.registers)
+        metrics["bram"] = float(impl.resources.bram36)
+        metrics["total_power_w"] = round(float(impl.power.total_w), 6)
+        metrics["dynamic_power_w"] = round(float(impl.power.dynamic_w), 6)
+    if result.verification is not None:
+        metrics["verified"] = bool(result.verification.passed)
+    return metrics
 
 
 def evaluate_flow_config(payload):
@@ -37,41 +75,16 @@ def evaluate_flow_config(payload):
         "metrics": _empty_metrics(),
         "error": None,
     }
-    metrics = record["metrics"]
     try:
         flow = MatadorFlow(config)
         result = flow.run(verify=payload.get("verify", False))
-        if result.accuracy is not None:
-            metrics["accuracy"] = round(float(result.accuracy), 6)
-        machine = result.machine
-        if machine is not None and hasattr(machine, "team"):
-            metrics["include_count"] = int(machine.team.include_count())
-        design = result.design
-        impl = result.implementation
-        if design is not None and impl is not None:
-            lat = design.latency
-            clock = impl.clock_mhz
-            metrics["n_packets"] = int(design.n_packets)
-            metrics["initiation_interval"] = int(lat.initiation_interval)
-            metrics["latency_us"] = round(lat.latency_us(clock), 6)
-            metrics["throughput_inf_per_s"] = int(
-                lat.throughput_inf_per_s(clock)
-            )
-            metrics["clock_mhz"] = round(float(clock), 3)
-            metrics["luts"] = int(impl.resources.luts)
-            metrics["registers"] = int(impl.resources.registers)
-            metrics["bram"] = float(impl.resources.bram36)
-            metrics["total_power_w"] = round(float(impl.power.total_w), 6)
-            metrics["dynamic_power_w"] = round(float(impl.power.dynamic_w), 6)
-        if result.verification is not None:
-            metrics["verified"] = bool(result.verification.passed)
+        record["metrics"] = flatten_metrics(result)
     except Exception as exc:  # noqa: BLE001 - one bad point must not kill the sweep
         record["error"] = f"{type(exc).__name__}: {exc}"
     return record
 
 
-def run_sweep(spec, jobs=1, cache_dir=None, resume=True, verify=False,
-              progress=None):
+def run_sweep(spec, jobs=1, cache_dir=None, resume=True, verify=False, progress=None):
     """Evaluate every point of ``spec``; returns a :class:`SweepResult`.
 
     Parameters
@@ -106,9 +119,7 @@ def run_sweep(spec, jobs=1, cache_dir=None, resume=True, verify=False,
         if progress is not None:
             progress(done, len(configs), point)
 
-    payloads = [
-        {"config": cfg.to_dict(), "verify": bool(verify)} for cfg in configs
-    ]
+    payloads = [{"config": cfg.to_dict(), "verify": bool(verify)} for cfg in configs]
     keys = [sweep_key(payload) for payload in payloads]
 
     points = [None] * len(configs)
@@ -142,6 +153,4 @@ def run_sweep(spec, jobs=1, cache_dir=None, resume=True, verify=False,
             cache.put(keys[i], record)
         record_point(points[i])
 
-    return SweepResult(
-        points=points, jobs=jobs, elapsed_s=time.perf_counter() - t0
-    )
+    return SweepResult(points=points, jobs=jobs, elapsed_s=time.perf_counter() - t0)

@@ -1,0 +1,260 @@
+"""Tests for the successive-halving AutoML scheduler (repro.sweep.scheduler).
+
+The properties pinned here are the scheduler's contract:
+
+* rung budget ladders and Pareto-layered ranking are deterministic;
+* warm continuation from a rung snapshot is bit-identical to a cold
+  replay from epoch 0 (what makes cached rung records trustworthy);
+* the audit report is identical across worker counts and across
+  cache-resumed re-runs;
+* the search -> deploy handoff promotes the winner onto a replica fleet
+  with zero dropped requests.
+"""
+
+import io
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.flow import FlowConfig
+from repro.flow.cli import main as cli_main
+from repro.sweep import (
+    AUTOML_OBJECTIVES,
+    SweepSpec,
+    deploy_winner,
+    rank_candidates,
+    run_automl,
+    rung_budgets,
+    train_candidate,
+)
+from repro.sweep.scheduler import _snapshot
+
+
+def tiny_base(**overrides):
+    base = dict(
+        dataset="kws6", n_train=100, n_test=50, clauses_per_class=8,
+        epochs=4, T=8, s=4.0,
+    )
+    base.update(overrides)
+    return FlowConfig(**base)
+
+
+def tiny_spec():
+    return SweepSpec.from_grid(tiny_base(), T=[8, 12], s=[3.0, 4.0])
+
+
+# ----------------------------------------------------------------------
+class TestRungBudgets:
+    def test_ladder_multiplies_by_eta_and_clips(self):
+        assert rung_budgets(1, 9, 3) == [1, 3, 9]
+        assert rung_budgets(1, 8, 2) == [1, 2, 4, 8]
+        assert rung_budgets(2, 9, 3) == [2, 6, 9]
+        assert rung_budgets(5, 5, 2) == [5]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            rung_budgets(0, 4, 2)
+        with pytest.raises(ValueError):
+            rung_budgets(4, 2, 2)
+        with pytest.raises(ValueError):
+            rung_budgets(1, 4, 1)
+
+
+# ----------------------------------------------------------------------
+def record(key, accuracy=None, latency=None, luts=None, error=None):
+    return {
+        "key": key,
+        "config": {},
+        "error": error,
+        "metrics": {"accuracy": accuracy, "latency_us": latency, "luts": luts},
+    }
+
+
+class TestRankCandidates:
+    def test_front_zero_first_then_dominated_layers(self):
+        best = record("a", accuracy=0.9, latency=2.0, luts=100)
+        small = record("b", accuracy=0.5, latency=1.0, luts=50)
+        dominated = record("c", accuracy=0.4, latency=2.0, luts=120)
+        ranked = rank_candidates([dominated, small, best])
+        # best and small are mutually non-dominated (front 0, accuracy
+        # breaks the tie); dominated sits in the next layer.
+        assert [r["key"] for r in ranked] == ["a", "b", "c"]
+
+    def test_incomplete_metrics_rank_after_complete(self):
+        complete = record("a", accuracy=0.2, latency=9.0, luts=900)
+        software_only = record("b", accuracy=0.95)  # no hardware metrics
+        ranked = rank_candidates([software_only, complete])
+        assert [r["key"] for r in ranked] == ["a", "b"]
+
+    def test_errors_rank_last_sorted_by_key(self):
+        ok = record("z", accuracy=0.1, latency=1.0, luts=10)
+        bad2 = record("b", error="ValueError: boom")
+        bad1 = record("a", error="ValueError: boom")
+        ranked = rank_candidates([bad2, ok, bad1])
+        assert [r["key"] for r in ranked] == ["z", "a", "b"]
+
+    def test_deterministic_under_input_permutation(self):
+        records = [
+            record("a", accuracy=0.9, latency=2.0, luts=100),
+            record("b", accuracy=0.9, latency=2.0, luts=90),
+            record("c", accuracy=0.7, latency=1.0, luts=50),
+            record("d", accuracy=0.6, latency=3.0, luts=200),
+        ]
+        ranked = rank_candidates(records)
+        ranked_rev = rank_candidates(list(reversed(records)))
+        assert [r["key"] for r in ranked] == [r["key"] for r in ranked_rev]
+
+
+# ----------------------------------------------------------------------
+class TestWarmColdEquivalence:
+    def test_warm_resume_is_bit_identical_to_cold_replay(self):
+        config = tiny_base()
+        _, machine2 = train_candidate(config, 2)
+        snap = _snapshot(machine2)
+        assert snap is not None
+        flow_warm, warm = train_candidate(config, 4, state=snap, start_epoch=2)
+        flow_cold, cold = train_candidate(config, 4)
+        assert np.array_equal(warm.team.state, cold.team.state)
+        assert flow_warm.result.accuracy == flow_cold.result.accuracy
+
+    def test_restore_refreshes_inference_caches(self):
+        # A restored machine must evaluate like the original immediately
+        # (inference reads the backend's packed caches, not team.state).
+        config = tiny_base()
+        flow, machine = train_candidate(config, 3)
+        snap = _snapshot(machine)
+        flow_restored, _ = train_candidate(config, 3, state=snap, start_epoch=3)
+        assert flow_restored.result.accuracy == flow.result.accuracy
+
+
+# ----------------------------------------------------------------------
+class TestSchedulerDeterminism:
+    def test_report_identical_across_jobs(self):
+        spec = tiny_spec()
+        r1 = run_automl(spec, eta=2, min_budget=1, max_budget=4, jobs=1)
+        r4 = run_automl(spec, eta=2, min_budget=1, max_budget=4, jobs=4)
+        assert r1.report() == r4.report()
+        assert r1.winner["key"] == r4.winner["key"]
+
+    def test_cache_resume_mid_rung_is_bit_identical(self, tmp_path):
+        spec = tiny_spec()
+        cache_a = tmp_path / "a"
+        full = run_automl(
+            spec, eta=2, min_budget=1, max_budget=4, jobs=1,
+            cache_dir=str(cache_a),
+        )
+        # Simulate a crash mid-run: drop every other cached rung record,
+        # then resume into the surviving cache.
+        files = sorted(p for p in cache_a.rglob("*") if p.is_file())
+        assert files, "scheduler must populate the rung cache"
+        for path in files[::2]:
+            os.remove(path)
+        resumed = run_automl(
+            spec, eta=2, min_budget=1, max_budget=4, jobs=1,
+            cache_dir=str(cache_a),
+        )
+        assert resumed.report() == full.report()
+        assert resumed.to_json() == full.to_json()
+
+    def test_budget_accounting(self):
+        spec = tiny_spec()
+        result = run_automl(spec, eta=2, min_budget=1, max_budget=4, jobs=1)
+        assert result.budgets == [1, 2, 4]
+        # 4 candidates x 1 epoch, 2 survivors x 1 epoch, 1 survivor x 2.
+        assert result.spent_epochs == 4 + 2 + 2
+        assert result.grid_epochs == 4 * 4
+        assert result.budget_fraction == pytest.approx(0.5)
+        assert result.spent_epochs == sum(
+            rung["trained_epochs"] for rung in result.rungs
+        )
+
+    def test_eliminations_cover_non_survivors(self):
+        result = run_automl(tiny_spec(), eta=2, min_budget=1, max_budget=4)
+        eliminated = {e["key"] for e in result.eliminations}
+        assert result.winner["key"] not in eliminated
+        all_keys = {c["key"] for c in result.rungs[0]["candidates"]}
+        assert eliminated == all_keys - {result.winner["key"]}
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError):
+            run_automl(SweepSpec(points=[]))
+
+
+# ----------------------------------------------------------------------
+class TestDeployWinner:
+    def test_winner_promoted_to_fleet_with_zero_drops(self):
+        result = run_automl(tiny_spec(), eta=2, min_budget=1, max_budget=4)
+        report = deploy_winner(result, replicas=2, mode="inline", requests=64)
+        assert report["promoted"] is True
+        assert report["shed"] == 0
+        assert report["fleet_versions"] == [2, 2]
+        assert report["new_version"] == 2
+        # The roll touched every replica exactly once.
+        assert [e["replica"] for e in report["roll"]] == [0, 1]
+        assert all(e["version"] == 2 for e in report["roll"])
+        assert report["challenger_accuracy"] >= report["champion_accuracy"]
+        # The deploy record embeds into the deterministic audit report.
+        result.deploy = report
+        assert json.loads(result.to_json())["deploy"]["promoted"] is True
+
+    def test_no_winner_raises(self):
+        result = run_automl(tiny_spec(), eta=2, min_budget=1, max_budget=4)
+        result.winner = None
+        with pytest.raises(ValueError):
+            deploy_winner(result)
+
+
+# ----------------------------------------------------------------------
+class TestAutomlCli:
+    ARGS = [
+        "automl", "--dataset", "kws6", "--clauses", "8", "--T", "8,12",
+        "--s", "3,4", "--train", "100", "--test", "50", "--epochs", "4",
+        "--eta", "2", "--min-budget", "1", "--no-cache",
+    ]
+
+    def test_json_report_on_stdout(self):
+        out = io.StringIO()
+        code = cli_main(self.ARGS + ["--json"], out=out)
+        assert code == 0
+        report = json.loads(out.getvalue())
+        assert report["schema"] == "repro.sweep.automl/1"
+        assert report["winner"] is not None
+        assert report["budget"]["fraction"] <= 0.5
+        assert report["deploy"] is None
+
+    def test_deploy_and_report_file(self, tmp_path):
+        report_path = tmp_path / "automl.json"
+        out = io.StringIO()
+        code = cli_main(
+            self.ARGS + ["--deploy", "--replicas", "2",
+                         "--deploy-requests", "64",
+                         "--report", str(report_path)],
+            out=out,
+        )
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["deploy"]["promoted"] is True
+        assert report["deploy"]["shed"] == 0
+
+    def test_bad_arguments_exit_2(self):
+        out = io.StringIO()
+        assert cli_main(self.ARGS + ["--eta", "1"], out=out) == 2
+        assert cli_main(self.ARGS + ["--jobs", "0"], out=out) == 2
+        assert cli_main(self.ARGS + ["--min-budget", "0"], out=out) == 2
+        assert cli_main(
+            self.ARGS + ["--min-budget", "9", "--max-budget", "2"], out=out
+        ) == 2
+
+    def test_resume_uses_cache(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        args = self.ARGS[:-1] + [  # drop --no-cache
+            "--cache-dir", str(cache_dir), "--resume", "--json",
+        ]
+        first = io.StringIO()
+        assert cli_main(args, out=first) == 0
+        second = io.StringIO()
+        assert cli_main(args, out=second) == 0
+        assert json.loads(first.getvalue()) == json.loads(second.getvalue())
+        assert any(p.is_file() for p in cache_dir.rglob("*"))

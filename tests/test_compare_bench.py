@@ -11,8 +11,16 @@ compare_bench = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(compare_bench)
 
 
-def write_payloads(root, cold=3.0, steady=18.0, serve=10.0, online=2.0):
+def write_payloads(root, cold=3.0, steady=18.0, serve=10.0, online=2.0,
+                   automl_fraction=0.26, winner_ratio=1.0):
     root.mkdir(parents=True, exist_ok=True)
+    (root / "automl_efficiency.json").write_text(json.dumps({
+        "winner_score_ratio": winner_ratio,
+        "automl_budget_fraction": automl_fraction,
+        "spent_epochs": 21,
+        "grid_epochs": 81,
+        "n_candidates": 9,
+    }))
     (root / "train_throughput.json").write_text(json.dumps({
         "cold_speedup": cold,
         "steady_speedup": steady,
@@ -150,6 +158,56 @@ class TestGate:
         code, _ = run_gate(tmp_path, ["--max-regression", "1.5"])
         assert code == 2
 
+    def test_lower_is_better_increase_fails(self, tmp_path):
+        # automl_budget_fraction growing past the ceiling is a search
+        # regression even though the value "went up".
+        write_payloads(tmp_path / "base", automl_fraction=0.26)
+        write_payloads(tmp_path / "fresh", automl_fraction=0.40)  # +54%
+        code, text = run_gate(tmp_path, [
+            "--baselines", str(tmp_path / "base"),
+            "--results", str(tmp_path / "fresh"),
+        ])
+        assert code == 1
+        assert "automl_budget_fraction" in text and "ceiling" in text
+
+    def test_lower_is_better_decrease_passes(self, tmp_path):
+        # Spending *less* budget is an improvement, never a regression —
+        # the exact asymmetry a higher-is-better floor would get wrong.
+        write_payloads(tmp_path / "base", automl_fraction=0.26)
+        write_payloads(tmp_path / "fresh", automl_fraction=0.10)  # -62%
+        code, text = run_gate(tmp_path, [
+            "--baselines", str(tmp_path / "base"),
+            "--results", str(tmp_path / "fresh"),
+        ])
+        assert code == 0
+        assert "REGRESSION" not in text
+
+    def test_lower_is_better_small_increase_within_budget_passes(self, tmp_path):
+        write_payloads(tmp_path / "base", automl_fraction=0.26)
+        write_payloads(tmp_path / "fresh", automl_fraction=0.30)  # +15%
+        code, _ = run_gate(tmp_path, [
+            "--baselines", str(tmp_path / "base"),
+            "--results", str(tmp_path / "fresh"),
+        ])
+        assert code == 0
+
+    def test_winner_ratio_drop_fails(self, tmp_path):
+        # The same file carries a higher-is-better gate too: the
+        # scheduler falling away from the grid winner must fail.
+        write_payloads(tmp_path / "base", winner_ratio=1.0)
+        write_payloads(tmp_path / "fresh", winner_ratio=0.5)
+        code, text = run_gate(tmp_path, [
+            "--baselines", str(tmp_path / "base"),
+            "--results", str(tmp_path / "fresh"),
+        ])
+        assert code == 1
+        assert "winner_score_ratio" in text
+
+    def test_no_metric_gated_in_both_directions(self):
+        for filename, metrics in compare_bench.GATES_LOWER.items():
+            overlap = set(metrics) & set(compare_bench.GATES.get(filename, ()))
+            assert not overlap, (filename, overlap)
+
     def test_update_writes_baselines(self, tmp_path):
         write_payloads(tmp_path / "fresh")
         code, text = run_gate(tmp_path, [
@@ -178,5 +236,18 @@ class TestCommittedBaselines:
                 if filename == "traffic_sim.json":
                     # goodput / slo_attainment are fractions, not speedups.
                     assert 0.0 < value <= 1.0, (filename, metric, value)
+                elif filename == "automl_efficiency.json":
+                    # winner_score_ratio is scheduler-vs-grid accuracy;
+                    # 1.0 exactly means the grid winner was found.
+                    assert value == 1.0, (filename, metric, value)
                 else:
                     assert value > 1.0, (filename, metric, value)
+
+    def test_lower_is_better_baselines_are_fractions(self):
+        baselines = _SCRIPT.parent / "baselines"
+        for filename, metrics in compare_bench.GATES_LOWER.items():
+            payload = json.loads((baselines / filename).read_text())
+            for metric in metrics:
+                value = compare_bench.lookup(payload, metric)
+                assert isinstance(value, (int, float)), (filename, metric)
+                assert 0.0 < value < 1.0, (filename, metric, value)
