@@ -22,7 +22,9 @@ flow stages as subcommands:
        --resume --report pareto.json
    matador automl --dataset kws6 --T 8,12,16 --s 3,4,5 --eta 3 \\
        --min-budget 1 --max-budget 9 --resume --deploy \\
-       --report automl.json
+       --report automl.json --metrics-json automl-metrics.json
+   matador obs --snapshot m1.json m2.json
+   matador obs --prom metrics.json --traces spans.jsonl
 
 ``run`` executes train -> analyze -> generate -> implement -> verify and
 optionally writes the deployment bundle; ``emit`` stops after RTL
@@ -53,6 +55,14 @@ same cache, and ``--deploy`` ships the winner to a live replica fleet
 through the rolling promoter, emitting the full audit report.  JSON flow
 configs (``--config flow.json``) reproduce runs exactly; the same CLI is
 installed as both ``matador`` and ``repro`` (``python -m repro``).
+
+Observability rides along everywhere: ``serve``, ``bench-fabric`` and
+``automl`` accept ``--metrics-json PATH`` to scope the process metrics
+registry (:mod:`repro.obs`) to the run and write its merged snapshot —
+for a process-replica fabric that includes the worker-side engine
+timings — and ``serve --trace-jsonl PATH`` records finished request
+spans.  ``obs`` merges and renders those artifacts offline
+(``--snapshot``/``--prom``/``--traces``).
 """
 
 from __future__ import annotations
@@ -61,6 +71,7 @@ import argparse
 import json
 import sys
 import time
+from contextlib import contextmanager
 from pathlib import Path
 
 import numpy as np
@@ -128,6 +139,17 @@ def build_parser():
                        help="per-tenant admission burst tokens")
     serve.add_argument("--quota", type=int, default=None,
                        help="per-tenant lifetime request quota")
+    serve.add_argument("--tenants", default=None,
+                       help="comma-separated tenant names cycled across "
+                            "requests (admission + per-tenant metrics)")
+    serve.add_argument("--klass", default=None,
+                       help="priority class label attached to every request")
+    serve.add_argument("--metrics-json", default=None, dest="metrics_json",
+                       help="write the run's merged metrics snapshot "
+                            "(gateway + replica workers) to this path")
+    serve.add_argument("--trace-jsonl", default=None, dest="trace_jsonl",
+                       help="write finished request spans to this JSONL "
+                            "path (fabric mode: --replicas >= 2)")
     serve.add_argument("--json", action="store_true",
                        help="print machine-readable serving stats")
 
@@ -203,6 +225,10 @@ def build_parser():
                                    "replicas (0 = autoscaling off)")
     bench_fabric.add_argument("--sim-seed", type=int, default=0,
                               help="traffic-sim: arrival/key/payload seed")
+    bench_fabric.add_argument("--metrics-json", default=None,
+                              dest="metrics_json",
+                              help="write the run's metrics snapshot to "
+                                   "this path")
 
     bench_train = sub.add_parser(
         "bench-train",
@@ -265,6 +291,21 @@ def build_parser():
              "deploying the winner to a serving fleet",
     )
     _add_automl_args(automl)
+
+    obs = sub.add_parser(
+        "obs",
+        help="merge and render observability artifacts (metric "
+             "snapshots, span sinks)",
+    )
+    obs.add_argument("--snapshot", nargs="+", default=None, metavar="JSON",
+                     help="merge these metric snapshot files and print "
+                          "the canonical JSON snapshot")
+    obs.add_argument("--prom", nargs="+", default=None, metavar="JSON",
+                     help="merge these metric snapshot files and print "
+                          "Prometheus text exposition")
+    obs.add_argument("--traces", default=None, metavar="JSONL",
+                     help="summarize a span JSONL sink: per-span-name "
+                          "count, errors and latency")
 
     sub.add_parser("datasets", help="list available datasets")
     sub.add_parser("table2", help="print the Table II model configurations")
@@ -413,6 +454,8 @@ def _add_automl_args(cmd):
                      help="post-promotion requests driven through the fleet")
     cmd.add_argument("--margin", type=float, default=0.0,
                      help="required challenger shadow-accuracy edge")
+    cmd.add_argument("--metrics-json", default=None, dest="metrics_json",
+                     help="write the run's metrics snapshot to this path")
 
 
 def _config_from_args(args):
@@ -483,6 +526,33 @@ def _cmd_emit(args, out):
     return 0
 
 
+@contextmanager
+def _metrics_capture(path, out):
+    """Scope the process metrics registry to one CLI run.
+
+    Without a ``path`` this is a no-op (instrumented layers keep writing
+    into whatever registry is installed).  With one, a fresh registry is
+    installed for the duration — so the snapshot written on exit covers
+    exactly this run — and the previous registry is restored after.
+    """
+    if not path:
+        yield None
+        return
+    from ..obs import MetricsRegistry, get_registry, set_registry
+
+    previous = get_registry()
+    registry = MetricsRegistry()
+    set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+        snap_path = Path(path)
+        snap_path.parent.mkdir(parents=True, exist_ok=True)
+        snap_path.write_text(registry.to_json() + "\n", encoding="utf-8")
+        print(f"metrics: {path}", file=out)
+
+
 def _cmd_serve(args, out):
     from ..serving import Batcher, DifferentialChecker, Registry
 
@@ -517,10 +587,22 @@ def _cmd_serve(args, out):
     n = args.requests
     X = ds.X_test[np.arange(n) % len(ds.X_test)]
     y = ds.y_test[np.arange(n) % len(ds.y_test)]
+    tenants = None
+    if args.tenants:
+        names = [name for name in args.tenants.split(",") if name]
+        tenants = [names[i % len(names)] for i in range(n)]
 
     if args.replicas > 1:
         from ..serving import SLO, AdmissionController, Gateway, ReplicaPool
 
+        tracer = sink = None
+        if args.trace_jsonl:
+            from ..obs import JsonlSpanSink, Tracer
+
+            trace_path = Path(args.trace_jsonl)
+            trace_path.parent.mkdir(parents=True, exist_ok=True)
+            sink = JsonlSpanSink(trace_path)
+            tracer = Tracer(sink=sink)
         admission = None
         if args.admit_rate is not None or args.quota is not None:
             admission = AdmissionController(
@@ -541,18 +623,30 @@ def _cmd_serve(args, out):
                 admission=admission,
                 slo=slo,
                 observers=[checker] if checker is not None else (),
+                tracer=tracer,
             )
             t0 = time.perf_counter()
-            tickets = gateway.submit_many(X)
+            tickets = gateway.submit_many(X, tenants=tenants,
+                                          klass=args.klass)
             gateway.flush()
             elapsed = time.perf_counter() - t0
+            if args.metrics_json:
+                # Fold the worker-side registries (engine batch timings)
+                # into the run snapshot while the workers are still up.
+                gateway.pool.collect_metrics()
             fabric_report = gateway.report()
+        if sink is not None:
+            sink.close()
+            print(f"traces: {args.trace_jsonl}", file=out)
         answered = [(t, lbl) for t, lbl in zip(tickets, y) if not t.shed]
         n_shed = len(tickets) - len(answered)
         correct = sum(t.result() == int(lbl) for t, lbl in answered)
         served_detail = fabric_report
         n_batches = gateway.stats.n_batches
     else:
+        if args.trace_jsonl or tenants is not None or args.klass:
+            print("serve: --trace-jsonl/--tenants/--klass need the "
+                  "fabric path (--replicas >= 2); ignored", file=out)
         batcher = Batcher(
             engine,
             max_batch=args.max_batch,
@@ -981,6 +1075,56 @@ def _cmd_automl(args, out):
     return 0 if (result.winner is not None and deploy_ok) else 1
 
 
+def _load_snapshots(paths):
+    snaps = []
+    for path in paths:
+        with open(path, encoding="utf-8") as f:
+            snaps.append(json.load(f))
+    return snaps
+
+
+def _cmd_obs(args, out):
+    from ..obs import MetricsRegistry, merge_snapshots
+
+    if not (args.snapshot or args.prom or args.traces):
+        print("obs: nothing to render (pass --snapshot, --prom and/or "
+              "--traces)", file=out)
+        return 2
+    if args.snapshot:
+        merged = merge_snapshots(*_load_snapshots(args.snapshot))
+        print(json.dumps(merged, indent=2, sort_keys=True), file=out)
+    if args.prom:
+        registry = MetricsRegistry()
+        registry.merge_snapshot(merge_snapshots(*_load_snapshots(args.prom)))
+        print(registry.to_prometheus(), file=out, end="")
+    if args.traces:
+        by_name = {}
+        with open(args.traces, encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                span = json.loads(line)
+                entry = by_name.setdefault(
+                    span.get("name", "?"),
+                    {"count": 0, "errors": 0, "total_s": 0.0, "max_s": 0.0},
+                )
+                entry["count"] += 1
+                if span.get("status") not in ("ok", None):
+                    entry["errors"] += 1
+                duration = float(span.get("duration_s") or 0.0)
+                entry["total_s"] += duration
+                entry["max_s"] = max(entry["max_s"], duration)
+        for name in sorted(by_name):
+            entry = by_name[name]
+            mean_ms = 1e3 * entry["total_s"] / entry["count"]
+            print(f"{name:24s} {entry['count']:6d} spans  "
+                  f"{entry['errors']:4d} errors  "
+                  f"mean {mean_ms:8.3f} ms  "
+                  f"max {1e3 * entry['max_s']:8.3f} ms", file=out)
+    return 0
+
+
 def _cmd_datasets(out):
     for name in sorted(DATASET_REGISTRY):
         print(name, file=out)
@@ -1008,11 +1152,13 @@ def main(argv=None, out=None):
     if args.command == "emit":
         return _cmd_emit(args, out)
     if args.command == "serve":
-        return _cmd_serve(args, out)
+        with _metrics_capture(args.metrics_json, out):
+            return _cmd_serve(args, out)
     if args.command == "bench-serve":
         return _cmd_bench_serve(args, out)
     if args.command == "bench-fabric":
-        return _cmd_bench_fabric(args, out)
+        with _metrics_capture(args.metrics_json, out):
+            return _cmd_bench_fabric(args, out)
     if args.command == "bench-train":
         return _cmd_bench_train(args, out)
     if args.command == "stream":
@@ -1022,7 +1168,10 @@ def main(argv=None, out=None):
     if args.command == "sweep":
         return _cmd_sweep(args, out)
     if args.command == "automl":
-        return _cmd_automl(args, out)
+        with _metrics_capture(args.metrics_json, out):
+            return _cmd_automl(args, out)
+    if args.command == "obs":
+        return _cmd_obs(args, out)
     if args.command == "datasets":
         return _cmd_datasets(out)
     if args.command == "table2":

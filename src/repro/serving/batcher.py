@@ -35,6 +35,8 @@ import time
 
 import numpy as np
 
+from repro.obs import get_registry
+
 __all__ = ["Batcher", "Ticket", "BatcherStats"]
 
 
@@ -182,6 +184,10 @@ class Batcher:
         predictions)``.  Observer exceptions are isolated (recorded on
         ``stats.observer_errors``) unless the observer sets
         ``propagate_errors = True``.
+    metrics:
+        The :class:`~repro.obs.MetricsRegistry` flush counters and the
+        batch-size histogram are recorded into (defaults to the process
+        registry).
 
     >>> import numpy as np
     >>> from repro.model import TMModel
@@ -201,7 +207,7 @@ class Batcher:
     """
 
     def __init__(self, engine, max_batch=64, max_delay=0.002,
-                 clock=time.monotonic, observers=()):
+                 clock=time.monotonic, observers=(), metrics=None):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_delay is not None and max_delay < 0:
@@ -215,6 +221,14 @@ class Batcher:
         self._queue = []   # (sample, ticket)
         self._oldest = None  # clock() of the oldest queued request
         self.stats = BatcherStats()
+        self.metrics = metrics if metrics is not None else get_registry()
+        self._m_batch_size = self.metrics.histogram("batcher_batch_size",
+                                                    min_value=1.0)
+        self._m_flushes = {
+            reason: self.metrics.counter("batcher_flushes_total",
+                                         reason=reason)
+            for reason in ("size", "deadline", "forced")
+        }
 
     # ------------------------------------------------------------------
     @property
@@ -283,6 +297,8 @@ class Batcher:
         st.n_batches += 1
         st.n_samples += len(queue)
         setattr(st, f"{reason}_flushes", getattr(st, f"{reason}_flushes") + 1)
+        self._m_flushes[reason].inc()
+        self._m_batch_size.record(len(queue))
         batch_id = st.n_batches
         for i, (_, ticket) in enumerate(queue):
             ticket.done = True

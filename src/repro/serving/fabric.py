@@ -55,6 +55,18 @@ Determinism: routing, dispatch points, and per-replica batch contents
 are pure functions of the submit sequence (inline mode adds nothing
 else), which is what lets the rolling-promotion e2e test assert exact
 version transitions and a zero drop count.
+
+Observability (:mod:`repro.obs`): the gateway counts requests, sheds,
+failovers, batches, and latency into a :class:`~repro.obs.MetricsRegistry`
+(the process default unless one is injected), and an optional
+:class:`~repro.obs.Tracer` follows each request across the layers —
+``gateway.request`` -> ``replica.dispatch`` -> ``engine.predict`` —
+with the trace context propagated to worker processes over *both* the
+shared-memory slot-ring and the pickle-fallback transports (the worker
+ships its finished engine span back beside the result).  Worker
+processes keep their own registry of engine-side counters, returned
+with every ``ping`` and mergeable into the parent's registry via
+:meth:`ReplicaPool.collect_metrics`.
 """
 
 from __future__ import annotations
@@ -66,6 +78,8 @@ import uuid
 from collections import deque
 
 import numpy as np
+
+from repro.obs import MetricsRegistry, get_registry
 
 from .batcher import notify_observers
 from .fabric_qos import LatencyHistogram
@@ -131,10 +145,10 @@ class _ShmRing:
     ``[X uint8 (max_rows, n_features) | preds int64 (max_rows) |
     sums int32 (max_rows, n_classes)]`` with the ``preds`` block starting
     at the next 8-byte boundary.  The parent writes a batch into a free
-    slot and sends only ``("predict_shm", req_id, slot, n_rows)`` down
-    the pipe; the worker computes over a view of the same pages and
-    writes the results back in place — no request or response payload is
-    ever pickled.
+    slot and sends only ``("predict_shm", req_id, slot, n_rows, ctx)``
+    down the pipe (``ctx`` is the trace context or ``None``); the worker
+    computes over a view of the same pages and writes the results back
+    in place — no request or response payload is ever pickled.
 
     The ring is parent-owned: the worker attaches by name (and drops the
     segments from its own resource tracker so only the parent unlinks),
@@ -279,14 +293,45 @@ def _host_loop(conn, engine, shm_spec=None):
     With ``shm_spec`` the worker attaches the parent's slot ring and
     additionally serves ``predict_shm`` messages: the batch is read from
     the slot's pages and the results written back in place, so only a
-    4-tuple of ints crosses the pipe.  The first message sent is then a
+    few ints cross the pipe.  The first message sent is then a
     ``("shm", ok)`` handshake — a failed attach degrades the replica to
     the pickle transport instead of poisoning it.
+
+    Observability: every ``predict``/``predict_shm`` message carries the
+    parent's trace context (or ``None``); the worker times the engine
+    call and ships a finished ``engine.predict`` span record back in
+    the result tuple, so one ``trace_id`` covers the request across the
+    process boundary on either transport.  The worker also keeps its
+    own :class:`~repro.obs.MetricsRegistry` of engine-side counters and
+    returns a snapshot with every ``pong`` — the parent merges those
+    into its registry (cross-process snapshot merge).
     """
     served_batches = 0
     served_samples = 0
     ring_views = None
     ring_segments = []
+    pid = os.getpid()
+    span_seq = 0
+    metrics = MetricsRegistry()
+    h_batch = metrics.histogram("engine_batch_seconds")
+
+    def _span(ctx, t0, t1, n_rows, transport):
+        nonlocal span_seq
+        if ctx is None:
+            return None
+        span_seq += 1
+        return {
+            "name": "engine.predict",
+            "trace_id": ctx["trace_id"],
+            "span_id": f"w{pid}.{span_seq}",
+            "parent_id": ctx["span_id"],
+            "start_s": t0,
+            "end_s": t1,
+            "duration_s": max(0.0, t1 - t0),
+            "status": "ok",
+            "attrs": {"n_rows": int(n_rows), "transport": transport,
+                      "pid": pid, "version": engine.version},
+        }
     if shm_spec is not None:
         attached = _attach_ring(shm_spec)
         if attached is not None:
@@ -301,28 +346,44 @@ def _host_loop(conn, engine, shm_spec=None):
         kind = msg[0]
         try:
             if kind == "predict":
-                _, req_id, X = msg
+                _, req_id, X, ctx = msg
+                t0 = time.perf_counter()
                 preds, sums = engine.predict_with_sums(X)
+                t1 = time.perf_counter()
                 served_batches += 1
                 served_samples += len(X)
-                conn.send(("result", req_id, preds, sums, engine.version))
+                metrics.counter("engine_batches_total",
+                                transport="pickle").inc()
+                metrics.counter("engine_samples_total",
+                                transport="pickle").inc(len(X))
+                h_batch.record(t1 - t0)
+                conn.send(("result", req_id, preds, sums, engine.version,
+                           _span(ctx, t0, t1, len(X), "pickle")))
             elif kind == "predict_shm":
-                _, req_id, slot, n_rows = msg
+                _, req_id, slot, n_rows, ctx = msg
                 Xv, predv, sumv = ring_views[slot]
+                t0 = time.perf_counter()
                 preds, sums = engine.predict_with_sums(Xv[:n_rows])
+                t1 = time.perf_counter()
                 served_batches += 1
                 served_samples += n_rows
+                metrics.counter("engine_batches_total",
+                                transport="shm").inc()
+                metrics.counter("engine_samples_total",
+                                transport="shm").inc(int(n_rows))
+                h_batch.record(t1 - t0)
+                span = _span(ctx, t0, t1, n_rows, "shm")
                 if sums.shape == (n_rows, sumv.shape[1]):
                     predv[:n_rows] = preds
                     sumv[:n_rows] = sums
                     conn.send(("result_shm", req_id, slot, n_rows,
-                               engine.version))
+                               engine.version, span))
                 else:
                     # A swap changed the snapshot geometry under an
                     # in-flight ring: answer over the pickle path (the
                     # parent releases the slot off its pending entry).
                     conn.send(("result", req_id, preds, sums,
-                               engine.version))
+                               engine.version, span))
             elif kind == "swap":
                 engine = msg[1]  # all prior predicts answered by the old one
                 conn.send(("swapped", engine.version))
@@ -331,6 +392,7 @@ def _host_loop(conn, engine, shm_spec=None):
                     "version": engine.version,
                     "batches": served_batches,
                     "samples": served_samples,
+                    "metrics": metrics.snapshot(),
                 }))
             elif kind == "stop":
                 conn.send(("stopped", served_samples))
@@ -368,6 +430,7 @@ class _ReplicaBase:
         self.busy_s = 0.0        # summed dispatch->collect wall time
         self.max_latency_s = 0.0
         self.latency = LatencyHistogram()   # per-batch dispatch->collect
+        self.tracer = None       # set by a Gateway constructed with one
 
     def _account(self, n_samples, latency_s):
         self.n_batches += 1
@@ -424,11 +487,19 @@ class InlineReplica(_ReplicaBase):
         """Whether :meth:`collect` would return without blocking."""
         return bool(self._results)
 
-    def dispatch(self, req_id, X):
+    def dispatch(self, req_id, X, trace_ctx=None):
+        span = None
+        if self.tracer is not None and trace_ctx is not None:
+            span = self.tracer.start_span(
+                "engine.predict", parent=trace_ctx, replica=self.index,
+                transport="inline", n_rows=len(X))
         t0 = time.perf_counter()
         preds, sums = self.engine.predict_with_sums(X)
         latency = time.perf_counter() - t0
         self._account(len(X), latency)
+        if span is not None:
+            span.set_attrs(version=self.engine.version)
+            span.end()
         self._results.append((req_id, preds, sums, self.engine.version))
 
     def collect(self):
@@ -548,15 +619,17 @@ class ProcessReplica(_ReplicaBase):
         except (OSError, ValueError):  # pragma: no cover - racing close
             return False
 
-    def dispatch(self, req_id, X):
+    def dispatch(self, req_id, X, trace_ctx=None):
         slot = self._ring.acquire(len(X)) if self._shm_ok else None
         try:
             if slot is not None:
                 self._ring.write(slot, X)
-                self._conn.send(("predict_shm", req_id, slot, len(X)))
+                self._conn.send(("predict_shm", req_id, slot, len(X),
+                                 trace_ctx))
             else:
                 self._conn.send(("predict", req_id,
-                                 np.ascontiguousarray(X, dtype=np.uint8)))
+                                 np.ascontiguousarray(X, dtype=np.uint8),
+                                 trace_ctx))
         except (OSError, ValueError, BrokenPipeError) as exc:
             if slot is not None:
                 self._ring.release(slot)
@@ -572,10 +645,12 @@ class ProcessReplica(_ReplicaBase):
         else:
             msg = self._recv("result")
         if msg[0] == "result_shm":
-            _, req_id, slot_in, n_rows, version = msg
+            _, req_id, slot_in, n_rows, version, span = msg
             preds, sums = self._ring.read_result(slot_in, n_rows)
         else:
-            _, req_id, preds, sums, version = msg
+            _, req_id, preds, sums, version, span = msg
+        if span is not None and self.tracer is not None:
+            self.tracer.ingest(span)
         sent_id, t0, n, slot = self._pending.popleft()
         if slot is not None:
             # Freed off the dispatch record, not the reply kind: a
@@ -822,6 +897,42 @@ class ReplicaPool:
                 report[replica.index] = dict(info, healthy=True)
         return report
 
+    def collect_metrics(self, registry=None):
+        """Merge worker-process metric snapshots into ``registry``.
+
+        Process replicas keep their own engine-side
+        :class:`~repro.obs.MetricsRegistry`; each healthy one is pinged
+        and its snapshot merged into ``registry`` (default: the process
+        default registry).  Returns the number of snapshots merged —
+        inline replicas run in this process and contribute zero.
+
+        >>> import numpy as np
+        >>> from repro.model import TMModel
+        >>> from repro.serving import InferenceEngine, ReplicaPool
+        >>> include = np.zeros((2, 1, 4), dtype=bool)
+        >>> include[0, 0, 0] = True; include[1, 0, 2] = True
+        >>> model = TMModel(include=include, n_features=2,
+        ...                 weights=[[1], [1]])
+        >>> engine = InferenceEngine.from_model(model, version=1)
+        >>> with ReplicaPool(engine, n_replicas=2, mode="inline") as pool:
+        ...     pool.collect_metrics()
+        0
+        """
+        registry = registry if registry is not None else get_registry()
+        merged = 0
+        for replica in self.replicas:
+            if not replica.healthy:
+                continue
+            try:
+                info = replica.ping()
+            except ReplicaError:
+                continue
+            snap = info.get("metrics") if isinstance(info, dict) else None
+            if snap:
+                registry.merge_snapshot(snap)
+                merged += 1
+        return merged
+
     def swap_all(self, engine):
         """Swap every healthy replica to ``engine`` (non-rolling).
 
@@ -889,7 +1000,7 @@ class FabricTicket:
 
     __slots__ = ("_gateway", "done", "prediction", "class_sums", "replica",
                  "version", "tenant", "submit_t", "latency_s", "shed",
-                 "shed_reason")
+                 "shed_reason", "span")
 
     def __init__(self, gateway, tenant=None):
         self._gateway = gateway
@@ -903,6 +1014,7 @@ class FabricTicket:
         self.latency_s = None
         self.shed = False
         self.shed_reason = None
+        self.span = None    # open gateway.request span when tracing
 
     def result(self):
         """The predicted class; forces a fabric flush if still pending.
@@ -957,13 +1069,14 @@ class FabricStats:
 class _Inflight:
     """One dispatched batch awaiting its result."""
 
-    __slots__ = ("X", "tickets", "replica_index", "seq")
+    __slots__ = ("X", "tickets", "replica_index", "seq", "span")
 
-    def __init__(self, X, tickets, replica_index, seq):
+    def __init__(self, X, tickets, replica_index, seq, span=None):
         self.X = X
         self.tickets = tickets
         self.replica_index = replica_index
         self.seq = seq
+        self.span = span    # open replica.dispatch span when tracing
 
 
 class Gateway:
@@ -1006,6 +1119,18 @@ class Gateway:
         ``obs(X, class_sums, predictions)`` hooks run in the parent over
         every *collected* batch, with the same error isolation as
         :class:`~repro.serving.Batcher` observers.
+    metrics:
+        The :class:`~repro.obs.MetricsRegistry` the gateway counts into
+        (requests, sheds, failovers, batch sizes, per-replica queue
+        depth, request latency).  Defaults to the process registry
+        (:func:`repro.obs.get_registry`); inject one for isolation.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`.  When set, every accepted
+        request opens a ``gateway.request`` span, each dispatched batch
+        a ``replica.dispatch`` child, and the engine call an
+        ``engine.predict`` grandchild — across process boundaries on
+        both transports.  ``None`` (default) disables tracing with zero
+        per-request overhead.
 
     >>> import numpy as np
     >>> from repro.model import TMModel
@@ -1026,12 +1151,17 @@ class Gateway:
 
     def __init__(self, pool, max_batch=None, max_queue=4096, overflow="wait",
                  max_delay=None, clock=time.monotonic, admission=None,
-                 slo=None, observers=()):
+                 slo=None, observers=(), metrics=None, tracer=None):
         if overflow not in ("wait", "error", "shed"):
             raise ValueError(f"unknown overflow policy {overflow!r}")
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
         self.pool = pool
+        self.metrics = metrics if metrics is not None else get_registry()
+        self.tracer = tracer
+        if tracer is not None:
+            for replica in pool.replicas:
+                replica.tracer = tracer
         self.max_batch = int(max_batch if max_batch is not None
                              else pool.max_batch)
         if self.max_batch < 1:
@@ -1053,6 +1183,47 @@ class Gateway:
         self._next_req = 0
         self._seq = 0
         self._pending_count = 0
+        # Instrument handles are resolved once (and cached per label set
+        # below) so the submit hot path never rebuilds a registry key.
+        m = self.metrics
+        self._m_pending = m.gauge("fabric_pending_requests")
+        self._m_latency = m.histogram("fabric_request_latency_seconds")
+        self._m_batch_size = m.histogram("fabric_batch_size", min_value=1.0)
+        self._m_batches = m.counter("fabric_batches_total")
+        self._m_failovers = m.counter("fabric_failovers_total")
+        self._m_rerouted = m.counter("fabric_rerouted_batches_total")
+        self._m_requests = {}   # (tenant, klass) -> Counter
+        self._m_sheds = {}      # (reason, tenant) -> Counter
+        self._m_depth = {}      # replica index -> Gauge
+
+    def _request_counter(self, tenant, klass):
+        key = (tenant, klass)
+        counter = self._m_requests.get(key)
+        if counter is None:
+            counter = self.metrics.counter(
+                "fabric_requests_total",
+                tenant=tenant if tenant is not None else "-",
+                klass=klass if klass is not None else "-")
+            self._m_requests[key] = counter
+        return counter
+
+    def _shed_counter(self, reason, tenant):
+        key = (reason, tenant)
+        counter = self._m_sheds.get(key)
+        if counter is None:
+            counter = self.metrics.counter(
+                "fabric_shed_total", reason=reason,
+                tenant=tenant if tenant is not None else "-")
+            self._m_sheds[key] = counter
+        return counter
+
+    def _depth_gauge(self, idx):
+        gauge = self._m_depth.get(idx)
+        if gauge is None:
+            gauge = self.metrics.gauge("fabric_replica_queue_depth",
+                                       replica=idx)
+            self._m_depth[idx] = gauge
+        return gauge
 
     # ------------------------------------------------------------------
     @property
@@ -1121,6 +1292,11 @@ class Gateway:
         self.stats.shed += 1
         self.stats.shed_by_reason[reason] = (
             self.stats.shed_by_reason.get(reason, 0) + 1)
+        self._shed_counter(reason, tenant).inc()
+        if self.tracer is not None:
+            span = self.tracer.start_span("gateway.request", tenant=tenant,
+                                          shed_reason=reason)
+            span.end(status="shed")
         ticket = FabricTicket(self, tenant=tenant)
         ticket.done = True
         ticket.shed = True
@@ -1187,11 +1363,17 @@ class Gateway:
                     self._dispatch_queue(qidx)
         ticket = FabricTicket(self, tenant=tenant)
         ticket.submit_t = now
+        if self.tracer is not None:
+            ticket.span = self.tracer.start_span(
+                "gateway.request", tenant=tenant, klass=klass)
         self._queues[idx].append((x, ticket))
         self._pending_count += 1
         if self._queue_oldest[idx] is None:
             self._queue_oldest[idx] = now
         self.stats.n_requests += 1
+        self._request_counter(tenant, klass).inc()
+        self._m_pending.set(self._pending_count)
+        self._depth_gauge(idx).set(len(self._queues[idx]))
         if len(self._queues[idx]) >= self.max_batch:
             self._dispatch_queue(idx)
         return ticket
@@ -1219,6 +1401,7 @@ class Gateway:
             if replica.healthy:
                 if off:
                     self.stats.failovers += 1
+                    self._m_failovers.inc()
                 return replica.index
         raise ReplicaError("no healthy replicas in the pool")
 
@@ -1228,6 +1411,7 @@ class Gateway:
             return
         self._queues[idx] = []
         self._queue_oldest[idx] = None
+        self._depth_gauge(idx).set(0)
         X = np.stack([x for x, _ in queue])
         tickets = [t for _, t in queue]
         self._dispatch_batch(X, tickets, preferred=idx)
@@ -1240,18 +1424,30 @@ class Gateway:
             if not replica.healthy:
                 continue
             req_id = self._seq + 1
+            span = None
+            if self.tracer is not None:
+                span = self.tracer.start_span(
+                    "replica.dispatch", parent=tickets[0].span,
+                    replica=replica.index, n_rows=len(tickets),
+                    transport=getattr(replica, "transport", replica.kind))
             try:
-                replica.dispatch(req_id, X)
+                replica.dispatch(req_id, X,
+                                 span.context() if span is not None else None)
             except ReplicaError:
+                if span is not None:
+                    span.set_attrs(error="dispatch failed")
+                    span.end(status="error")
                 continue  # replica marked itself unhealthy; probe on
             if off:
                 # Dispatch-time failover (the routed replica died after
                 # submit): counted in request units, same as _route.
                 self.stats.failovers += len(tickets)
+                self._m_failovers.inc(len(tickets))
             self._seq = req_id
             self._inflight[req_id] = _Inflight(X, tickets, replica.index,
-                                               req_id)
+                                               req_id, span)
             self._order[replica.index].append(req_id)
+            self._m_batch_size.record(len(tickets))
             return
         raise ReplicaError(
             f"no healthy replica available for a batch of {len(tickets)}"
@@ -1275,6 +1471,9 @@ class Gateway:
 
     def _resolve(self, entry, preds, sums, replica_index, version):
         now = self._clock()
+        if entry.span is not None:
+            entry.span.set_attrs(version=version)
+            entry.span.end()
         for i, ticket in enumerate(entry.tickets):
             ticket.done = True
             ticket.prediction = int(preds[i])
@@ -1284,9 +1483,15 @@ class Gateway:
             if ticket.submit_t is not None:
                 ticket.latency_s = max(0.0, now - ticket.submit_t)
                 self.stats.latency.record(ticket.latency_s)
+                self._m_latency.record(ticket.latency_s)
+            if ticket.span is not None:
+                ticket.span.set_attrs(replica=replica_index, version=version)
+                ticket.span.end()
         self.stats.n_batches += 1
         self.stats.n_samples += len(entry.tickets)
         self._pending_count -= len(entry.tickets)
+        self._m_batches.inc()
+        self._m_pending.set(self._pending_count)
         notify_observers(self.observers, entry.X, sums, preds,
                          self.stats, self.observer_errors)
 
@@ -1297,6 +1502,13 @@ class Gateway:
         order.clear()
         for entry in entries:
             self.stats.rerouted_batches += 1
+            self._m_rerouted.inc()
+            if entry.span is not None:
+                # The dispatch to the dead replica still closes — with
+                # an error status — before the re-dispatch opens a new
+                # span on the failover target.
+                entry.span.set_attrs(error=f"replica {replica.index} died")
+                entry.span.end(status="error")
             self._dispatch_batch(entry.X, entry.tickets,
                                  preferred=replica.index + 1)
 
@@ -1371,6 +1583,8 @@ class Gateway:
         with the pool.
         """
         index = self.pool.add_replica()
+        if self.tracer is not None:
+            self.pool.replicas[index].tracer = self.tracer
         self._queues.append([])
         self._queue_oldest.append(None)
         self._order.append(deque())

@@ -33,7 +33,7 @@ the hot path — which keeps the admission check O(1) per request.
 
 from __future__ import annotations
 
-from bisect import bisect_left
+from repro.obs import Histogram
 
 __all__ = [
     "AdmissionController",
@@ -160,14 +160,17 @@ class AdmissionController:
         }
 
 
-class LatencyHistogram:
+class LatencyHistogram(Histogram):
     """Streaming log-bucketed latency histogram with interpolated quantiles.
 
-    Fixed geometry: bucket upper edges grow by ``2**0.25`` (~19%) per
-    bucket from ``min_latency_s``, spanning ~1 µs to ~100 s in 112
-    buckets — so p50/p95/p99 come from O(1) memory with bounded ~10%
-    relative error, and two histograms with the same geometry merge by
-    adding counts (per-replica -> fleet aggregation).
+    A latency-flavoured :class:`repro.obs.Histogram` (the log-bucketed
+    core now lives there): bucket upper edges grow by ``2**0.25``
+    (~19%) per bucket from ``min_latency_s``, spanning ~1 µs to ~100 s
+    in 112 buckets — so p50/p95/p99 come from O(1) memory with bounded
+    ~10% relative error, and two histograms with the same geometry
+    merge by adding counts (per-replica -> fleet aggregation).  The
+    only difference from the base class is reporting: :meth:`summary`
+    speaks milliseconds.
 
     >>> hist = LatencyHistogram()
     >>> for ms in [1, 2, 3, 4, 100]:
@@ -183,59 +186,21 @@ class LatencyHistogram:
     ['count', 'max_ms', 'mean_ms', 'p50_ms', 'p95_ms', 'p99_ms']
     """
 
-    GROWTH = 2 ** 0.25
-    N_BUCKETS = 112
-
-    __slots__ = ("edges", "counts", "count", "total_s", "max_s")
+    __slots__ = ()
 
     def __init__(self, min_latency_s=1e-6):
-        self.edges = [min_latency_s * self.GROWTH ** i
-                      for i in range(self.N_BUCKETS)]
-        self.counts = [0] * (self.N_BUCKETS + 1)  # +1: overflow bucket
-        self.count = 0
-        self.total_s = 0.0
-        self.max_s = 0.0
+        super().__init__(min_value=min_latency_s)
 
-    def record(self, latency_s):
-        """Fold one latency observation (seconds) into the histogram."""
-        latency_s = max(0.0, float(latency_s))
-        self.counts[bisect_left(self.edges, latency_s)] += 1
-        self.count += 1
-        self.total_s += latency_s
-        if latency_s > self.max_s:
-            self.max_s = latency_s
+    # Seconds-suffixed aliases kept for the pre-relocation callers.
+    @property
+    def total_s(self):
+        """Sum of recorded latencies in seconds (alias of ``total``)."""
+        return self.total
 
-    def merge(self, other):
-        """Add ``other``'s observations into this histogram (same geometry)."""
-        if other.edges[0] != self.edges[0]:
-            raise ValueError("histogram geometries differ; cannot merge")
-        for i, c in enumerate(other.counts):
-            self.counts[i] += c
-        self.count += other.count
-        self.total_s += other.total_s
-        self.max_s = max(self.max_s, other.max_s)
-        return self
-
-    def quantile(self, q):
-        """Latency at quantile ``q`` in [0, 1], or ``None`` when empty.
-
-        Linear interpolation inside the covering bucket, clamped to the
-        exact observed maximum (so ``quantile(1.0)`` is exact).
-        """
-        if self.count == 0:
-            return None
-        target = q * self.count
-        cum = 0
-        for i, c in enumerate(self.counts):
-            if c == 0:
-                continue
-            if cum + c >= target:
-                hi = self.edges[i] if i < self.N_BUCKETS else self.max_s
-                lo = 0.0 if i == 0 else self.edges[i - 1]
-                frac = max(0.0, min(1.0, (target - cum) / c))
-                return min(self.max_s, lo + frac * (hi - lo))
-            cum += c
-        return self.max_s
+    @property
+    def max_s(self):
+        """Exact maximum recorded latency in seconds (alias of ``max_value``)."""
+        return self.max_value
 
     def summary(self):
         """JSON-able ``{count, mean_ms, p50_ms, p95_ms, p99_ms, max_ms}``."""

@@ -109,12 +109,25 @@ class SimReplica(InlineReplica):
         self._free_at = 0.0
         self._ready_at = deque()    # finish time per buffered result, FIFO
 
-    def dispatch(self, req_id, X):
+    def dispatch(self, req_id, X, trace_ctx=None):
         preds, sums = self.engine.predict_with_sums(X)
         now = self._sim_clock()
         done = max(self._free_at, now) + len(X) / self.service_rate
         self._free_at = done
         self._account(len(X), done - now)
+        if self.tracer is not None and trace_ctx is not None:
+            # The engine span covers the *modelled* busy interval in
+            # virtual time (start when the server frees up, end at the
+            # batch's finish time), so traced simulations stay a pure
+            # function of the seed.
+            span = self.tracer.start_span(
+                "engine.predict", parent=trace_ctx, replica=self.index,
+                transport="sim", n_rows=len(X),
+                version=self.engine.version)
+            span.start_s = done - len(X) / self.service_rate
+            span.end_s = done
+            span.status = "ok"
+            self.tracer.ingest(span.to_dict())
         self._results.append((req_id, preds, sums, self.engine.version))
         self._ready_at.append(done)
 

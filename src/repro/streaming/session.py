@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import get_registry
 from ..serving.batcher import Batcher
 from ..serving.registry import Registry
 from .drift import DriftDetector
@@ -78,6 +79,11 @@ class StreamSession:
         Required challenger edge, passed to the Promoter.
     seed:
         Base seed for the champion/challenger factory calls.
+    metrics:
+        The :class:`~repro.obs.MetricsRegistry` lifecycle counters
+        (``stream_detections_total``, ``stream_promotions_total``, ...)
+        and the ``stream_live_version`` gauge are recorded into
+        (defaults to the process registry).
 
     >>> from repro.data import load_dataset  # doctest: +SKIP
     >>> from repro.streaming import DriftStream, ReplayStream, StreamSession
@@ -94,7 +100,7 @@ class StreamSession:
     def __init__(self, stream, machine_factory, warmup=200, registry=None,
                  detector=None, name="stream", max_batch=32, label_delay=1,
                  adapt_window=300, eval_window=200, promote_margin=0.0,
-                 seed=42):
+                 seed=42, metrics=None):
         if warmup < 1:
             raise ValueError("warmup must be >= 1")
         self.stream = stream
@@ -134,6 +140,13 @@ class StreamSession:
         self._requests = 0
         self._served = 0
         self._unresolved = 0
+        self.metrics = metrics if metrics is not None else get_registry()
+        self._m_events = {
+            event: self.metrics.counter(f"stream_{event}_total")
+            for event in ("detections", "promotions", "rejections",
+                          "rollbacks")
+        }
+        self._m_live_version = self.metrics.gauge("stream_live_version")
 
     # ------------------------------------------------------------------
     def run(self):
@@ -172,7 +185,8 @@ class StreamSession:
         self._warmup_samples = n
         engine = self.registry.publish(self.name, self.champion)
         self.batcher = Batcher(engine, max_batch=self.max_batch,
-                               max_delay=None)
+                               max_delay=None, metrics=self.metrics)
+        self._m_live_version.set(engine.version)
         self.promoter = Promoter(self.registry, self.name,
                                  batcher=self.batcher,
                                  margin=self.promote_margin)
@@ -221,6 +235,7 @@ class StreamSession:
                 "sample_index": int(self._correct_idx[-1]),
                 "restarted_challenger": self._challenger is not None,
             })
+            self._m_events["detections"].inc()
             self._spawn_challenger()
 
     def _spawn_challenger(self):
@@ -242,8 +257,11 @@ class StreamSession:
         if record["promoted"]:
             self.champion = self._challenger
             self.report_events["promotions"].append(record)
+            self._m_events["promotions"].inc()
+            self._m_live_version.set(self.batcher.engine.version)
         else:
             self.report_events["rejections"].append(record)
+            self._m_events["rejections"].inc()
         self._challenger = None
         self._challenger_phase = None
         self._challenger_samples = 0
@@ -257,6 +275,8 @@ class StreamSession:
         """Reverse the last promotion (delegates to the Promoter)."""
         record = self.promoter.rollback()
         self.report_events["rollbacks"].append(record)
+        self._m_events["rollbacks"].inc()
+        self._m_live_version.set(self.batcher.engine.version)
         return record
 
     # ------------------------------------------------------------------

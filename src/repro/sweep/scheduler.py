@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..flow.flow import FlowConfig, MatadorFlow
+from ..obs import get_registry
 from .cache import SweepCache, sweep_key
 from .executor import parallel_map
 from .pareto import dominates, objective_values
@@ -350,6 +351,7 @@ def run_automl(
     cache_dir=None,
     resume=True,
     progress=None,
+    metrics=None,
 ):
     """Successive-halving search over ``spec``; returns an :class:`AutoMLResult`.
 
@@ -376,6 +378,10 @@ def run_automl(
     progress:
         Optional callback ``progress(rung_index, budget, ranked)`` after
         each rung is ranked.
+    metrics:
+        The :class:`~repro.obs.MetricsRegistry` rung/evaluation/
+        promotion counters and the ``automl_spent_epochs`` gauge are
+        recorded into (defaults to the process registry).
     """
     t0 = time.perf_counter()
     configs = list(spec)
@@ -388,6 +394,15 @@ def run_automl(
     budgets = rung_budgets(min_budget, max_budget, eta)
     eta = int(eta)
     cache = SweepCache(cache_dir) if cache_dir else None
+    obs = metrics if metrics is not None else get_registry()
+    m_rungs = obs.counter("automl_rungs_total")
+    m_evals = {
+        cached: obs.counter("automl_evaluations_total", cached=cached)
+        for cached in ("true", "false")
+    }
+    m_promotions = obs.counter("automl_promotions_total")
+    m_eliminations = obs.counter("automl_eliminations_total")
+    m_spent = obs.gauge("automl_spent_epochs")
 
     cfg_dicts = [cfg.to_dict() for cfg in configs]
     candidate_keys = [
@@ -451,6 +466,12 @@ def run_automl(
         # Budget accounting is algorithmic (warm-path epoch deltas), so
         # the audit report is identical whether or not the cache hit.
         spent_epochs += (budget - prev_budget) * len(survivors)
+        m_rungs.inc()
+        if len(survivors) - len(pending):
+            m_evals["true"].inc(len(survivors) - len(pending))
+        if pending:
+            m_evals["false"].inc(len(pending))
+        m_spent.set(spent_epochs)
 
         ranked = rank_candidates([records[i] for i in survivors], objectives)
         keep = 1 if last_rung else max(1, math.ceil(len(survivors) / eta))
@@ -476,7 +497,10 @@ def run_automl(
             }
         )
         for entry in entries:
-            if not entry["promoted"]:
+            if entry["promoted"]:
+                m_promotions.inc()
+            else:
+                m_eliminations.inc()
                 eliminations.append(
                     {
                         "rung": rung_index,

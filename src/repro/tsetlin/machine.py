@@ -19,8 +19,11 @@ match the generated accelerator exactly.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from ..obs import get_registry
 from .automata import AutomataTeam
 from .backend import make_backend
 from .booleanize import literals_from_features
@@ -241,16 +244,28 @@ class TsetlinMachine(InferenceMixin):
             raise ValueError("labels out of range for n_classes")
         L_all = literals_from_features(X)
 
+        # Instruments resolved once, outside the epoch loop: the hot
+        # path only pays one histogram record per epoch.
+        backend_name = type(self.backend).__name__
+        registry = get_registry()
+        m_epoch_s = registry.histogram("train_epoch_seconds",
+                                       backend=backend_name)
+        m_epochs = registry.counter("train_epochs_total",
+                                    backend=backend_name)
+
         self.backend.begin_fit(L_all)
         try:
             y_list = y.tolist()  # plain ints: no per-update numpy scalar
             order = np.arange(len(X))
             for epoch in range(epochs):
+                t_epoch = time.perf_counter()
                 if shuffle:
                     perm = np.argsort(self.rng.random((len(X),)))
                     order = order[perm]
                 for idx in order.tolist():
                     self._update_one(L_all[idx], y_list[idx], lit_index=idx)
+                m_epoch_s.record(time.perf_counter() - t_epoch)
+                m_epochs.inc()
                 if not track_metrics:
                     continue
                 train_acc = self.evaluate(X, y)

@@ -20,7 +20,7 @@ import pkgutil
 
 import pytest
 
-DOCTESTED_PACKAGES = ("repro.serving", "repro.streaming")
+DOCTESTED_PACKAGES = ("repro.obs", "repro.serving", "repro.streaming")
 
 
 def _modules():
