@@ -1,4 +1,4 @@
-"""Synthetic evaluation datasets and loaders."""
+"""Synthetic evaluation datasets, the typed registry and transforms."""
 
 from .datasets import (
     Dataset,
@@ -10,17 +10,41 @@ from .datasets import (
 )
 from .loaders import DATASET_REGISTRY, class_balance, load_dataset, train_val_split
 from .raster import Canvas
+from .registry import DatasetSpec, dataset_names, get_spec, normalize_name, register
+from .synthetic import (
+    make_binary_alpha,
+    make_bow_sentiment,
+    make_bow_topics,
+    make_emnist_like,
+    make_fmnist14_like,
+    make_kmnist14_like,
+    make_tabular_gaussian,
+    make_tabular_rules,
+)
 
 __all__ = [
     "Dataset",
+    "DatasetSpec",
     "make_cifar2_like",
     "make_fmnist_like",
     "make_kmnist_like",
     "make_kws6_like",
     "make_mnist_like",
+    "make_emnist_like",
+    "make_binary_alpha",
+    "make_fmnist14_like",
+    "make_kmnist14_like",
+    "make_tabular_gaussian",
+    "make_tabular_rules",
+    "make_bow_topics",
+    "make_bow_sentiment",
     "DATASET_REGISTRY",
     "class_balance",
+    "dataset_names",
+    "get_spec",
     "load_dataset",
+    "normalize_name",
+    "register",
     "train_val_split",
     "Canvas",
 ]

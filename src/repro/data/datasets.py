@@ -44,7 +44,14 @@ __all__ = [
 
 @dataclass
 class Dataset:
-    """A booleanized classification dataset."""
+    """A booleanized classification dataset.
+
+    >>> ds = make_mnist_like(n_train=4, n_test=2, seed=0)
+    >>> ds.n_train, ds.n_test, ds.n_features
+    (4, 2, 784)
+    >>> ds.subset(n_train=2).n_train
+    2
+    """
 
     name: str
     X_train: np.ndarray
@@ -71,13 +78,17 @@ class Dataset:
         return len(self.X_test)
 
     def subset(self, n_train=None, n_test=None):
-        """A smaller view (first-n) of the same dataset."""
+        """A smaller first-n copy of the same dataset.
+
+        The arrays are copies, not views — mutating a subset can never
+        corrupt the parent dataset (or vice versa).
+        """
         return Dataset(
             name=self.name,
-            X_train=self.X_train[: n_train or self.n_train],
-            y_train=self.y_train[: n_train or self.n_train],
-            X_test=self.X_test[: n_test or self.n_test],
-            y_test=self.y_test[: n_test or self.n_test],
+            X_train=self.X_train[: n_train or self.n_train].copy(),
+            y_train=self.y_train[: n_train or self.n_train].copy(),
+            X_test=self.X_test[: n_test or self.n_test].copy(),
+            y_test=self.y_test[: n_test or self.n_test].copy(),
             n_classes=self.n_classes,
             n_features=self.n_features,
             metadata=dict(self.metadata),
@@ -228,7 +239,12 @@ def _glyph_dataset(name, glyph_fn, n_classes, n_train, n_test, seed, size=28,
 
 
 def make_mnist_like(n_train=1000, n_test=400, seed=0, noise=0.18, shift=1):
-    """784-bit, 10-class digit-glyph dataset (MNIST stand-in)."""
+    """784-bit, 10-class digit-glyph dataset (MNIST stand-in).
+
+    >>> ds = make_mnist_like(n_train=4, n_test=2, seed=0)
+    >>> ds.n_features, ds.n_classes, ds.X_train.dtype.name
+    (784, 10, 'uint8')
+    """
     return _glyph_dataset(
         "mnist-like", lambda c, r, s: _digit_glyph(c, r, s), 10, n_train, n_test,
         seed, noise=noise, shift=shift,
@@ -236,7 +252,11 @@ def make_mnist_like(n_train=1000, n_test=400, seed=0, noise=0.18, shift=1):
 
 
 def make_kmnist_like(n_train=1000, n_test=400, seed=1, noise=0.18, shift=1):
-    """784-bit, 10-class cursive-motif dataset (KMNIST stand-in)."""
+    """784-bit, 10-class cursive-motif dataset (KMNIST stand-in).
+
+    >>> make_kmnist_like(n_train=4, n_test=2, seed=0).n_features
+    784
+    """
     return _glyph_dataset(
         "kmnist-like", lambda c, r, s: _kmnist_glyph(c, r, s), 10, n_train, n_test,
         seed, noise=noise, shift=shift,
@@ -244,7 +264,11 @@ def make_kmnist_like(n_train=1000, n_test=400, seed=1, noise=0.18, shift=1):
 
 
 def make_fmnist_like(n_train=1000, n_test=400, seed=2, noise=0.18, shift=1):
-    """784-bit, 10-class garment-silhouette dataset (FMNIST stand-in)."""
+    """784-bit, 10-class garment-silhouette dataset (FMNIST stand-in).
+
+    >>> make_fmnist_like(n_train=4, n_test=2, seed=0).n_features
+    784
+    """
     return _glyph_dataset(
         "fmnist-like", lambda c, r, s: _fmnist_glyph(c, r, s), 10, n_train, n_test,
         seed, noise=noise, shift=shift,
@@ -293,6 +317,10 @@ def make_cifar2_like(n_train=800, n_test=400, seed=3):
     The paper's FINN topology for CIFAR-2 takes 1024 one-bit inputs, i.e. a
     32x32 single-bit plane; we synthesize grayscale scenes directly and
     threshold them, preserving the input path of both accelerator flows.
+
+    >>> ds = make_cifar2_like(n_train=4, n_test=2, seed=0)
+    >>> ds.n_features, ds.n_classes
+    (1024, 2)
     """
     rng = np.random.default_rng(seed)
     size = 32
@@ -403,6 +431,10 @@ def make_kws6_like(n_train=600, n_test=300, seed=4):
     Full audio path: waveform synthesis -> framed FFT -> 13-band log
     filterbank over 29 frames (377 features, matching the paper's FINN
     topology input width) -> per-feature mean thresholding to 1 bit.
+
+    >>> ds = make_kws6_like(n_train=6, n_test=3, seed=0)
+    >>> ds.n_features, ds.n_classes
+    (377, 6)
     """
     rng = np.random.default_rng(seed)
     n_total = n_train + n_test

@@ -1,50 +1,59 @@
-"""Dataset registry and split utilities."""
+"""Registry-backed dataset loading and split utilities.
+
+``load_dataset`` resolves names through :mod:`repro.data.registry` —
+one :func:`~repro.data.registry.normalize_name` function canonicalizes
+both registration keys and lookups, so every registered dataset
+(including names containing underscores, like ``binary_alpha``) is
+reachable via its own key and the usual aliases (``MNIST-like`` etc.).
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-from .datasets import (
-    make_cifar2_like,
-    make_fmnist_like,
-    make_kmnist_like,
-    make_kws6_like,
-    make_mnist_like,
-)
+from .registry import DATASET_REGISTRY, get_spec
 
 __all__ = ["DATASET_REGISTRY", "load_dataset", "train_val_split", "class_balance"]
 
-DATASET_REGISTRY = {
-    "mnist": make_mnist_like,
-    "kmnist": make_kmnist_like,
-    "fmnist": make_fmnist_like,
-    "cifar2": make_cifar2_like,
-    "kws6": make_kws6_like,
-}
-
 
 def load_dataset(name, **kwargs):
-    """Load a registered dataset by short name (``mnist``, ``kws6``, ...)."""
-    key = name.lower().replace("-like", "").replace("_", "")
-    if key not in DATASET_REGISTRY:
-        raise KeyError(
-            f"unknown dataset {name!r}; available: {sorted(DATASET_REGISTRY)}"
-        )
-    return DATASET_REGISTRY[key](**kwargs)
+    """Load a registered dataset by any alias of its name.
+
+    Keyword arguments (``n_train``, ``n_test``, ``seed``, generator
+    extras) pass through to the spec; unspecified split sizes use the
+    spec's defaults.
+
+    >>> ds = load_dataset("MNIST-like", n_train=4, n_test=2, seed=0)
+    >>> ds.name, ds.metadata["registry_name"]
+    ('mnist-like', 'mnist')
+    >>> load_dataset("binary_alpha", n_train=4, n_test=2).name
+    'binary-alpha'
+    """
+    return get_spec(name).load(**kwargs)
 
 
 def train_val_split(dataset, val_fraction=0.2, seed=0):
     """Split a dataset's training half into train/validation pieces.
 
     Returns ``(X_train, y_train, X_val, y_val)``; the split is shuffled
-    deterministically by ``seed``.
+    deterministically by ``seed``.  Both sides are always non-empty:
+    ``n_val`` is clamped to ``[1, n_train - 1]`` whatever the rounding
+    of ``val_fraction`` produces, and fewer than two training samples
+    is an error.
+
+    >>> ds = load_dataset("tab-rules", n_train=10, n_test=4, seed=0)
+    >>> X_tr, y_tr, X_val, y_val = train_val_split(ds, val_fraction=0.2)
+    >>> len(X_tr), len(X_val)
+    (8, 2)
     """
     if not 0.0 < val_fraction < 1.0:
         raise ValueError("val_fraction must be in (0, 1)")
-    rng = np.random.default_rng(seed)
     n = dataset.n_train
+    if n < 2:
+        raise ValueError("need at least 2 training samples to split")
+    rng = np.random.default_rng(seed)
     order = rng.permutation(n)
-    n_val = max(1, int(round(n * val_fraction)))
+    n_val = min(n - 1, max(1, int(round(n * val_fraction))))
     val_idx = order[:n_val]
     train_idx = order[n_val:]
     return (
@@ -56,8 +65,16 @@ def train_val_split(dataset, val_fraction=0.2, seed=0):
 
 
 def class_balance(y, n_classes=None):
-    """Fraction of samples per class (sanity check for the generators)."""
+    """Fraction of samples per class (sanity check for the generators).
+
+    >>> class_balance([0, 0, 1, 1], n_classes=2).tolist()
+    [0.5, 0.5]
+    >>> class_balance([2, 2, 2]).tolist()   # single observed class
+    [0.0, 0.0, 1.0]
+    """
     y = np.asarray(y)
+    if y.size == 0:
+        raise ValueError("class_balance of an empty label array")
     if n_classes is None:
         n_classes = int(y.max()) + 1
     counts = np.bincount(y, minlength=n_classes).astype(np.float64)

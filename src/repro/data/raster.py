@@ -15,7 +15,12 @@ __all__ = ["Canvas"]
 
 
 class Canvas:
-    """A ``(height, width)`` float image in ``[0, 1]`` with draw primitives."""
+    """A ``(height, width)`` float image in ``[0, 1]`` with draw primitives.
+
+    >>> c = Canvas(4, 4).rect(1, 1, 2, 2)
+    >>> c.binarize(0.5).reshape(4, 4).sum(axis=1).tolist()
+    [0, 2, 2, 0]
+    """
 
     def __init__(self, height, width):
         self.height = int(height)

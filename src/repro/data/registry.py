@@ -1,0 +1,249 @@
+"""Typed dataset registry: one :class:`DatasetSpec` per synthetic workload.
+
+The registry is the single source of truth for every layer that takes a
+``dataset`` axis — :func:`repro.data.load_dataset`, ``FlowConfig``, the
+sweep/AutoML grids, the ``matador matrix`` scenario runner and the
+``matador datasets`` listing all introspect the same specs, and the
+parametrized contract test in ``tests/test_registry_contract.py`` runs
+every entry through the same gauntlet (bit-identical per seed, arrays
+match the declared shape/classes, class balance within tolerance,
+round-trips through ``to_dict``/``from_dict``).  Registering dataset
+#14 with wrong metadata fails CI by construction.
+
+Names are canonicalized by :func:`normalize_name` — one function used
+both at registration and lookup, so every registered key is reachable
+and aliases like ``"MNIST-like"`` or ``"binary_alpha"`` cannot collide
+silently.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from . import datasets as _datasets
+from . import synthetic as _synthetic
+
+__all__ = [
+    "DatasetSpec",
+    "DATASET_REGISTRY",
+    "dataset_names",
+    "get_spec",
+    "normalize_name",
+    "register",
+]
+
+
+def normalize_name(name):
+    """Canonical registry key for any user-facing dataset spelling.
+
+    Lowercases, maps ``_`` to ``-`` and strips one trailing ``-like``
+    suffix.  Used for registry keys *and* lookups, so a key containing
+    an underscore stays reachable via both spellings.
+
+    >>> normalize_name("MNIST-like")
+    'mnist'
+    >>> normalize_name("binary_alpha")
+    'binary-alpha'
+    >>> normalize_name(" Tab_Gauss ")
+    'tab-gauss'
+    """
+    key = str(name).strip().lower().replace("_", "-")
+    if key.endswith("-like"):
+        key = key[: -len("-like")]
+    return key
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Typed metadata + generator reference for one registered dataset.
+
+    ``generator`` is any callable accepting ``(n_train, n_test, seed)``
+    keywords and returning a :class:`~repro.data.datasets.Dataset`;
+    ``n_train``/``n_test`` are the generator's default split sizes,
+    ``booleanization`` names the recipe that produced the bits, and
+    ``balance_tol`` is the maximum relative deviation of any class
+    fraction from uniform that the contract test tolerates.
+
+    A spec is callable (delegating to :meth:`load`) so registry values
+    keep working anywhere a bare generator function was expected.
+
+    >>> spec = get_spec("mnist")
+    >>> spec.name, spec.family, spec.input_shape, spec.n_classes
+    ('mnist', 'image', (28, 28), 10)
+    >>> spec.n_features
+    784
+    >>> ds = spec.load(n_train=4, n_test=2, seed=0)
+    >>> ds.metadata["registry_name"], ds.metadata["family"]
+    ('mnist', 'image')
+    >>> DatasetSpec.from_dict(spec.to_dict()) == spec
+    True
+    """
+
+    name: str
+    family: str  # "image" | "audio" | "tabular" | "text"
+    input_shape: tuple
+    n_classes: int
+    n_train: int
+    n_test: int
+    booleanization: str
+    generator: object = field(compare=False)
+    balance_tol: float = 0.5
+
+    def __post_init__(self):
+        if normalize_name(self.name) != self.name:
+            raise ValueError(
+                f"spec name {self.name!r} is not canonical "
+                f"(want {normalize_name(self.name)!r})"
+            )
+        object.__setattr__(self, "input_shape", tuple(self.input_shape))
+
+    @property
+    def n_features(self):
+        """Flattened feature count (product of ``input_shape``)."""
+        return int(np.prod(self.input_shape))
+
+    def load(self, n_train=None, n_test=None, seed=0, **kwargs):
+        """Generate the dataset (spec defaults fill missing sizes).
+
+        Stamps ``registry_name`` / ``family`` / ``input_shape`` /
+        ``booleanization`` into the dataset metadata (without clobbering
+        anything the generator set itself).
+        """
+        ds = self.generator(
+            n_train=self.n_train if n_train is None else n_train,
+            n_test=self.n_test if n_test is None else n_test,
+            seed=seed,
+            **kwargs,
+        )
+        ds.metadata.setdefault("registry_name", self.name)
+        ds.metadata.setdefault("family", self.family)
+        ds.metadata.setdefault("input_shape", self.input_shape)
+        ds.metadata.setdefault("booleanization", self.booleanization)
+        return ds
+
+    def __call__(self, n_train=None, n_test=None, seed=0, **kwargs):
+        return self.load(n_train=n_train, n_test=n_test, seed=seed, **kwargs)
+
+    def to_dict(self):
+        """JSON-safe dict; the generator is stored as a dotted path."""
+        return {
+            "name": self.name,
+            "family": self.family,
+            "input_shape": list(self.input_shape),
+            "n_classes": self.n_classes,
+            "n_train": self.n_train,
+            "n_test": self.n_test,
+            "booleanization": self.booleanization,
+            "generator": f"{self.generator.__module__}:"
+                         f"{self.generator.__qualname__}",
+            "balance_tol": self.balance_tol,
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Rebuild a spec from :meth:`to_dict` output (resolves the
+        generator's dotted path via import)."""
+        payload = dict(payload)
+        module_name, _, qualname = payload["generator"].partition(":")
+        generator = importlib.import_module(module_name)
+        for part in qualname.split("."):
+            generator = getattr(generator, part)
+        payload["generator"] = generator
+        payload["input_shape"] = tuple(payload["input_shape"])
+        return cls(**payload)
+
+
+DATASET_REGISTRY = {}
+
+
+def register(spec, registry=None):
+    """Add a spec under its canonical name; collisions raise.
+
+    >>> spec = get_spec("kws6")
+    >>> scratch = {}
+    >>> register(spec, registry=scratch)["kws6"] is spec
+    True
+    >>> register(spec, registry=scratch)
+    Traceback (most recent call last):
+        ...
+    ValueError: dataset 'kws6' already registered
+    """
+    registry = DATASET_REGISTRY if registry is None else registry
+    key = normalize_name(spec.name)
+    if key in registry:
+        raise ValueError(f"dataset {key!r} already registered")
+    registry[key] = spec
+    return registry
+
+
+def get_spec(name):
+    """Look up a spec by any alias of its name (see :func:`normalize_name`).
+
+    >>> get_spec("KWS6-like").name
+    'kws6'
+    """
+    key = normalize_name(name)
+    try:
+        return DATASET_REGISTRY[key]
+    except KeyError:
+        available = ", ".join(sorted(DATASET_REGISTRY))
+        raise KeyError(
+            f"unknown dataset {name!r} (normalized {key!r}); "
+            f"available: {available}"
+        ) from None
+
+
+def dataset_names():
+    """Sorted canonical names of every registered dataset.
+
+    >>> "mnist" in dataset_names() and "tab-rules" in dataset_names()
+    True
+    """
+    return sorted(DATASET_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# The registered scenario matrix.  The original five draw each sample's
+# class from the RNG (binomial balance — loose tolerance); the extended
+# eight assign classes round-robin (exact balance — tight tolerance).
+# ---------------------------------------------------------------------------
+
+for _spec in (
+    DatasetSpec("mnist", "image", (28, 28), 10, 1000, 400,
+                "glyph>0.45", _datasets.make_mnist_like, balance_tol=0.75),
+    DatasetSpec("kmnist", "image", (28, 28), 10, 1000, 400,
+                "glyph>0.45", _datasets.make_kmnist_like, balance_tol=0.6),
+    DatasetSpec("fmnist", "image", (28, 28), 10, 1000, 400,
+                "glyph>0.45", _datasets.make_fmnist_like, balance_tol=0.6),
+    DatasetSpec("cifar2", "image", (32, 32), 2, 800, 400,
+                "scene>0.5", _datasets.make_cifar2_like, balance_tol=0.3),
+    DatasetSpec("kws6", "audio", (29, 13), 6, 600, 300,
+                "train-mean threshold", _datasets.make_kws6_like,
+                balance_tol=0.5),
+    DatasetSpec("emnist", "image", (28, 28), 36, 1440, 360,
+                "glyph>0.45", _synthetic.make_emnist_like, balance_tol=0.1),
+    DatasetSpec("binary-alpha", "image", (20, 16), 36, 720, 180,
+                "glyph>0.4", _synthetic.make_binary_alpha, balance_tol=0.1),
+    DatasetSpec("fmnist14", "image", (14, 14), 10, 1000, 400,
+                "maxpool2+glyph>0.45", _synthetic.make_fmnist14_like,
+                balance_tol=0.1),
+    DatasetSpec("kmnist14", "image", (14, 14), 10, 1000, 400,
+                "maxpool2+glyph>0.45", _synthetic.make_kmnist14_like,
+                balance_tol=0.1),
+    DatasetSpec("tab-gauss", "tabular", (64,), 8, 800, 200,
+                "cluster>0.5", _synthetic.make_tabular_gaussian,
+                balance_tol=0.1),
+    DatasetSpec("tab-rules", "tabular", (48,), 4, 800, 200,
+                "native bits (rule list)", _synthetic.make_tabular_rules,
+                balance_tol=0.1),
+    DatasetSpec("bow-topics", "text", (256,), 5, 800, 200,
+                "word presence", _synthetic.make_bow_topics, balance_tol=0.1),
+    DatasetSpec("bow-sent", "text", (192,), 2, 600, 200,
+                "word presence", _synthetic.make_bow_sentiment,
+                balance_tol=0.1),
+):
+    register(_spec)
+del _spec

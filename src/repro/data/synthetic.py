@@ -1,0 +1,375 @@
+"""Extended synthetic workloads for the scenario matrix.
+
+The paper evaluates one accelerator design on five workloads;
+``repro.data.datasets`` synthesizes those.  This module widens the
+scenario matrix with eight more deterministic generators spanning the
+shapes a booleanized TM accelerator meets in practice:
+
+================  =========  =======  ==================================
+dataset           features   classes  synthesis
+================  =========  =======  ==================================
+emnist-like       784        36       digit glyphs + 26 letter motifs
+binary-alpha      320        36       20x16 Binary Alphadigits glyphs
+fmnist14          196        10       garment glyphs max-pooled to 14x14
+kmnist14          196        10       cursive motifs max-pooled to 14x14
+tab-gauss         64         8        gaussian clusters, thresholded
+tab-rules         48         4        first-match conjunctive rule list
+bow-topics        256        5        topic-mixture word presence
+bow-sent          192        2        sentiment lexicon word presence
+================  =========  =======  ==================================
+
+Every generator is a pure function of its seed (same contract as the
+original five, pinned by ``tests/test_registry_contract.py``) and
+returns a :class:`~repro.data.datasets.Dataset` of boolean features.
+Unlike the original five (which draw each sample's class from the RNG),
+these assign classes round-robin before shuffling, so class balance is
+exact to within one sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .datasets import Dataset, _digit_glyph, _fmnist_glyph, _kmnist_glyph
+from .raster import Canvas
+
+__all__ = [
+    "make_emnist_like",
+    "make_binary_alpha",
+    "make_fmnist14_like",
+    "make_kmnist14_like",
+    "make_tabular_gaussian",
+    "make_tabular_rules",
+    "make_bow_topics",
+    "make_bow_sentiment",
+]
+
+
+def _balanced_labels(n, n_classes, rng):
+    """Round-robin class labels in a seeded shuffled order."""
+    y = (np.arange(n) % n_classes).astype(np.int64)
+    rng.shuffle(y)
+    return y
+
+
+def _split_labels(n_train, n_test, n_classes, rng):
+    """Balanced labels drawn per split, so each side is balanced on its
+    own (a single shuffled pool would leave the split counts
+    hypergeometric)."""
+    return np.concatenate([
+        _balanced_labels(n_train, n_classes, rng),
+        _balanced_labels(n_test, n_classes, rng),
+    ])
+
+
+# ---------------------------------------------------------------------------
+# Image-like: EMNIST (digits + letters) and Binary Alphadigits
+# ---------------------------------------------------------------------------
+
+def _stroke_glyph(cls, rng, size, motif_seed, n_strokes_base=3):
+    """Angular per-class stroke motifs (seeded independently of samples)."""
+    motif_rng = np.random.default_rng(motif_seed + cls)
+    n_strokes = n_strokes_base + cls % 3
+    strokes = [motif_rng.uniform(0.12, 0.88, size=4) * size
+               for _ in range(n_strokes)]
+    c = Canvas(size, size)
+    th = rng.uniform(1.2, 1.9)
+    for base in strokes:
+        p = base + rng.uniform(-1.5, 1.5, size=4)
+        c.line(p[0], p[1], p[2], p[3], thickness=th)
+    return c
+
+
+def make_emnist_like(n_train=1440, n_test=360, seed=5, noise=0.18, shift=1):
+    """784-bit, 36-class digits+letters glyph dataset (EMNIST stand-in).
+
+    Classes 0-9 reuse the MNIST digit glyphs; classes 10-35 are letter
+    stand-ins drawn from per-class seeded stroke motifs.
+
+    >>> ds = make_emnist_like(n_train=8, n_test=4, seed=0)
+    >>> ds.n_features, ds.n_classes, ds.X_train.dtype.name
+    (784, 36, 'uint8')
+    """
+    rng = np.random.default_rng(seed)
+    size, n_classes = 28, 36
+    n_total = n_train + n_test
+    y = _split_labels(n_train, n_test, n_classes, rng)
+    X = np.empty((n_total, size * size), dtype=np.uint8)
+    for i, cls in enumerate(y):
+        cls = int(cls)
+        if cls < 10:
+            canvas = _digit_glyph(cls, rng, size)
+        else:
+            canvas = _stroke_glyph(cls - 10, rng, size, motif_seed=2803)
+        canvas = canvas.shifted(int(rng.integers(-shift, shift + 1)),
+                                int(rng.integers(-shift, shift + 1)))
+        canvas = canvas.with_noise(rng, amount=noise)
+        X[i] = canvas.binarize(0.45)
+    return Dataset(
+        name="emnist-like",
+        X_train=X[:n_train], y_train=y[:n_train],
+        X_test=X[n_train:], y_test=y[n_train:],
+        n_classes=n_classes, n_features=size * size,
+        metadata={"image_shape": (size, size), "synthetic": True, "seed": seed},
+    )
+
+
+def _alphadigit_glyph(cls, rng, height=20, width=16, motif_seed=4099):
+    """Compact stroke+ellipse motifs on the 20x16 Alphadigits raster."""
+    motif_rng = np.random.default_rng(motif_seed + cls)
+    c = Canvas(height, width)
+    th = rng.uniform(1.0, 1.6)
+    n_strokes = 2 + cls % 2
+    for _ in range(n_strokes):
+        base = motif_rng.uniform(0.12, 0.88, size=4)
+        p = base * np.array([height, width, height, width])
+        p = p + rng.uniform(-1.0, 1.0, size=4)
+        c.line(p[0], p[1], p[2], p[3], thickness=th)
+    if cls % 3 == 0:
+        cy, cx = motif_rng.uniform(0.3, 0.7, size=2)
+        c.ellipse(cy * height + rng.uniform(-1, 1),
+                  cx * width + rng.uniform(-1, 1),
+                  height * 0.18, width * 0.2, thickness=th)
+    return c
+
+
+def make_binary_alpha(n_train=720, n_test=180, seed=6, noise=0.12, shift=1):
+    """320-bit, 36-class 20x16 glyph dataset (Binary Alphadigits stand-in).
+
+    >>> ds = make_binary_alpha(n_train=8, n_test=4, seed=0)
+    >>> ds.n_features, ds.metadata["image_shape"]
+    (320, (20, 16))
+    """
+    rng = np.random.default_rng(seed)
+    height, width, n_classes = 20, 16, 36
+    n_total = n_train + n_test
+    y = _split_labels(n_train, n_test, n_classes, rng)
+    X = np.empty((n_total, height * width), dtype=np.uint8)
+    for i, cls in enumerate(y):
+        canvas = _alphadigit_glyph(int(cls), rng, height, width)
+        canvas = canvas.shifted(int(rng.integers(-shift, shift + 1)),
+                                int(rng.integers(-shift, shift + 1)))
+        canvas = canvas.with_noise(rng, amount=noise)
+        X[i] = canvas.binarize(0.4)
+    return Dataset(
+        name="binary-alpha",
+        X_train=X[:n_train], y_train=y[:n_train],
+        X_test=X[n_train:], y_test=y[n_train:],
+        n_classes=n_classes, n_features=height * width,
+        metadata={"image_shape": (height, width), "synthetic": True,
+                  "seed": seed},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Pooled 14x14 variants (fashion / kuzushiji at a quarter the pixels)
+# ---------------------------------------------------------------------------
+
+def _pool2(pixels):
+    """2x2 max-pool an even-sided float image."""
+    h, w = pixels.shape
+    return pixels.reshape(h // 2, 2, w // 2, 2).max(axis=(1, 3))
+
+
+def _pooled_glyph_dataset(name, glyph_fn, n_train, n_test, seed, noise, shift):
+    rng = np.random.default_rng(seed)
+    size, pooled, n_classes = 28, 14, 10
+    n_total = n_train + n_test
+    y = _split_labels(n_train, n_test, n_classes, rng)
+    X = np.empty((n_total, pooled * pooled), dtype=np.uint8)
+    for i, cls in enumerate(y):
+        canvas = glyph_fn(int(cls), rng, size)
+        canvas = canvas.shifted(int(rng.integers(-shift, shift + 1)),
+                                int(rng.integers(-shift, shift + 1)))
+        canvas = canvas.with_noise(rng, amount=noise)
+        X[i] = (_pool2(canvas.pixels) > 0.45).astype(np.uint8).ravel()
+    return Dataset(
+        name=name,
+        X_train=X[:n_train], y_train=y[:n_train],
+        X_test=X[n_train:], y_test=y[n_train:],
+        n_classes=n_classes, n_features=pooled * pooled,
+        metadata={"image_shape": (pooled, pooled), "synthetic": True,
+                  "seed": seed, "pooled_from": (size, size)},
+    )
+
+
+def make_fmnist14_like(n_train=1000, n_test=400, seed=7, noise=0.18, shift=1):
+    """196-bit, 10-class pooled garment dataset (Fashion-MNIST at 14x14).
+
+    Draws the 28x28 garment silhouettes, 2x2 max-pools to 14x14, then
+    binarizes — a quarter-resolution variant for small-LUT design points.
+
+    >>> ds = make_fmnist14_like(n_train=6, n_test=4, seed=0)
+    >>> ds.n_features, ds.metadata["image_shape"]
+    (196, (14, 14))
+    """
+    return _pooled_glyph_dataset("fmnist14", _fmnist_glyph, n_train, n_test,
+                                 seed, noise, shift)
+
+
+def make_kmnist14_like(n_train=1000, n_test=400, seed=8, noise=0.18, shift=1):
+    """196-bit, 10-class pooled cursive-motif dataset (KMNIST at 14x14).
+
+    >>> ds = make_kmnist14_like(n_train=6, n_test=4, seed=0)
+    >>> ds.n_features, ds.n_classes
+    (196, 10)
+    """
+    return _pooled_glyph_dataset("kmnist14", _kmnist_glyph, n_train, n_test,
+                                 seed, noise, shift)
+
+
+# ---------------------------------------------------------------------------
+# Tabular: gaussian clusters and a conjunctive rule list
+# ---------------------------------------------------------------------------
+
+def make_tabular_gaussian(n_train=800, n_test=200, seed=9, n_features=64,
+                          n_classes=8, spread=0.3):
+    """64-bit, 8-class thresholded gaussian-cluster tabular dataset.
+
+    Per-class centers are drawn once from a fixed motif seed (so the
+    class geometry is stable across sample seeds); samples add gaussian
+    noise and threshold at 0.5 — the booleanization a TM sees after
+    quantile binning a real tabular source.
+
+    >>> ds = make_tabular_gaussian(n_train=8, n_test=4, seed=0)
+    >>> ds.n_features, ds.n_classes, ds.metadata["family"]
+    (64, 8, 'tabular')
+    """
+    centers = np.random.default_rng(5501).random((n_classes, n_features))
+    rng = np.random.default_rng(seed)
+    n_total = n_train + n_test
+    y = _split_labels(n_train, n_test, n_classes, rng)
+    values = centers[y] + rng.normal(0.0, spread, size=(n_total, n_features))
+    X = (values > 0.5).astype(np.uint8)
+    return Dataset(
+        name="tab-gauss",
+        X_train=X[:n_train], y_train=y[:n_train],
+        X_test=X[n_train:], y_test=y[n_train:],
+        n_classes=n_classes, n_features=n_features,
+        metadata={"family": "tabular", "spread": spread, "synthetic": True,
+                  "seed": seed},
+    )
+
+
+def make_tabular_rules(n_train=800, n_test=200, seed=10, n_features=48,
+                       n_classes=4, n_rules=12):
+    """48-bit, 4-class rule-list tabular dataset (native boolean features).
+
+    A fixed first-match rule list labels each sample: rule ``r`` owns the
+    disjoint feature triple ``[3r, 3r+3)`` with seeded polarities and
+    maps to class ``r % n_classes``.  Samples are built to satisfy a
+    chosen rule of their target class and to break every earlier rule,
+    so the label is exactly the rule-list evaluation — the workload a TM
+    can in principle represent losslessly.
+
+    >>> ds = make_tabular_rules(n_train=8, n_test=4, seed=0)
+    >>> ds.n_features, ds.n_classes, ds.metadata["n_rules"]
+    (48, 4, 12)
+    """
+    if n_rules * 3 > n_features:
+        raise ValueError("need n_features >= 3 * n_rules")
+    rule_rng = np.random.default_rng(7211)
+    polarities = rule_rng.integers(0, 2, size=(n_rules, 3)).astype(np.uint8)
+    rule_class = np.arange(n_rules) % n_classes
+    rng = np.random.default_rng(seed)
+    n_total = n_train + n_test
+    y = _split_labels(n_train, n_test, n_classes, rng)
+    X = np.empty((n_total, n_features), dtype=np.uint8)
+    for i, cls in enumerate(y):
+        x = rng.integers(0, 2, size=n_features).astype(np.uint8)
+        candidates = np.flatnonzero(rule_class == cls)
+        r = int(candidates[rng.integers(0, len(candidates))])
+        x[3 * r : 3 * r + 3] = polarities[r]
+        for q in range(r):  # break earlier rules so r is the first match
+            if (x[3 * q : 3 * q + 3] == polarities[q]).all():
+                x[3 * q + int(rng.integers(0, 3))] ^= 1
+        X[i] = x
+    return Dataset(
+        name="tab-rules",
+        X_train=X[:n_train], y_train=y[:n_train],
+        X_test=X[n_train:], y_test=y[n_train:],
+        n_classes=n_classes, n_features=n_features,
+        metadata={"family": "tabular", "n_rules": n_rules, "synthetic": True,
+                  "seed": seed},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Bag-of-words text: topic mixtures and a sentiment-style pair
+# ---------------------------------------------------------------------------
+
+def _mixture_documents(weights, y, doc_len, rng):
+    """Sample word-presence vectors from per-class vocabulary mixtures."""
+    vocab = weights.shape[1]
+    X = np.zeros((len(y), vocab), dtype=np.uint8)
+    for i, cls in enumerate(y):
+        words = rng.choice(vocab, size=doc_len, p=weights[int(cls)])
+        X[i, words] = 1
+    return X
+
+
+def make_bow_topics(n_train=800, n_test=200, seed=11, vocab=256, n_classes=5,
+                    doc_len=60):
+    """256-word, 5-topic bag-of-words dataset (word-presence bits).
+
+    Each topic boosts a fixed seeded subset of 32 topical words over a
+    uniform background; documents sample ``doc_len`` tokens from their
+    topic's mixture and record word *presence* (1 bit per vocabulary
+    entry) — the booleanization of a hashing-vectorizer text pipeline.
+
+    >>> ds = make_bow_topics(n_train=8, n_test=4, seed=0)
+    >>> ds.n_features, ds.n_classes, ds.metadata["family"]
+    (256, 5, 'text')
+    """
+    topic_rng = np.random.default_rng(9001)
+    weights = np.ones((n_classes, vocab))
+    for cls in range(n_classes):
+        topical = topic_rng.choice(vocab, size=32, replace=False)
+        weights[cls, topical] += 12.0
+    weights /= weights.sum(axis=1, keepdims=True)
+    rng = np.random.default_rng(seed)
+    n_total = n_train + n_test
+    y = _split_labels(n_train, n_test, n_classes, rng)
+    X = _mixture_documents(weights, y, doc_len, rng)
+    return Dataset(
+        name="bow-topics",
+        X_train=X[:n_train], y_train=y[:n_train],
+        X_test=X[n_train:], y_test=y[n_train:],
+        n_classes=n_classes, n_features=vocab,
+        metadata={"family": "text", "doc_len": doc_len, "synthetic": True,
+                  "seed": seed},
+    )
+
+
+def make_bow_sentiment(n_train=600, n_test=200, seed=12, vocab=192,
+                       doc_len=40):
+    """192-word, 2-class sentiment-style bag-of-words dataset.
+
+    Two disjoint seeded lexicons (28 words each) are boosted for their
+    own class and mildly for the opposite one (real reviews mix
+    polarities); the rest of the vocabulary is neutral background.
+
+    >>> ds = make_bow_sentiment(n_train=8, n_test=4, seed=0)
+    >>> ds.n_features, ds.n_classes
+    (192, 2)
+    """
+    lex_rng = np.random.default_rng(9777)
+    order = lex_rng.permutation(vocab)
+    lexicons = (order[:28], order[28:56])
+    weights = np.ones((2, vocab))
+    for cls in range(2):
+        weights[cls, lexicons[cls]] += 10.0
+        weights[cls, lexicons[1 - cls]] += 1.5
+    weights /= weights.sum(axis=1, keepdims=True)
+    rng = np.random.default_rng(seed)
+    n_total = n_train + n_test
+    y = _split_labels(n_train, n_test, 2, rng)
+    X = _mixture_documents(weights, y, doc_len, rng)
+    return Dataset(
+        name="bow-sent",
+        X_train=X[:n_train], y_train=y[:n_train],
+        X_test=X[n_train:], y_test=y[n_train:],
+        n_classes=2, n_features=vocab,
+        metadata={"family": "text", "doc_len": doc_len, "synthetic": True,
+                  "seed": seed},
+    )

@@ -1,0 +1,446 @@
+"""Seeded, composable dataset transformations (the augmentation layer).
+
+Every transform is a :class:`Transform`: a named ``(X, y) -> (X, y)``
+mapping built once from its parameters and a seed, then applied as a
+*pure function* — the same transform object maps the same arrays to the
+same outputs forever (no hidden RNG state is consumed per call).  That
+is what lets one transform double as
+
+* an **augmentation** during training or sweep runs,
+* a **drift source** for the streaming layer (``repro.streaming``
+  wraps these in :class:`~repro.streaming.DriftStream`), and
+* a **scenario axis**: the matrix runner can evaluate a config grid on
+  transformed variants of any registered dataset.
+
+Transforms that are bijections declare an ``inverse`` (another
+:class:`Transform`); :func:`compose` chains transforms and derives the
+composed inverse when every component has one.  The hypothesis suite in
+``tests/test_transforms.py`` pins the contracts: seeded determinism,
+shape/dtype preservation, label permutations are bijections, and
+``compose(t, t.inverse)`` is the identity.
+
+Families:
+
+=================  ==========================  =====================
+transform          intended family             invertible
+=================  ==========================  =====================
+rotate_image       image                       yes (rotate back)
+shift_image        image                       yes (shift back)
+pixel_jitter       image (elastic-ish)         no
+flip_bits          any boolean features        yes (self-inverse)
+feature_dropout    tabular                     no
+quantization_shift tabular                     no
+permute_features   bag-of-words (vocabulary)   yes (inverse perm)
+permute_labels     any (concept drift)         yes (inverse perm)
+=================  ==========================  =====================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "DRIFT_KINDS",
+    "Transform",
+    "compose",
+    "rotate_image",
+    "shift_image",
+    "pixel_jitter",
+    "flip_bits",
+    "feature_dropout",
+    "quantization_shift",
+    "permute_features",
+    "permute_labels",
+]
+
+# The drift-injection kinds the streaming layer (and `matador stream
+# --drift-kind`) builds from this module — see
+# :func:`repro.streaming.drift_transform` for the mapping.
+DRIFT_KINDS = ("labels", "features", "vocab", "jitter", "dropout", "quantize")
+
+
+class Transform:
+    """A named, pure ``(X, y) -> (X, y)`` mapping with an optional inverse.
+
+    ``fn`` must be deterministic: all randomness is drawn when the
+    transform is *built* (from the factory's seed), never when it is
+    applied.  ``inverse`` is another :class:`Transform` undoing this one
+    exactly, or ``None`` for lossy transforms.
+
+    >>> import numpy as np
+    >>> double = Transform(lambda X, y: (X, y * 2), "double",
+    ...                    params={"factor": 2})
+    >>> _, y = double(None, np.array([1, 2]))
+    >>> y.tolist()
+    [2, 4]
+    >>> double
+    Transform('double')
+    >>> double.inverse is None
+    True
+    """
+
+    def __init__(self, fn, name, inverse=None, params=None):
+        self._fn = fn
+        self.name = str(name)
+        self.inverse = inverse
+        self.params = dict(params or {})
+
+    def __call__(self, X, y):
+        return self._fn(X, y)
+
+    def __repr__(self):
+        return f"Transform({self.name!r})"
+
+
+def _pair(forward, backward):
+    """Link two transforms as mutual inverses; returns the forward one."""
+    forward.inverse = backward
+    backward.inverse = forward
+    return forward
+
+
+def compose(*transforms):
+    """Chain transforms left-to-right into one :class:`Transform`.
+
+    The composition declares an inverse iff every component does — the
+    component inverses applied in reverse order.
+
+    >>> import numpy as np
+    >>> t = compose(flip_bits(4, fraction=1.0, seed=0),
+    ...             permute_labels(3, seed=0))
+    >>> X, y = t(np.zeros((1, 4), dtype=np.uint8), np.array([0, 1, 2]))
+    >>> X.tolist()
+    [[1, 1, 1, 1]]
+    >>> X2, y2 = t.inverse(X, y)
+    >>> X2.tolist(), y2.tolist()
+    ([[0, 0, 0, 0]], [0, 1, 2])
+    """
+    chain = tuple(transforms)
+
+    def fn(X, y):
+        for t in chain:
+            X, y = t(X, y)
+        return X, y
+
+    name = "compose(" + ", ".join(t.name for t in chain) + ")"
+    out = Transform(fn, name)
+    if chain and all(t.inverse is not None for t in chain):
+        inverses = tuple(t.inverse for t in reversed(chain))
+
+        def inv_fn(X, y):
+            for t in inverses:
+                X, y = t(X, y)
+            return X, y
+
+        inv_name = "compose(" + ", ".join(t.name for t in inverses) + ")"
+        _pair(out, Transform(inv_fn, inv_name))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Image-like transforms (features carry an (h, w) layout)
+# ---------------------------------------------------------------------------
+
+def _as_images(X, shape):
+    X = np.asarray(X)
+    return X.reshape(len(X), shape[0], shape[1])
+
+
+def rotate_image(shape, quarter_turns=1):
+    """Rotate square ``shape`` images by ``quarter_turns`` * 90 degrees.
+
+    A bijection on the pixels: the inverse rotates back.  Rotation by a
+    non-multiple of 90 degrees would resample (lossy), so only quarter
+    turns are offered; non-square shapes would change the feature
+    layout and are rejected.
+
+    >>> import numpy as np
+    >>> t = rotate_image((2, 2), quarter_turns=1)
+    >>> X = np.array([[1, 0, 0, 0]], dtype=np.uint8)   # top-left pixel
+    >>> t(X, None)[0].tolist()                         # -> bottom-left
+    [[0, 0, 1, 0]]
+    >>> t.inverse(*t(X, None))[0].tolist() == X.tolist()
+    True
+    """
+    h, w = int(shape[0]), int(shape[1])
+    if h != w:
+        raise ValueError(f"rotate_image needs a square shape, got {(h, w)}")
+    k = int(quarter_turns) % 4
+
+    def make(turns):
+        def fn(X, y):
+            if turns == 0:
+                return X, y
+            imgs = np.rot90(_as_images(X, (h, w)), k=turns, axes=(1, 2))
+            return np.ascontiguousarray(imgs).reshape(len(imgs), h * w), y
+
+        return Transform(fn, f"rotate_image({h}x{w}, k={turns})",
+                         params={"shape": (h, w), "quarter_turns": turns})
+
+    return _pair(make(k), make((4 - k) % 4))
+
+
+def shift_image(shape, dy=1, dx=0):
+    """Circularly shift ``shape`` images by ``(dy, dx)`` pixels.
+
+    Wrap-around keeps the transform a bijection (the inverse shifts
+    back); small shifts model the registration jitter of real sensors.
+
+    >>> import numpy as np
+    >>> t = shift_image((2, 2), dy=0, dx=1)
+    >>> X = np.array([[1, 0, 0, 0]], dtype=np.uint8)
+    >>> t(X, None)[0].tolist()
+    [[0, 1, 0, 0]]
+    >>> t.inverse(*t(X, None))[0].tolist() == X.tolist()
+    True
+    """
+    h, w = int(shape[0]), int(shape[1])
+    dy, dx = int(dy), int(dx)
+
+    def make(sy, sx):
+        def fn(X, y):
+            imgs = np.roll(_as_images(X, (h, w)), (sy, sx), axis=(1, 2))
+            return imgs.reshape(len(imgs), h * w), y
+
+        return Transform(fn, f"shift_image({h}x{w}, dy={sy}, dx={sx})",
+                         params={"shape": (h, w), "dy": sy, "dx": sx})
+
+    return _pair(make(dy, dx), make(-dy, -dx))
+
+
+def pixel_jitter(shape, amplitude=1.5, cell=4, seed=0):
+    """Elastic-ish pixel jitter: a fixed seeded displacement field.
+
+    A coarse grid of random offsets (one per ``cell`` x ``cell`` block,
+    so neighbouring pixels move together) is rounded to integers and
+    each output pixel reads from its displaced source position (clipped
+    at the borders).  The field is drawn once from ``seed``, so the
+    transform is a pure function; gathering is lossy (two pixels may
+    read the same source), so there is no inverse.
+
+    >>> import numpy as np
+    >>> t = pixel_jitter((4, 4), amplitude=1.0, cell=2, seed=3)
+    >>> X = np.eye(4, dtype=np.uint8).reshape(1, 16)
+    >>> a, _ = t(X, None)
+    >>> b, _ = t(X, None)                  # pure: same field every call
+    >>> bool((a == b).all()), a.shape, t.inverse is None
+    (True, (1, 16), True)
+    """
+    h, w = int(shape[0]), int(shape[1])
+    if amplitude < 0:
+        raise ValueError("amplitude must be >= 0")
+    cell = max(1, int(cell))
+    rng = np.random.default_rng(seed)
+    gh = -(-h // cell)  # ceil
+    gw = -(-w // cell)
+    coarse = rng.uniform(-amplitude, amplitude, size=(2, gh, gw))
+    dy = np.repeat(np.repeat(coarse[0], cell, axis=0), cell, axis=1)[:h, :w]
+    dx = np.repeat(np.repeat(coarse[1], cell, axis=0), cell, axis=1)[:h, :w]
+    yy, xx = np.mgrid[0:h, 0:w]
+    src_y = np.clip(np.round(yy + dy).astype(np.intp), 0, h - 1)
+    src_x = np.clip(np.round(xx + dx).astype(np.intp), 0, w - 1)
+
+    def fn(X, y):
+        imgs = _as_images(X, (h, w))
+        return imgs[:, src_y, src_x].reshape(len(imgs), h * w), y
+
+    transform = Transform(
+        fn, f"pixel_jitter({h}x{w}, amplitude={amplitude}, seed={seed})",
+        params={"shape": (h, w), "amplitude": amplitude, "seed": seed},
+    )
+    transform.field = (src_y, src_x)
+    return transform
+
+
+# ---------------------------------------------------------------------------
+# Feature-level transforms (any boolean feature vector)
+# ---------------------------------------------------------------------------
+
+def flip_bits(n_features, fraction=0.25, seed=0):
+    """XOR a fixed seeded subset of the bits (covariate drift).
+
+    Inverting a fraction of the boolean features shifts ``P(x)`` while
+    leaving the labels untouched.  XOR with a fixed mask is its own
+    inverse.  The mask always has at least one set bit, and is exposed
+    as ``transform.mask``.
+
+    >>> import numpy as np
+    >>> t = flip_bits(8, fraction=0.5, seed=0)
+    >>> X, y = t(np.zeros((1, 8), dtype=np.uint8), np.array([3]))
+    >>> bool(X.any()), int(y[0])
+    (True, 3)
+    >>> t.inverse(X, y)[0].any()
+    np.False_
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    mask = (rng.random(int(n_features)) < fraction).astype(np.uint8)
+    if not mask.any():
+        mask[int(rng.integers(0, n_features))] = 1
+
+    def fn(X, y):
+        return np.asarray(X, dtype=np.uint8) ^ mask, y
+
+    transform = Transform(
+        fn, f"flip_bits({n_features}, fraction={fraction}, seed={seed})",
+        params={"n_features": int(n_features), "fraction": fraction,
+                "seed": seed},
+    )
+    transform.mask = mask
+    transform.inverse = transform  # XOR is an involution
+    return transform
+
+
+def feature_dropout(n_features, fraction=0.1, seed=0):
+    """Zero a fixed seeded subset of the feature columns (sensor loss).
+
+    Models dead sensors / missing tabular columns: the chosen features
+    read 0 for every sample.  Lossy, so no inverse.  The dropped column
+    indices are exposed as ``transform.dropped``.
+
+    >>> import numpy as np
+    >>> t = feature_dropout(8, fraction=0.5, seed=1)
+    >>> X, _ = t(np.ones((2, 8), dtype=np.uint8), None)
+    >>> sorted(np.flatnonzero(X[0] == 0).tolist()) == sorted(
+    ...     t.dropped.tolist())
+    True
+    >>> t.inverse is None
+    True
+    """
+    if not 0.0 < fraction < 1.0:
+        raise ValueError("fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    keep = rng.random(int(n_features)) >= fraction
+    if keep.all():
+        keep[int(rng.integers(0, n_features))] = False
+
+    dropped = np.flatnonzero(~keep)
+
+    def fn(X, y):
+        X = np.asarray(X).copy()
+        X[:, dropped] = 0
+        return X, y
+
+    transform = Transform(
+        fn, f"feature_dropout({n_features}, fraction={fraction}, seed={seed})",
+        params={"n_features": int(n_features), "fraction": fraction,
+                "seed": seed},
+    )
+    transform.dropped = dropped
+    return transform
+
+
+def quantization_shift(n_features, fraction=0.15, value=1, seed=0):
+    """Saturate a fixed seeded subset of columns to ``value``.
+
+    Models a booleanization threshold drifting past a feature's dynamic
+    range: the bit stops carrying signal and reads constant.  Lossy, so
+    no inverse.  The saturated column mask is ``transform.mask``.
+
+    >>> import numpy as np
+    >>> t = quantization_shift(8, fraction=0.5, value=1, seed=2)
+    >>> X, _ = t(np.zeros((1, 8), dtype=np.uint8), None)
+    >>> bool((X[0, t.mask] == 1).all())
+    True
+    >>> t.inverse is None
+    True
+    """
+    if not 0.0 < fraction < 1.0:
+        raise ValueError("fraction must be in (0, 1)")
+    if value not in (0, 1):
+        raise ValueError("value must be 0 or 1")
+    rng = np.random.default_rng(seed)
+    mask = rng.random(int(n_features)) < fraction
+    if not mask.any():
+        mask[int(rng.integers(0, n_features))] = True
+
+    def fn(X, y):
+        X = np.asarray(X).copy()
+        X[:, mask] = value
+        return X, y
+
+    transform = Transform(
+        fn,
+        f"quantization_shift({n_features}, fraction={fraction}, "
+        f"value={value}, seed={seed})",
+        params={"n_features": int(n_features), "fraction": fraction,
+                "value": value, "seed": seed},
+    )
+    transform.mask = mask
+    return transform
+
+
+def permute_features(n_features, seed=0):
+    """Permute the feature columns by a fixed seeded permutation.
+
+    The bag-of-words drift: a vocabulary re-indexing scrambles which
+    column each word occupies while preserving every document's content.
+    A bijection — the inverse applies the inverse permutation.  The
+    permutation is exposed as ``transform.permutation``.
+
+    >>> import numpy as np
+    >>> t = permute_features(6, seed=0)
+    >>> X = np.arange(6, dtype=np.uint8).reshape(1, 6)
+    >>> sorted(t(X, None)[0][0].tolist())
+    [0, 1, 2, 3, 4, 5]
+    >>> t.inverse(*t(X, None))[0].tolist() == X.tolist()
+    True
+    """
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(int(n_features))
+
+    def make(p, tag):
+        def fn(X, y):
+            return np.asarray(X)[:, p], y
+
+        transform = Transform(
+            fn, f"permute_features({n_features}, seed={seed}){tag}",
+            params={"n_features": int(n_features), "seed": seed},
+        )
+        transform.permutation = p
+        return transform
+
+    return _pair(make(perm, ""), make(np.argsort(perm), "^-1"))
+
+
+def permute_labels(n_classes, seed=0):
+    """Relabel classes by a fixed-point-free permutation (concept drift).
+
+    Flipping ``P(y | x)`` while leaving the inputs untouched is the
+    classic abrupt concept drift; a permutation with no fixed points
+    guarantees every class's accuracy collapses at the onset.  A
+    bijection on the labels — the inverse applies the inverse
+    permutation.  Exposed as ``transform.permutation``.
+
+    >>> import numpy as np
+    >>> t = permute_labels(4, seed=0)
+    >>> _, y = t(None, np.array([0, 1, 2, 3]))
+    >>> bool(np.any(y == np.array([0, 1, 2, 3])))
+    False
+    >>> t.inverse(None, y)[1].tolist()
+    [0, 1, 2, 3]
+    """
+    if n_classes < 2:
+        raise ValueError("n_classes must be >= 2")
+    rng = np.random.default_rng(seed)
+    identity = np.arange(int(n_classes))
+    perm = np.roll(identity, 1)  # fallback: cyclic shift has no fixed point
+    for _ in range(32):
+        cand = rng.permutation(int(n_classes))
+        if not np.any(cand == identity):
+            perm = cand
+            break
+
+    def make(p, tag):
+        def fn(X, y):
+            return X, p[y]
+
+        transform = Transform(
+            fn, f"permute_labels({n_classes}, seed={seed}){tag}",
+            params={"n_classes": int(n_classes), "seed": seed},
+        )
+        transform.permutation = p
+        return transform
+
+    return _pair(make(perm, ""), make(np.argsort(perm), "^-1"))

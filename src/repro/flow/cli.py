@@ -23,6 +23,8 @@ flow stages as subcommands:
    matador automl --dataset kws6 --T 8,12,16 --s 3,4,5 --eta 3 \\
        --min-budget 1 --max-budget 9 --resume --deploy \\
        --report automl.json --metrics-json automl-metrics.json
+   matador matrix --dataset all --clauses 8,16 --T 10 --epochs 2 \\
+       --report matrix.json --markdown matrix.md
    matador obs --snapshot m1.json m2.json
    matador obs --prom metrics.json --traces spans.jsonl
 
@@ -52,7 +54,12 @@ grid with a successive-halving budget allocator: every candidate trains
 a few epochs, each rung keeps the Pareto-best ``1/eta`` fraction with an
 ``eta``-multiplied budget, rung records resume bit-identically from the
 same cache, and ``--deploy`` ships the winner to a live replica fleet
-through the rolling promoter, emitting the full audit report.  JSON flow
+through the rolling promoter, emitting the full audit report.
+``matrix`` runs one config grid across many registered datasets
+(``--dataset all`` expands to the whole registry) and emits a
+deterministic cross-dataset accuracy/latency/LUT Pareto report as JSON
+and markdown; ``datasets`` introspects the typed registry the matrix
+(and every ``--dataset`` flag) resolves names against.  JSON flow
 configs (``--config flow.json``) reproduce runs exactly; the same CLI is
 installed as both ``matador`` and ``repro`` (``python -m repro``).
 
@@ -78,6 +85,7 @@ import numpy as np
 
 from ..baselines.topologies import TABLE_II
 from ..data.loaders import DATASET_REGISTRY
+from ..data.transforms import DRIFT_KINDS
 from .flow import FlowConfig, MatadorFlow
 
 __all__ = ["main", "build_parser"]
@@ -292,6 +300,13 @@ def build_parser():
     )
     _add_automl_args(automl)
 
+    matrix = sub.add_parser(
+        "matrix",
+        help="scenario matrix: run a config grid across many datasets "
+             "and emit one cross-dataset Pareto report",
+    )
+    _add_matrix_args(matrix)
+
     obs = sub.add_parser(
         "obs",
         help="merge and render observability artifacts (metric "
@@ -359,9 +374,9 @@ def _add_stream_args(cmd):
                      help="samples used to train + publish the initial champion")
     cmd.add_argument("--drift-at", type=int, default=None,
                      help="induce synthetic drift at this sample index")
-    cmd.add_argument("--drift-kind", default="labels",
-                     choices=("labels", "features"),
-                     help="induced drift: permute labels or flip features")
+    cmd.add_argument("--drift-kind", default="labels", choices=DRIFT_KINDS,
+                     help="induced drift transform (repro.data.transforms "
+                          "via drift_transform)")
     cmd.add_argument("--drift-width", type=int, default=0,
                      help="0 = abrupt shift; >0 = sliding-window ramp length")
     cmd.add_argument("--max-batch", type=int, default=32,
@@ -382,13 +397,14 @@ def _add_stream_args(cmd):
                      help="print the session report as JSON")
 
 
-def _add_grid_args(cmd, cache_default):
+def _add_grid_args(cmd, cache_default, dataset_default="kws6"):
     """Shared grid flags: every axis takes a comma-separated value list."""
     cmd.add_argument("--spec", default=None,
                      help="JSON sweep spec ({'base':..., 'grid':...} or "
                           "{'points': [...]}); grid flags are ignored")
-    cmd.add_argument("--dataset", default="kws6",
-                     help="comma-separated dataset axis")
+    cmd.add_argument("--dataset", default=dataset_default,
+                     help="comma-separated dataset axis ('all' expands to "
+                          "every registered dataset)")
     cmd.add_argument("--clauses", default="8,16",
                      help="comma-separated clauses-per-class axis")
     cmd.add_argument("--T", default="10", help="comma-separated T axis")
@@ -428,6 +444,12 @@ def _add_sweep_args(cmd):
                      help="run auto-debug verification for every point")
     cmd.add_argument("--csv", default=None,
                      help="write the flat per-point CSV here")
+
+
+def _add_matrix_args(cmd):
+    _add_grid_args(cmd, cache_default=".matador_matrix", dataset_default="all")
+    cmd.add_argument("--markdown", default=None,
+                     help="write the markdown Pareto tables here")
 
 
 def _add_automl_args(cmd):
@@ -865,8 +887,7 @@ def _cmd_stream(args, out):
         DriftStream,
         ReplayStream,
         StreamSession,
-        flip_features,
-        permute_labels,
+        drift_transform,
     )
     from ..tsetlin import TsetlinMachine
 
@@ -875,11 +896,7 @@ def _cmd_stream(args, out):
     stream = ReplayStream(ds, batch_size=args.batch_size,
                           n_samples=args.samples, seed=args.seed)
     if args.drift_at is not None:
-        transform = (
-            permute_labels(ds.n_classes, seed=args.seed)
-            if args.drift_kind == "labels"
-            else flip_features(ds.n_features, seed=args.seed)
-        )
+        transform = drift_transform(args.drift_kind, ds, seed=args.seed)
         stream = DriftStream(stream, transform, drift_at=args.drift_at,
                              width=args.drift_width, seed=args.seed)
 
@@ -948,6 +965,15 @@ def _split_axis(text, convert=str):
     return [convert(part) for part in str(text).split(",") if part != ""]
 
 
+def _expand_datasets(values):
+    """Expand the literal ``all`` to every registered dataset, deduped."""
+    names = []
+    for value in values:
+        expanded = sorted(DATASET_REGISTRY) if value == "all" else [value]
+        names.extend(name for name in expanded if name not in names)
+    return names
+
+
 def _spec_from_args(args):
     from ..sweep import SweepSpec
 
@@ -960,7 +986,7 @@ def _spec_from_args(args):
         train_seed=args.seed,
     )
     axes = {
-        "dataset": _split_axis(args.dataset),
+        "dataset": _expand_datasets(_split_axis(args.dataset)),
         "clauses_per_class": _split_axis(args.clauses, int),
         "T": _split_axis(args.T, int),
         "s": _split_axis(args.s, float),
@@ -1010,6 +1036,42 @@ def _cmd_sweep(args, out):
         csv_path.write_text(result.to_csv(), encoding="utf-8")
         print(f"csv: {args.csv}", file=out)
     return 1 if result.errors else 0
+
+
+def _cmd_matrix(args, out):
+    from ..sweep import run_matrix
+
+    if args.jobs < 1:
+        print("matrix: --jobs must be >= 1", file=out)
+        return 2
+    spec = _spec_from_args(args)
+    cache_dir = None if args.no_cache else args.cache_dir
+    result = run_matrix(
+        spec,
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        resume=args.resume,
+    )
+
+    if args.json:
+        print(result.to_json(), file=out)
+    else:
+        print(result.to_markdown(), file=out)
+        print(result.summary(), file=out)
+        for point in result.sweep.errors:
+            print(f"ERROR {point.key[:12]} {point.config.get('dataset')}: "
+                  f"{point.error}", file=out)
+    if args.report:
+        report_path = Path(args.report)
+        report_path.parent.mkdir(parents=True, exist_ok=True)
+        report_path.write_text(result.to_json(), encoding="utf-8")
+        print(f"report: {args.report}", file=out)
+    if args.markdown:
+        md_path = Path(args.markdown)
+        md_path.parent.mkdir(parents=True, exist_ok=True)
+        md_path.write_text(result.to_markdown(), encoding="utf-8")
+        print(f"markdown: {args.markdown}", file=out)
+    return 1 if result.sweep.errors else 0
 
 
 def _cmd_automl(args, out):
@@ -1127,7 +1189,14 @@ def _cmd_obs(args, out):
 
 def _cmd_datasets(out):
     for name in sorted(DATASET_REGISTRY):
-        print(name, file=out)
+        spec = DATASET_REGISTRY[name]
+        shape = "x".join(str(d) for d in spec.input_shape)
+        print(
+            f"{name:14s} {spec.family:8s} {shape:>8s} = {spec.n_features:4d} "
+            f"bits  {spec.n_classes:2d} classes  "
+            f"{spec.n_train}/{spec.n_test}  {spec.booleanization}",
+            file=out,
+        )
     return 0
 
 
@@ -1170,6 +1239,8 @@ def main(argv=None, out=None):
     if args.command == "automl":
         with _metrics_capture(args.metrics_json, out):
             return _cmd_automl(args, out)
+    if args.command == "matrix":
+        return _cmd_matrix(args, out)
     if args.command == "obs":
         return _cmd_obs(args, out)
     if args.command == "datasets":

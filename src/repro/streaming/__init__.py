@@ -34,10 +34,12 @@ Layer map::
 """
 
 from .sources import (
+    DRIFT_KINDS,
     DriftStream,
     ReplayStream,
     StreamBatch,
     StreamSource,
+    drift_transform,
     flip_features,
     permute_labels,
 )
@@ -48,10 +50,12 @@ from .session import StreamSession, run_stream
 from .bench import format_stream_benchmark, stream_benchmark
 
 __all__ = [
+    "DRIFT_KINDS",
     "DriftStream",
     "ReplayStream",
     "StreamBatch",
     "StreamSource",
+    "drift_transform",
     "flip_features",
     "permute_labels",
     "OnlineTrainer",

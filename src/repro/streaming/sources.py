@@ -20,11 +20,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..data import transforms as _transforms
+
 __all__ = [
     "StreamBatch",
     "StreamSource",
     "ReplayStream",
     "DriftStream",
+    "DRIFT_KINDS",
+    "drift_transform",
     "permute_labels",
     "flip_features",
 ]
@@ -161,6 +165,10 @@ def permute_labels(n_classes, seed=0):
     classic abrupt concept drift; a permutation with no fixed points
     guarantees every class's accuracy collapses at the onset.
 
+    Delegates to :func:`repro.data.transforms.permute_labels` (the
+    shared transformation layer) with an identical RNG stream, so drift
+    streams seeded before the layer existed replay bit-identically.
+
     >>> import numpy as np
     >>> from repro.streaming import permute_labels
     >>> transform = permute_labels(4, seed=0)
@@ -168,22 +176,7 @@ def permute_labels(n_classes, seed=0):
     >>> bool(np.any(relabelled == np.array([0, 1, 2, 3])))
     False
     """
-    if n_classes < 2:
-        raise ValueError("n_classes must be >= 2")
-    rng = np.random.default_rng(seed)
-    identity = np.arange(n_classes)
-    perm = np.roll(identity, 1)  # fallback: cyclic shift has no fixed point
-    for _ in range(32):
-        cand = rng.permutation(n_classes)
-        if not np.any(cand == identity):
-            perm = cand
-            break
-
-    def transform(X, y):
-        return X, perm[y]
-
-    transform.permutation = perm
-    return transform
+    return _transforms.permute_labels(n_classes, seed=seed)
 
 
 def flip_features(n_features, fraction=0.25, seed=0):
@@ -192,6 +185,9 @@ def flip_features(n_features, fraction=0.25, seed=0):
     Inverting a fraction of the boolean features shifts ``P(x)`` so that
     clauses trained pre-drift stop matching; labels are untouched.
 
+    Delegates to :func:`repro.data.transforms.flip_bits` (the shared
+    transformation layer) with an identical RNG stream and mask.
+
     >>> import numpy as np
     >>> from repro.streaming import flip_features
     >>> transform = flip_features(8, fraction=0.5, seed=0)
@@ -199,18 +195,68 @@ def flip_features(n_features, fraction=0.25, seed=0):
     >>> bool(X.any()), int(y[0])                # bits flipped, label kept
     (True, 3)
     """
-    if not 0.0 < fraction <= 1.0:
-        raise ValueError("fraction must be in (0, 1]")
-    rng = np.random.default_rng(seed)
-    mask = (rng.random(n_features) < fraction).astype(np.uint8)
-    if not mask.any():
-        mask[int(rng.integers(0, n_features))] = 1
+    return _transforms.flip_bits(n_features, fraction=fraction, seed=seed)
 
-    def transform(X, y):
-        return np.asarray(X, dtype=np.uint8) ^ mask, y
 
-    transform.mask = mask
-    return transform
+DRIFT_KINDS = _transforms.DRIFT_KINDS
+
+
+def drift_transform(kind, dataset, seed=0, **options):
+    """Build a drift transform for ``dataset`` from the shared layer.
+
+    One factory maps every scenario-matrix drift kind onto
+    :mod:`repro.data.transforms`, sized from the dataset's own metadata:
+
+    ==========  ==================================================
+    kind        transform
+    ==========  ==================================================
+    labels      :func:`~repro.data.transforms.permute_labels`
+    features    :func:`~repro.data.transforms.flip_bits`
+    vocab       :func:`~repro.data.transforms.permute_features`
+    jitter      :func:`~repro.data.transforms.pixel_jitter`
+                (image-like datasets only: needs ``image_shape``)
+    dropout     :func:`~repro.data.transforms.feature_dropout`
+    quantize    :func:`~repro.data.transforms.quantization_shift`
+    ==========  ==================================================
+
+    Extra keyword ``options`` pass through to the transform factory.
+
+    >>> import numpy as np
+    >>> from repro.data import load_dataset
+    >>> from repro.streaming import drift_transform
+    >>> ds = load_dataset("kws6", n_train=8, n_test=4, seed=0)
+    >>> transform = drift_transform("features", ds, seed=2)
+    >>> X, _ = transform(np.zeros((1, ds.n_features), dtype=np.uint8), None)
+    >>> bool(X.any())
+    True
+    >>> drift_transform("jitter", ds).name
+    'pixel_jitter(29x13, amplitude=1.5, seed=0)'
+    """
+    if kind == "labels":
+        return _transforms.permute_labels(dataset.n_classes, seed=seed,
+                                          **options)
+    if kind == "features":
+        return _transforms.flip_bits(dataset.n_features, seed=seed, **options)
+    if kind == "vocab":
+        return _transforms.permute_features(dataset.n_features, seed=seed,
+                                            **options)
+    if kind == "dropout":
+        return _transforms.feature_dropout(dataset.n_features, seed=seed,
+                                           **options)
+    if kind == "quantize":
+        return _transforms.quantization_shift(dataset.n_features, seed=seed,
+                                              **options)
+    if kind == "jitter":
+        shape = dataset.metadata.get("image_shape")
+        if shape is None:
+            shape = dataset.metadata.get("input_shape")
+        if shape is None or len(shape) != 2:
+            raise ValueError(
+                f"drift kind 'jitter' needs an image-like dataset; "
+                f"{dataset.name!r} declares no 2-D shape"
+            )
+        return _transforms.pixel_jitter(shape, seed=seed, **options)
+    raise ValueError(f"unknown drift kind {kind!r}; choose from {DRIFT_KINDS}")
 
 
 class DriftStream(StreamSource):

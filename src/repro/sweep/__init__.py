@@ -31,6 +31,9 @@ _LAZY = {
     "flatten_metrics": "run",
     "run_sweep": "run",
     "SweepSpec": "spec",
+    "MATRIX_OBJECTIVES": "matrix",
+    "MatrixResult": "matrix",
+    "run_matrix": "matrix",
     "AUTOML_OBJECTIVES": "scheduler",
     "AutoMLResult": "scheduler",
     "deploy_winner": "scheduler",
@@ -68,6 +71,9 @@ __all__ = [
     "flatten_metrics",
     "run_sweep",
     "SweepSpec",
+    "MATRIX_OBJECTIVES",
+    "MatrixResult",
+    "run_matrix",
     "AUTOML_OBJECTIVES",
     "AutoMLResult",
     "deploy_winner",

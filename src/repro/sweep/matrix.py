@@ -1,0 +1,194 @@
+"""Cross-dataset scenario matrix: one config grid x every dataset.
+
+The sweep runner already evaluates a grid of flow configurations; the
+matrix runner points that grid at many registered datasets at once and
+aggregates the result *per dataset* — which design points sit on each
+workload's accuracy/latency/LUT Pareto front, and how the fronts compare
+across workloads.  That is the paper's table-of-workloads experiment
+generalized to the whole :data:`repro.data.registry.DATASET_REGISTRY`.
+
+Reports are deterministic by construction (the same guarantee as
+:class:`~repro.sweep.result.SweepResult`): entries are sorted by dataset
+name and cache key, carry no wall-clock or cache bookkeeping, and the
+JSON and markdown renderings are byte-identical across fresh runs, cache
+resumes, and job counts.  The nightly ``scenario-matrix`` CI job runs the
+matrix twice and diffs the two reports.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from .pareto import pareto_front
+from .result import SweepResult
+
+__all__ = ["MATRIX_OBJECTIVES", "MatrixResult", "run_matrix"]
+
+# The three axes every dataset's Pareto front is drawn over.  Power is
+# deliberately absent: it tracks LUTs closely on these design points and
+# would only thin the fronts.
+MATRIX_OBJECTIVES = (
+    ("accuracy", "max"),
+    ("latency_us", "min"),
+    ("luts", "min"),
+)
+
+# Config axes shown in the markdown table (the knobs a matrix grid
+# typically varies), plus the objective metrics.
+_TABLE_CONFIG = ("clauses_per_class", "T", "s", "model_family", "bus_width")
+_TABLE_METRICS = ("accuracy", "latency_us", "luts")
+
+
+@dataclass
+class MatrixResult:
+    """A sweep result grouped by its ``dataset`` axis."""
+
+    sweep: SweepResult
+    objectives: tuple = MATRIX_OBJECTIVES
+
+    @property
+    def datasets(self):
+        """Sorted dataset names that produced at least one point."""
+        return sorted({p.config.get("dataset") for p in self.sweep.points})
+
+    def points_for(self, dataset):
+        """All points (ok or errored) evaluated on ``dataset``."""
+        return [p for p in self.sweep.points if p.config.get("dataset") == dataset]
+
+    def pareto_for(self, dataset):
+        """Non-dominated ok points of one dataset under the objectives."""
+        ok = [p for p in self.points_for(dataset) if p.ok]
+        return pareto_front(ok, self.objectives)
+
+    # ------------------------------------------------------------------
+    def report(self):
+        """Deterministic JSON-ready cross-dataset report."""
+        datasets = {}
+        pareto_keys = []
+        for name in self.datasets:
+            points = self.points_for(name)
+            ok = [p for p in points if p.ok]
+            front = sorted(self.pareto_for(name), key=lambda p: p.key)
+            pareto_keys.extend(p.key for p in front)
+            datasets[name] = {
+                "n_points": len(points),
+                "n_errors": len(points) - len(ok),
+                "best_accuracy": _best(ok, "accuracy", max),
+                "best_latency_us": _best(ok, "latency_us", min),
+                "best_luts": _best(ok, "luts", min),
+                "pareto": [
+                    {
+                        "key": p.key,
+                        "config": dict(sorted(p.config.items())),
+                        "metrics": {m: p.metrics.get(m) for m in _TABLE_METRICS},
+                    }
+                    for p in front
+                ],
+            }
+        return {
+            "schema": "repro.sweep.matrix/1",
+            "objectives": [list(obj) for obj in self.objectives],
+            "n_datasets": len(datasets),
+            "n_points": len(self.sweep.points),
+            "n_errors": len(self.sweep.errors),
+            "datasets": datasets,
+            "pareto_keys": sorted(pareto_keys),
+        }
+
+    def to_json(self):
+        """The report as stable JSON (sorted keys, fixed indent)."""
+        return json.dumps(self.report(), indent=1, sort_keys=True)
+
+    def to_markdown(self):
+        """Two markdown tables: per-dataset summary + Pareto members."""
+        report = self.report()
+        lines = ["# Cross-dataset Pareto matrix", ""]
+        lines.append(
+            "objectives: " + ", ".join(f"{m} ({d})" for m, d in self.objectives)
+        )
+        lines.append("")
+        lines.append(
+            "| dataset | points | errors | best accuracy "
+            "| best latency (us) | best LUTs | Pareto |"
+        )
+        lines.append("|---|---|---|---|---|---|---|")
+        for name in sorted(report["datasets"]):
+            entry = report["datasets"][name]
+            lines.append(
+                f"| {name} | {entry['n_points']} | {entry['n_errors']} "
+                f"| {_md(entry['best_accuracy'])} "
+                f"| {_md(entry['best_latency_us'])} "
+                f"| {_md(entry['best_luts'])} | {len(entry['pareto'])} |"
+            )
+        lines.append("")
+        lines.append("## Pareto members")
+        lines.append("")
+        header = ["dataset", *_TABLE_CONFIG, *_TABLE_METRICS, "key"]
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "---|" * len(header))
+        for name in sorted(report["datasets"]):
+            for member in report["datasets"][name]["pareto"]:
+                cells = [name]
+                cells += [_md(member["config"].get(c)) for c in _TABLE_CONFIG]
+                cells += [_md(member["metrics"].get(m)) for m in _TABLE_METRICS]
+                cells.append(member["key"][:12])
+                lines.append("| " + " | ".join(cells) + " |")
+        lines.append("")
+        return "\n".join(lines)
+
+    def summary(self):
+        """One-line human summary."""
+        front = sum(len(self.pareto_for(name)) for name in self.datasets)
+        return (
+            f"matrix: {len(self.sweep.points)} points across "
+            f"{len(self.datasets)} datasets "
+            f"({len(self.sweep.errors)} errors), "
+            f"{front} Pareto members"
+        )
+
+
+def _best(points, metric, reducer):
+    values = [
+        p.metrics.get(metric) for p in points if p.metrics.get(metric) is not None
+    ]
+    return reducer(values) if values else None
+
+
+def _md(value):
+    if value is None:
+        return "n/a"
+    if isinstance(value, float):
+        return format(value, ".6g")
+    return str(value)
+
+
+def run_matrix(
+    spec,
+    jobs=1,
+    cache_dir=None,
+    resume=True,
+    verify=False,
+    progress=None,
+    objectives=None,
+):
+    """Evaluate ``spec`` (a grid whose ``dataset`` axis spans workloads)
+    and return a :class:`MatrixResult`.
+
+    Parameters mirror :func:`~repro.sweep.run.run_sweep`; ``objectives``
+    overrides :data:`MATRIX_OBJECTIVES`.
+    """
+    from .run import run_sweep
+
+    sweep = run_sweep(
+        spec,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        resume=resume,
+        verify=verify,
+        progress=progress,
+    )
+    return MatrixResult(
+        sweep=sweep,
+        objectives=tuple(objectives) if objectives else MATRIX_OBJECTIVES,
+    )

@@ -181,3 +181,93 @@ class TestLoaders:
                 n_classes=2,
                 n_features=4,
             )
+
+
+class TestNameNormalization:
+    """Regression: the old normalizer stripped underscores entirely, making
+    registry keys that contain one (``binary-alpha`` via ``binary_alpha``)
+    unreachable.  One normalize function now serves keys and lookups."""
+
+    def test_underscore_aliases_reach_the_spec(self):
+        from repro.data import get_spec
+
+        spec = get_spec("binary-alpha")
+        assert get_spec("binary_alpha") is spec
+        assert get_spec("Binary_Alpha-like") is spec
+        assert get_spec("tab_gauss") is get_spec("tab-gauss")
+
+    def test_normalize_cases(self):
+        from repro.data import normalize_name
+
+        assert normalize_name("MNIST-like") == "mnist"
+        assert normalize_name("binary_alpha") == "binary-alpha"
+        assert normalize_name(" KWS6 ") == "kws6"
+        # Only one trailing "-like" is stripped; interior ones survive.
+        assert normalize_name("like_like-like") == "like-like"
+
+    def test_underscore_alias_loads(self):
+        ds = load_dataset("bow_topics", n_train=10, n_test=5, seed=0)
+        assert ds.metadata["registry_name"] == "bow-topics"
+
+    def test_alias_collision_rejected(self):
+        from repro.data import get_spec, register
+
+        spec = get_spec("tab-gauss")
+        scratch = {"tab-gauss": spec}
+        with pytest.raises(ValueError, match="already registered"):
+            register(spec, registry=scratch)
+
+    def test_non_canonical_spec_name_rejected(self):
+        from repro.data import DatasetSpec
+
+        with pytest.raises(ValueError, match="not canonical"):
+            DatasetSpec("Tab_Gauss", "tabular", (4,), 2, 10, 5,
+                        "bits", lambda **kw: None)
+
+
+class TestSplitEdgeCases:
+    def test_tiny_fraction_still_yields_one_val_sample(self):
+        ds = make_mnist_like(n_train=10, n_test=5, seed=0)
+        X_tr, _, X_val, _ = train_val_split(ds, val_fraction=0.01, seed=0)
+        assert len(X_val) == 1          # round(0.1) == 0, clamped up
+        assert len(X_tr) == 9
+
+    def test_huge_fraction_still_yields_one_train_sample(self):
+        ds = make_mnist_like(n_train=10, n_test=5, seed=0)
+        X_tr, _, X_val, _ = train_val_split(ds, val_fraction=0.99, seed=0)
+        assert len(X_tr) == 1           # round(9.9) == 10, clamped down
+        assert len(X_val) == 9
+
+    def test_two_samples_split_one_and_one(self):
+        ds = make_mnist_like(n_train=2, n_test=2, seed=0)
+        X_tr, _, X_val, _ = train_val_split(ds, val_fraction=0.5, seed=0)
+        assert len(X_tr) == len(X_val) == 1
+
+    def test_single_sample_raises(self):
+        ds = make_mnist_like(n_train=1, n_test=1, seed=0)
+        with pytest.raises(ValueError, match="at least 2"):
+            train_val_split(ds, val_fraction=0.5)
+
+    def test_split_is_seed_deterministic(self):
+        ds = make_mnist_like(n_train=20, n_test=5, seed=0)
+        a = train_val_split(ds, val_fraction=0.25, seed=7)
+        b = train_val_split(ds, val_fraction=0.25, seed=7)
+        for left, right in zip(a, b):
+            assert np.array_equal(left, right)
+
+    def test_class_balance_single_class(self):
+        balance = class_balance(np.zeros(8, dtype=np.int64), n_classes=3)
+        assert balance.tolist() == [1.0, 0.0, 0.0]
+
+    def test_class_balance_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            class_balance(np.array([], dtype=np.int64))
+
+    def test_subset_does_not_alias_parent_arrays(self):
+        ds = make_mnist_like(n_train=20, n_test=10, seed=0)
+        sub = ds.subset(n_train=5, n_test=5)
+        before = ds.X_train[:5].copy()
+        sub.X_train[:] = 1 - sub.X_train
+        assert np.array_equal(ds.X_train[:5], before)
+        sub.y_test[:] = 0
+        assert not np.shares_memory(sub.y_test, ds.y_test)

@@ -1,10 +1,10 @@
-"""Doctest wiring for the serving and streaming packages (tier-1).
+"""Doctest wiring for the data, obs, serving and streaming packages (tier-1).
 
 Two contracts:
 
-* every executable example in ``repro.serving`` / ``repro.streaming``
-  docstrings passes (the same set CI runs via
-  ``pytest --doctest-modules src/repro/serving src/repro/streaming``);
+* every executable example in the packages' docstrings passes (the same
+  set CI runs via ``pytest --doctest-modules src/repro/data
+  src/repro/obs src/repro/serving src/repro/streaming``);
 * every *public* class and function in those packages carries a
   docstring with an example (``>>>``) — the docs generator renders those
   docstrings into ``docs/api/``, so an example-free public symbol is a
@@ -20,7 +20,8 @@ import pkgutil
 
 import pytest
 
-DOCTESTED_PACKAGES = ("repro.obs", "repro.serving", "repro.streaming")
+DOCTESTED_PACKAGES = ("repro.data", "repro.obs", "repro.serving",
+                      "repro.streaming")
 
 
 def _modules():

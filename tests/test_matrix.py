@@ -1,0 +1,200 @@
+"""Tests for the cross-dataset scenario matrix (:mod:`repro.sweep.matrix`).
+
+Two layers: fast unit tests over a hand-built :class:`SweepResult` (report
+structure, per-dataset grouping, Pareto fronts, rendering), and a small
+end-to-end slice through the real flow asserting the report is
+byte-identical across a fresh run and a cache resume — the invariant the
+nightly ``scenario-matrix`` CI job diffs for.
+"""
+
+import io
+import json
+
+from repro.data import DATASET_REGISTRY
+from repro.flow import FlowConfig
+from repro.flow.cli import build_parser, main
+from repro.sweep import (
+    MATRIX_OBJECTIVES,
+    MatrixResult,
+    SweepPoint,
+    SweepResult,
+    SweepSpec,
+    run_matrix,
+)
+
+
+def _point(dataset, key, accuracy=None, latency=None, luts=None, error=None):
+    metrics = {}
+    if error is None:
+        metrics = {"accuracy": accuracy, "latency_us": latency, "luts": luts}
+    return SweepPoint(
+        config={"dataset": dataset, "clauses_per_class": 8, "T": 10,
+                "s": 5.0, "model_family": "flat", "bus_width": 64},
+        metrics=metrics,
+        key=key,
+        error=error,
+    )
+
+
+def _fixture_result():
+    points = [
+        # kws6: b dominates a (better accuracy, same cost); c trades off.
+        _point("kws6", "a" * 16, accuracy=0.70, latency=5.0, luts=100),
+        _point("kws6", "b" * 16, accuracy=0.80, latency=5.0, luts=100),
+        _point("kws6", "c" * 16, accuracy=0.75, latency=2.0, luts=80),
+        # tab-rules: one ok point, one errored point.
+        _point("tab-rules", "d" * 16, accuracy=0.90, latency=3.0, luts=60),
+        _point("tab-rules", "e" * 16, error="boom"),
+    ]
+    return MatrixResult(sweep=SweepResult(points=points))
+
+
+class TestMatrixResult:
+    def test_datasets_sorted(self):
+        assert _fixture_result().datasets == ["kws6", "tab-rules"]
+
+    def test_points_grouped_by_dataset(self):
+        result = _fixture_result()
+        assert len(result.points_for("kws6")) == 3
+        assert len(result.points_for("tab-rules")) == 2
+
+    def test_pareto_excludes_dominated_and_errored(self):
+        result = _fixture_result()
+        kws6_keys = {p.key for p in result.pareto_for("kws6")}
+        assert kws6_keys == {"b" * 16, "c" * 16}  # "a" dominated by "b"
+        tab_keys = {p.key for p in result.pareto_for("tab-rules")}
+        assert tab_keys == {"d" * 16}  # errored point never on the front
+
+    def test_report_structure(self):
+        report = _fixture_result().report()
+        assert report["schema"] == "repro.sweep.matrix/1"
+        assert report["objectives"] == [list(o) for o in MATRIX_OBJECTIVES]
+        assert report["n_datasets"] == 2
+        assert report["n_points"] == 5
+        assert report["n_errors"] == 1
+        kws6 = report["datasets"]["kws6"]
+        assert kws6["n_points"] == 3 and kws6["n_errors"] == 0
+        assert kws6["best_accuracy"] == 0.80
+        assert kws6["best_latency_us"] == 2.0
+        assert kws6["best_luts"] == 80
+        tab = report["datasets"]["tab-rules"]
+        assert tab["n_errors"] == 1
+        assert report["pareto_keys"] == sorted(
+            ["b" * 16, "c" * 16, "d" * 16]
+        )
+
+    def test_report_is_json_stable(self):
+        result = _fixture_result()
+        text = result.to_json()
+        assert text == result.to_json()
+        assert json.loads(text)["schema"] == "repro.sweep.matrix/1"
+
+    def test_markdown_renders_every_dataset_and_member(self):
+        md = _fixture_result().to_markdown()
+        assert "| kws6 |" in md and "| tab-rules |" in md
+        assert "n/a" not in md.split("## Pareto members")[1]
+        assert md.count("| kws6 | ") >= 1
+
+    def test_summary_counts(self):
+        assert _fixture_result().summary() == (
+            "matrix: 5 points across 2 datasets (1 errors), 3 Pareto members"
+        )
+
+
+def _tiny_spec(datasets=("kws6", "tab-rules")):
+    base = FlowConfig(n_train=48, n_test=24, epochs=1, verify_samples=2)
+    return SweepSpec.from_grid(
+        base=base, dataset=list(datasets), clauses_per_class=[4], T=[8],
+    )
+
+
+class TestRunMatrix:
+    def test_fresh_and_resumed_reports_byte_identical(self, tmp_path):
+        cache = tmp_path / "cache"
+        fresh = run_matrix(_tiny_spec(), cache_dir=cache)
+        resumed = run_matrix(_tiny_spec(), cache_dir=cache, resume=True)
+        assert all(p.cached for p in resumed.sweep.points)
+        assert fresh.to_json() == resumed.to_json()
+        assert fresh.to_markdown() == resumed.to_markdown()
+
+    def test_every_dataset_produces_metrics(self, tmp_path):
+        result = run_matrix(_tiny_spec(), cache_dir=tmp_path / "c")
+        assert result.sweep.errors == []
+        for name in result.datasets:
+            entry = result.report()["datasets"][name]
+            assert entry["best_accuracy"] is not None
+            assert entry["best_latency_us"] is not None
+            assert entry["best_luts"] is not None
+            assert entry["pareto"]
+
+
+class TestMatrixCli:
+    def run_cli(self, argv):
+        out = io.StringIO()
+        code = main(argv, out=out)
+        return code, out.getvalue()
+
+    def test_matrix_report_deterministic_across_runs(self, tmp_path):
+        args = [
+            "matrix", "--dataset", "kws6,tab-rules", "--clauses", "4",
+            "--T", "8", "--epochs", "1", "--train", "48", "--test", "24",
+            "--cache-dir", str(tmp_path / "cache"), "--resume",
+        ]
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        md = tmp_path / "report.md"
+        code, text = self.run_cli(
+            args + ["--report", str(first), "--markdown", str(md)]
+        )
+        assert code == 0
+        assert "matrix: 2 points across 2 datasets" in text
+        code, _ = self.run_cli(args + ["--report", str(second)])
+        assert code == 0
+        assert first.read_bytes() == second.read_bytes()
+        report = json.loads(first.read_text(encoding="utf-8"))
+        assert report["schema"] == "repro.sweep.matrix/1"
+        assert sorted(report["datasets"]) == ["kws6", "tab-rules"]
+        assert "# Cross-dataset Pareto matrix" in md.read_text(
+            encoding="utf-8"
+        )
+
+    def test_json_mode_prints_report_only(self, tmp_path):
+        code, text = self.run_cli([
+            "matrix", "--dataset", "kws6", "--clauses", "4", "--T", "8",
+            "--epochs", "1", "--train", "48", "--test", "24",
+            "--cache-dir", str(tmp_path / "cache"), "--json",
+        ])
+        assert code == 0
+        assert json.loads(text)["n_datasets"] == 1
+
+    def test_dataset_all_expands_to_whole_registry(self):
+        args = build_parser().parse_args([
+            "matrix", "--clauses", "4", "--T", "8",
+        ])
+        assert args.dataset == "all"
+        from repro.flow.cli import _spec_from_args
+
+        spec = _spec_from_args(args)
+        names = sorted({p.dataset for p in spec.points})
+        assert names == sorted(DATASET_REGISTRY)
+        assert len(spec.points) == len(DATASET_REGISTRY)
+
+    def test_dataset_all_dedupes_against_explicit_names(self):
+        args = build_parser().parse_args([
+            "matrix", "--dataset", "kws6,all,kws6", "--clauses", "4",
+            "--T", "8",
+        ])
+        from repro.flow.cli import _spec_from_args
+
+        spec = _spec_from_args(args)
+        names = [p.dataset for p in spec.points]
+        assert len(names) == len(set(names)) == len(DATASET_REGISTRY)
+        assert names[0] == "kws6"  # explicit order wins over the expansion
+
+    def test_datasets_lists_whole_registry(self):
+        code, text = self.run_cli(["datasets"])
+        assert code == 0
+        lines = [line for line in text.strip().splitlines() if line]
+        assert len(lines) >= 12
+        for name in DATASET_REGISTRY:
+            assert name in text

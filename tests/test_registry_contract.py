@@ -1,0 +1,129 @@
+"""The dataset-registry contract, parametrized over every entry.
+
+Every spec in ``DATASET_REGISTRY`` must satisfy the same gauntlet:
+
+* registered under its canonical name (one ``normalize_name`` for keys
+  and lookups);
+* the generator is a pure function of its seed (bit-identical arrays on
+  repeated loads, different arrays under a different seed);
+* the arrays match the spec's declared shape / classes / dtype, and the
+  registry metadata is stamped;
+* the generator's own default split sizes equal the spec's;
+* train-split class balance stays within the spec's declared tolerance
+  (test splits are too small for a meaningful binomial bound);
+* the spec round-trips through ``to_dict`` / ``from_dict`` (via JSON).
+
+Registering dataset #14 with wrong metadata fails here by construction.
+"""
+
+import functools
+import inspect
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import class_balance
+from repro.data.registry import (
+    DATASET_REGISTRY,
+    DatasetSpec,
+    get_spec,
+    normalize_name,
+)
+
+NAMES = sorted(DATASET_REGISTRY)
+CONTRACT_SEED = 123
+
+
+def _contract_sizes(spec):
+    """Split sizes divisible by n_classes (exact round-robin balance) and
+    large enough that the RNG-class generators' binomial balance noise
+    stays inside the declared tolerance."""
+    return max(30 * spec.n_classes, 240), max(6 * spec.n_classes, 48)
+
+
+@functools.lru_cache(maxsize=None)
+def _load(name):
+    spec = DATASET_REGISTRY[name]
+    n_train, n_test = _contract_sizes(spec)
+    return spec.load(n_train=n_train, n_test=n_test, seed=CONTRACT_SEED)
+
+
+@pytest.mark.parametrize("name", NAMES)
+class TestRegistryContract:
+    def test_registered_under_canonical_key(self, name):
+        spec = DATASET_REGISTRY[name]
+        assert normalize_name(spec.name) == spec.name == name
+        assert get_spec(name) is spec
+        assert get_spec(name.upper()) is spec
+        assert get_spec(name.replace("-", "_")) is spec
+
+    def test_generator_is_pure_function_of_seed(self, name):
+        spec = DATASET_REGISTRY[name]
+        a = spec.load(n_train=24, n_test=12, seed=7)
+        b = spec.load(n_train=24, n_test=12, seed=7)
+        other = spec.load(n_train=24, n_test=12, seed=8)
+        for attr in ("X_train", "y_train", "X_test", "y_test"):
+            assert np.array_equal(getattr(a, attr), getattr(b, attr)), attr
+        assert not np.array_equal(a.X_train, other.X_train)
+
+    def test_arrays_match_spec(self, name):
+        spec = DATASET_REGISTRY[name]
+        n_train, n_test = _contract_sizes(spec)
+        ds = _load(name)
+        assert spec.n_features == int(np.prod(spec.input_shape))
+        assert ds.n_features == spec.n_features
+        assert ds.n_classes == spec.n_classes
+        assert ds.X_train.shape == (n_train, spec.n_features)
+        assert ds.X_test.shape == (n_test, spec.n_features)
+        assert ds.X_train.dtype == np.uint8
+        assert set(np.unique(ds.X_train)) <= {0, 1}
+        assert set(np.unique(ds.y_train)) == set(range(spec.n_classes))
+        assert ds.y_test.min() >= 0 and ds.y_test.max() < spec.n_classes
+
+    def test_registry_metadata_stamped(self, name):
+        spec = DATASET_REGISTRY[name]
+        ds = _load(name)
+        assert ds.metadata["registry_name"] == name
+        assert ds.metadata["family"] == spec.family
+        assert tuple(ds.metadata["input_shape"]) == spec.input_shape
+        assert ds.metadata["booleanization"] == spec.booleanization
+        if spec.family == "image":
+            assert tuple(ds.metadata["image_shape"]) == spec.input_shape
+
+    def test_default_split_sizes_match_generator(self, name):
+        spec = DATASET_REGISTRY[name]
+        params = inspect.signature(spec.generator).parameters
+        assert params["n_train"].default == spec.n_train
+        assert params["n_test"].default == spec.n_test
+
+    def test_class_balance_within_declared_tolerance(self, name):
+        spec = DATASET_REGISTRY[name]
+        ds = _load(name)
+        uniform = 1.0 / spec.n_classes
+        balance = class_balance(ds.y_train, spec.n_classes)
+        deviation = float(np.abs(balance - uniform).max() / uniform)
+        assert deviation <= spec.balance_tol, (
+            f"{name}: worst train-split class fraction deviates "
+            f"{deviation:.3f} from uniform (declared {spec.balance_tol})"
+        )
+        assert set(np.unique(ds.y_test)) <= set(range(spec.n_classes))
+
+    def test_spec_round_trips_through_json(self, name):
+        spec = DATASET_REGISTRY[name]
+        payload = json.loads(json.dumps(spec.to_dict()))
+        rebuilt = DatasetSpec.from_dict(payload)
+        assert rebuilt == spec
+        assert rebuilt.generator is spec.generator
+        assert rebuilt.input_shape == spec.input_shape
+
+
+def test_registry_is_large_enough():
+    """The scenario matrix promises 12+ workloads."""
+    assert len(DATASET_REGISTRY) >= 12
+
+
+def test_families_are_typed():
+    assert {spec.family for spec in DATASET_REGISTRY.values()} == {
+        "image", "audio", "tabular", "text",
+    }

@@ -1,0 +1,255 @@
+"""Property tests for the transformation layer (:mod:`repro.data.transforms`).
+
+Hypothesis pins the layer's contracts:
+
+* **seeded determinism** — building the same transform twice from the
+  same parameters yields identical outputs, and applying one transform
+  twice yields identical outputs (no RNG state consumed per call);
+* **shape/dtype preservation** — every transform maps ``(n, f)`` uint8
+  feature matrices to ``(n, f)`` uint8 matrices;
+* **bijections** — label/feature permutations are true permutations and
+  ``permute_labels`` is fixed-point free;
+* **inverses** — ``compose(t, t.inverse)`` is the identity for every
+  invertible transform, and composed inverses apply in reverse order.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import transforms
+
+SEEDS = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def _features(n_samples, n_features, data_seed):
+    rng = np.random.default_rng(data_seed)
+    return (rng.random((n_samples, n_features)) < 0.4).astype(np.uint8)
+
+
+def _labels(n_samples, n_classes, data_seed):
+    rng = np.random.default_rng(data_seed + 1)
+    return rng.integers(0, n_classes, size=n_samples).astype(np.int64)
+
+
+@st.composite
+def feature_batches(draw, max_features=48):
+    n = draw(st.integers(min_value=1, max_value=12))
+    f = draw(st.integers(min_value=1, max_value=max_features))
+    return _features(n, f, draw(SEEDS))
+
+
+@st.composite
+def image_batches(draw, max_side=8):
+    n = draw(st.integers(min_value=1, max_value=8))
+    h = draw(st.integers(min_value=2, max_value=max_side))
+    w = draw(st.integers(min_value=2, max_value=max_side))
+    return (h, w), _features(n, h * w, draw(SEEDS))
+
+
+class TestSeededDeterminism:
+    @settings(max_examples=40, deadline=None)
+    @given(X=feature_batches(), fraction=st.floats(0.05, 1.0), seed=SEEDS)
+    def test_flip_bits_pure_and_rebuildable(self, X, fraction, seed):
+        n = X.shape[1]
+        t1 = transforms.flip_bits(n, fraction=fraction, seed=seed)
+        t2 = transforms.flip_bits(n, fraction=fraction, seed=seed)
+        assert np.array_equal(t1.mask, t2.mask)
+        a, _ = t1(X, None)
+        b, _ = t1(X, None)
+        c, _ = t2(X, None)
+        assert np.array_equal(a, b) and np.array_equal(a, c)
+
+    @settings(max_examples=40, deadline=None)
+    @given(batch=image_batches(), seed=SEEDS,
+           amplitude=st.floats(0.0, 3.0), cell=st.integers(1, 4))
+    def test_pixel_jitter_pure_and_rebuildable(self, batch, seed, amplitude,
+                                               cell):
+        shape, X = batch
+        t1 = transforms.pixel_jitter(shape, amplitude=amplitude, cell=cell,
+                                     seed=seed)
+        t2 = transforms.pixel_jitter(shape, amplitude=amplitude, cell=cell,
+                                     seed=seed)
+        a, _ = t1(X, None)
+        b, _ = t1(X, None)
+        c, _ = t2(X, None)
+        assert np.array_equal(a, b) and np.array_equal(a, c)
+
+    @settings(max_examples=40, deadline=None)
+    @given(n_classes=st.integers(2, 32), seed=SEEDS)
+    def test_permute_labels_rebuildable(self, n_classes, seed):
+        t1 = transforms.permute_labels(n_classes, seed=seed)
+        t2 = transforms.permute_labels(n_classes, seed=seed)
+        assert np.array_equal(t1.permutation, t2.permutation)
+
+
+class TestShapeDtypePreservation:
+    @settings(max_examples=40, deadline=None)
+    @given(X=feature_batches(), seed=SEEDS, data=st.data())
+    def test_feature_transforms_preserve_shape_and_dtype(self, X, seed, data):
+        n = X.shape[1]
+        factory = data.draw(st.sampled_from([
+            lambda: transforms.flip_bits(n, seed=seed),
+            lambda: transforms.feature_dropout(n, fraction=0.3, seed=seed),
+            lambda: transforms.quantization_shift(n, fraction=0.3, seed=seed),
+            lambda: transforms.permute_features(n, seed=seed),
+        ]))
+        y = _labels(len(X), 4, seed)
+        Xt, yt = factory()(X, y)
+        assert Xt.shape == X.shape
+        assert Xt.dtype == np.uint8
+        assert set(np.unique(Xt)) <= {0, 1}
+        assert yt is y  # feature transforms never touch labels
+
+    @settings(max_examples=40, deadline=None)
+    @given(batch=image_batches(), seed=SEEDS, data=st.data())
+    def test_image_transforms_preserve_shape_and_dtype(self, batch, seed,
+                                                       data):
+        (h, w), X = batch
+        factory = data.draw(st.sampled_from([
+            lambda: transforms.shift_image((h, w), dy=1, dx=-1),
+            lambda: transforms.pixel_jitter((h, w), seed=seed),
+        ]))
+        Xt, _ = factory()(X, None)
+        assert Xt.shape == X.shape
+        assert Xt.dtype == np.uint8
+
+
+class TestBijections:
+    @settings(max_examples=40, deadline=None)
+    @given(n_classes=st.integers(2, 32), seed=SEEDS)
+    def test_permute_labels_is_a_derangement(self, n_classes, seed):
+        t = transforms.permute_labels(n_classes, seed=seed)
+        perm = t.permutation
+        assert sorted(perm.tolist()) == list(range(n_classes))
+        assert not np.any(perm == np.arange(n_classes))  # no fixed points
+        assert np.array_equal(t.inverse.permutation[perm],
+                              np.arange(n_classes))
+
+    @settings(max_examples=40, deadline=None)
+    @given(n_features=st.integers(1, 64), seed=SEEDS)
+    def test_permute_features_is_a_bijection(self, n_features, seed):
+        t = transforms.permute_features(n_features, seed=seed)
+        assert sorted(t.permutation.tolist()) == list(range(n_features))
+        X = np.arange(n_features, dtype=np.uint8).reshape(1, -1) % 2
+        Xt, _ = t(X, None)
+        assert sorted(Xt[0].tolist()) == sorted(X[0].tolist())
+
+    @settings(max_examples=40, deadline=None)
+    @given(n_classes=st.integers(2, 32), seed=SEEDS, data_seed=SEEDS)
+    def test_permute_labels_preserves_class_counts(self, n_classes, seed,
+                                                   data_seed):
+        y = _labels(64, n_classes, data_seed)
+        _, yt = transforms.permute_labels(n_classes, seed=seed)(None, y)
+        assert np.array_equal(np.sort(np.bincount(y, minlength=n_classes)),
+                              np.sort(np.bincount(yt, minlength=n_classes)))
+
+
+class TestInverses:
+    @settings(max_examples=40, deadline=None)
+    @given(X=feature_batches(), seed=SEEDS, data=st.data())
+    def test_inverse_after_forward_is_identity(self, X, seed, data):
+        n = X.shape[1]
+        t = data.draw(st.sampled_from([
+            transforms.flip_bits(n, seed=seed),
+            transforms.permute_features(n, seed=seed),
+        ]))
+        y = _labels(len(X), 4, seed)
+        Xr, yr = t.inverse(*t(X, y))
+        assert np.array_equal(Xr, X)
+        assert np.array_equal(yr, y)
+
+    @settings(max_examples=40, deadline=None)
+    @given(batch=image_batches(), dy=st.integers(-3, 3),
+           dx=st.integers(-3, 3))
+    def test_shift_inverse_is_identity(self, batch, dy, dx):
+        shape, X = batch
+        t = transforms.shift_image(shape, dy=dy, dx=dx)
+        Xr, _ = t.inverse(*t(X, None))
+        assert np.array_equal(Xr, X)
+
+    @settings(max_examples=40, deadline=None)
+    @given(side=st.integers(2, 8), k=st.integers(0, 7), data_seed=SEEDS)
+    def test_rotate_inverse_is_identity(self, side, k, data_seed):
+        X = _features(3, side * side, data_seed)
+        t = transforms.rotate_image((side, side), quarter_turns=k)
+        Xr, _ = t.inverse(*t(X, None))
+        assert np.array_equal(Xr, X)
+
+    @settings(max_examples=40, deadline=None)
+    @given(X=feature_batches(max_features=32), seed=SEEDS)
+    def test_composed_inverse_unwinds_in_reverse_order(self, X, seed):
+        n = X.shape[1]
+        chain = transforms.compose(
+            transforms.flip_bits(n, fraction=0.5, seed=seed),
+            transforms.permute_features(n, seed=seed + 1),
+            transforms.permute_labels(3, seed=seed),
+        )
+        assert chain.inverse is not None
+        y = _labels(len(X), 3, seed)
+        Xr, yr = chain.inverse(*chain(X, y))
+        assert np.array_equal(Xr, X)
+        assert np.array_equal(yr, y)
+
+    def test_compose_without_inverses_has_none(self):
+        chain = transforms.compose(
+            transforms.flip_bits(8, seed=0),
+            transforms.feature_dropout(8, fraction=0.5, seed=0),
+        )
+        assert chain.inverse is None
+
+
+class TestColumnSemantics:
+    @settings(max_examples=40, deadline=None)
+    @given(n_features=st.integers(2, 64), fraction=st.floats(0.05, 0.95),
+           seed=SEEDS, data_seed=SEEDS)
+    def test_feature_dropout_zeroes_only_dropped_columns(self, n_features,
+                                                         fraction, seed,
+                                                         data_seed):
+        t = transforms.feature_dropout(n_features, fraction=fraction,
+                                       seed=seed)
+        X = _features(6, n_features, data_seed)
+        Xt, _ = t(X, None)
+        assert (Xt[:, t.dropped] == 0).all()
+        kept = np.setdiff1d(np.arange(n_features), t.dropped)
+        assert np.array_equal(Xt[:, kept], X[:, kept])
+        assert len(t.dropped) >= 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(n_features=st.integers(2, 64), fraction=st.floats(0.05, 0.95),
+           value=st.sampled_from([0, 1]), seed=SEEDS, data_seed=SEEDS)
+    def test_quantization_shift_saturates_only_masked_columns(
+            self, n_features, fraction, value, seed, data_seed):
+        t = transforms.quantization_shift(n_features, fraction=fraction,
+                                          value=value, seed=seed)
+        X = _features(6, n_features, data_seed)
+        Xt, _ = t(X, None)
+        assert (Xt[:, t.mask] == value).all()
+        assert np.array_equal(Xt[:, ~t.mask], X[:, ~t.mask])
+
+    @settings(max_examples=40, deadline=None)
+    @given(X=feature_batches(), fraction=st.floats(0.05, 1.0), seed=SEEDS)
+    def test_flip_bits_changes_exactly_masked_columns(self, X, fraction,
+                                                      seed):
+        t = transforms.flip_bits(X.shape[1], fraction=fraction, seed=seed)
+        Xt, _ = t(X, None)
+        assert np.array_equal(Xt ^ X, np.broadcast_to(t.mask, X.shape))
+        assert t.mask.any()
+
+
+class TestTransformsNeverMutateInputs:
+    @settings(max_examples=40, deadline=None)
+    @given(X=feature_batches(), seed=SEEDS, data=st.data())
+    def test_inputs_left_untouched(self, X, seed, data):
+        n = X.shape[1]
+        t = data.draw(st.sampled_from([
+            transforms.flip_bits(n, seed=seed),
+            transforms.feature_dropout(n, fraction=0.3, seed=seed),
+            transforms.quantization_shift(n, fraction=0.3, seed=seed),
+            transforms.permute_features(n, seed=seed),
+        ]))
+        y = _labels(len(X), 4, seed)
+        X_before, y_before = X.copy(), y.copy()
+        t(X, y)
+        assert np.array_equal(X, X_before)
+        assert np.array_equal(y, y_before)
